@@ -1,0 +1,58 @@
+"""Ablation A2: covering rectangles on/off.
+
+Section 3.1's point: replacing the N placed modules by d <= N covering
+rectangles shrinks every subproblem's binary count (2 binaries per
+window-module x obstacle pair).  This bench runs identical augmentations
+with the reduction enabled and disabled and compares binary counts and
+solver time.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.config import FloorplanConfig
+from repro.core.floorplanner import Floorplanner
+from repro.eval.report import format_table
+from repro.netlist.generators import random_netlist
+
+INSTANCE_SIZES = (15, 25)
+
+
+def _compare():
+    rows = []
+    for n in INSTANCE_SIZES:
+        netlist = random_netlist(n, seed=100 + n)
+        for use_covering in (True, False):
+            config = FloorplanConfig(seed_size=6, group_size=4,
+                                     use_covering_rectangles=use_covering,
+                                     subproblem_time_limit=20.0)
+            plan = Floorplanner(netlist, config).run()
+            last = plan.trace.steps[-1]
+            rows.append({
+                "modules": n,
+                "covering": use_covering,
+                "final_step_obstacles": last.n_obstacles,
+                "max_binaries": plan.trace.max_binaries,
+                "solve_seconds": round(plan.trace.total_solve_seconds, 2),
+                "chip_area": round(plan.chip_area, 1),
+                "legal": plan.is_legal,
+            })
+    return rows
+
+
+def test_covering_ablation(benchmark, results_dir):
+    rows = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    emit(results_dir, "ablation_covering.txt",
+         format_table(rows,
+                      title="Ablation A2: covering rectangles on/off"))
+
+    assert all(r["legal"] for r in rows)
+    for n in INSTANCE_SIZES:
+        with_cover = next(r for r in rows
+                          if r["modules"] == n and r["covering"])
+        without = next(r for r in rows
+                       if r["modules"] == n and not r["covering"])
+        # The reduction's entire point: fewer obstacles, fewer binaries.
+        assert with_cover["final_step_obstacles"] <= \
+            without["final_step_obstacles"]
+        assert with_cover["max_binaries"] <= without["max_binaries"]

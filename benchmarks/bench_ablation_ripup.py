@@ -1,0 +1,57 @@
+"""Ablation A7: rip-up-and-reroute rounds on the global router.
+
+The paper's router is single-pass (weighted shortest path with a congestion
+penalty).  Rip-up-and-reroute — tearing out nets that cross over-capacity
+channels and re-routing them under a stiffer penalty — is the classic next
+step.  This bench measures overflow/wirelength as a function of rounds on
+the ami33-class routing problem.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.config import FloorplanConfig
+from repro.core.floorplanner import Floorplanner
+from repro.eval.report import format_table
+from repro.netlist.mcnc import ami33_like
+from repro.routing.flow import provide_routing_space
+from repro.routing.graph import build_channel_graph
+from repro.routing.router import GlobalRouter, RouterMode
+from repro.routing.technology import Technology
+
+ROUNDS = (0, 1, 3)
+
+
+def _compare():
+    netlist = ami33_like()
+    technology = Technology.around_the_cell()
+    config = FloorplanConfig(seed_size=6, group_size=4,
+                             technology=technology,
+                             subproblem_time_limit=20.0)
+    plan = Floorplanner(netlist, config).run()
+    spread = provide_routing_space(plan.placements, technology)
+    chip = plan.chip
+    rows = []
+    for rounds in ROUNDS:
+        graph = build_channel_graph(list(spread.values()), chip, technology)
+        router = GlobalRouter(graph, mode=RouterMode.WEIGHTED)
+        result = router.route(netlist.nets, spread, rip_up_rounds=rounds)
+        rows.append({
+            "rip_up_rounds": rounds,
+            "overflow": round(result.total_overflow, 1),
+            "max_utilization": round(result.max_edge_utilization, 2),
+            "wirelength": round(result.total_wirelength, 1),
+            "routed": result.n_routed,
+        })
+    return rows
+
+
+def test_ripup_ablation(benchmark, results_dir):
+    rows = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    emit(results_dir, "ablation_ripup.txt",
+         format_table(rows, title="Ablation A7: rip-up-and-reroute rounds "
+                                  "(ami33, weighted router)"))
+
+    assert all(r["routed"] == 123 for r in rows)
+    by_rounds = {r["rip_up_rounds"]: r for r in rows}
+    assert by_rounds[3]["overflow"] <= by_rounds[0]["overflow"]

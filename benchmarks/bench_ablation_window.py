@@ -1,0 +1,51 @@
+"""Ablation A1: window-size sweep (seed m, increment e).
+
+The paper fixes the window at 10-12 modules because LINDO's solve time
+"grows exponentially (in the worst case) with the number of integer
+variables".  This bench sweeps (m, e) on the ami33 substitute and tabulates
+the time/quality trade-off: larger windows cost more solver time per step
+but pack tighter.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.config import FloorplanConfig
+from repro.core.floorplanner import Floorplanner
+from repro.eval.report import format_table
+from repro.netlist.mcnc import ami33_like
+
+WINDOWS = ((4, 2), (6, 4), (8, 5), (10, 6))
+
+
+def _sweep():
+    netlist = ami33_like()
+    rows = []
+    for m, e in WINDOWS:
+        config = FloorplanConfig(seed_size=m, group_size=e,
+                                 whitespace_factor=1.05,
+                                 subproblem_time_limit=20.0)
+        plan = Floorplanner(netlist, config).run()
+        rows.append({
+            "seed_m": m,
+            "group_e": e,
+            "chip_area": round(plan.chip_area, 1),
+            "utilization": round(plan.utilization, 3),
+            "max_binaries": plan.trace.max_binaries,
+            "solve_seconds": round(plan.trace.total_solve_seconds, 2),
+            "legal": plan.is_legal,
+        })
+    return rows
+
+
+def test_window_sweep(benchmark, results_dir):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit(results_dir, "ablation_window.txt",
+         format_table(rows, title="Ablation A1: window-size sweep (ami33)"))
+
+    assert all(r["legal"] for r in rows)
+    # Bigger windows mean more binaries per subproblem...
+    binaries = [r["max_binaries"] for r in rows]
+    assert binaries == sorted(binaries)
+    # ...and (weakly) better packing at the large end vs. the small end.
+    assert rows[-1]["chip_area"] <= rows[0]["chip_area"] * 1.10

@@ -1,0 +1,72 @@
+"""Baseline A4: analytical MILP floorplanning vs. Wong-Liu slicing SA.
+
+The paper contrasts its non-slicing analytical method with the slicing
+floorplanners of the era ([WON86] in particular).  This bench runs both on
+identical instances (including the ami33 substitute) and tabulates area,
+utilization, wirelength, and time.  Shape expectation: the MILP method is
+competitive or better on packed area at these sizes, and deterministic.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.baselines.annealing import AnnealingSchedule
+from repro.baselines.wong_liu import WongLiuFloorplanner
+from repro.core.config import FloorplanConfig
+from repro.core.floorplanner import Floorplanner
+from repro.eval.metrics import hpwl
+from repro.eval.report import format_table
+from repro.netlist.generators import random_netlist
+from repro.netlist.mcnc import ami33_like
+
+
+def _instances():
+    return [random_netlist(12, seed=301), random_netlist(20, seed=302),
+            ami33_like()]
+
+
+def _compare():
+    rows = []
+    for netlist in _instances():
+        plan = Floorplanner(netlist, FloorplanConfig(
+            seed_size=6, group_size=4, whitespace_factor=1.05,
+            subproblem_time_limit=20.0)).run()
+        rows.append({
+            "instance": netlist.name,
+            "method": "milp-augment",
+            "chip_area": round(plan.chip_area, 1),
+            "utilization": round(plan.utilization, 3),
+            "hpwl": round(plan.hpwl(), 1),
+            "seconds": round(plan.elapsed_seconds, 2),
+        })
+        baseline = WongLiuFloorplanner(
+            netlist, seed=1,
+            schedule=AnnealingSchedule(
+                alpha=0.93, moves_per_temperature=20 * len(netlist),
+                max_idle_temperatures=12)).run()
+        rows.append({
+            "instance": netlist.name,
+            "method": "wong-liu-sa",
+            "chip_area": round(baseline.chip_area, 1),
+            "utilization": round(baseline.utilization, 3),
+            "hpwl": round(baseline.hpwl(), 1),
+            "seconds": round(baseline.elapsed_seconds, 2),
+        })
+    return rows
+
+
+def test_baseline_comparison(benchmark, results_dir):
+    rows = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    emit(results_dir, "baseline_wongliu.txt",
+         format_table(rows, title="Baseline A4: MILP augmentation vs "
+                                  "Wong-Liu slicing SA"))
+
+    # Every floorplan from either method must exist and be plausible.
+    assert all(r["chip_area"] > 0 for r in rows)
+    # On the largest instance the analytical method should be competitive:
+    # within 15% of the baseline's area or better.
+    milp = next(r for r in rows
+                if r["instance"] == "ami33_like" and r["method"] == "milp-augment")
+    slicing = next(r for r in rows
+                   if r["instance"] == "ami33_like" and r["method"] == "wong-liu-sa")
+    assert milp["chip_area"] <= slicing["chip_area"] * 1.15

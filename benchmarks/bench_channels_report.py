@@ -1,0 +1,63 @@
+"""Channel report: named channels, utilizations, and exact track widths.
+
+Supports Figure 6 / the adjustment step with track-level precision: extract
+the routed floorplan's channels, measure each one's utilization from the
+global routes, and left-edge-route the busiest channels to get the exact
+track count (= required width / pitch).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.config import FloorplanConfig
+from repro.core.floorplanner import Floorplanner
+from repro.eval.report import format_table
+from repro.netlist.mcnc import ami33_like
+from repro.routing.channel_router import route_channel
+from repro.routing.channels import channel_utilization, extract_channels
+from repro.routing.flow import route_and_adjust
+from repro.routing.router import RouterMode
+from repro.routing.technology import Technology
+
+
+def _run():
+    netlist = ami33_like()
+    technology = Technology.around_the_cell()
+    config = FloorplanConfig(seed_size=6, group_size=4, use_envelopes=True,
+                             technology=technology,
+                             subproblem_time_limit=20.0)
+    plan = Floorplanner(netlist, config).run()
+    routed = route_and_adjust(plan.placements, plan.chip, netlist,
+                              technology, mode=RouterMode.WEIGHTED)
+    channels = extract_channels(list(routed.placements.values()),
+                                routed.chip, technology, min_extent=0.05)
+    utilization = channel_utilization(channels, routed.graph, routed.routing)
+    busiest = sorted(channels, key=lambda c: -utilization[c.name])[:10]
+    rows = []
+    for channel in busiest:
+        assignment = route_channel(channel, routed.graph, routed.routing)
+        pitch = technology.pitch_v if channel.orientation == "v" \
+            else technology.pitch_h
+        rows.append({
+            "channel": channel.name,
+            "orient": channel.orientation,
+            "capacity_tracks": round(channel.capacity, 1),
+            "utilization": round(utilization[channel.name], 2),
+            "wires": sum(len(t) for t in assignment.tracks),
+            "tracks_needed": assignment.n_tracks,
+            "width_needed": round(assignment.n_tracks * pitch, 2),
+            "assignment_ok": assignment.validate() == [],
+        })
+    return rows
+
+
+def test_channel_report(benchmark, results_dir):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(results_dir, "channels_report.txt",
+         format_table(rows, title="Busiest channels: utilization and "
+                                  "left-edge track counts (ami33)"))
+
+    assert rows  # channels exist
+    assert all(r["assignment_ok"] for r in rows)
+    # left-edge optimality: track count equals density <= wire count
+    assert all(r["tracks_needed"] <= r["wires"] for r in rows)

@@ -1,0 +1,67 @@
+"""Figure 1: linearization of the flexible-module shape constraint.
+
+The paper's Figure 1 shows the hyperbola ``h = S / w`` and its first-order
+Taylor linearization about a reference width.  This bench regenerates the
+figure's series — exact hyperbola, tangent (paper), and secant (safe
+variant) — and reports the worst-case approximation error of each over the
+legal width range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.core.config import Linearization
+from repro.core.flexible import linearize
+from repro.netlist.module import Module
+
+#: Figure parameters: a soft block of area 120 with aspect in [1/3, 3].
+AREA = 120.0
+ASPECT_LOW = 1.0 / 3.0
+ASPECT_HIGH = 3.0
+SAMPLES = 25
+
+
+def _series():
+    module = Module.flexible_area("f", AREA, aspect_low=ASPECT_LOW,
+                                  aspect_high=ASPECT_HIGH)
+    tangent = linearize(module, Linearization.TANGENT)
+    secant = linearize(module, Linearization.SECANT)
+    dws = np.linspace(0.0, tangent.dw_max, SAMPLES)
+    rows = []
+    for dw in dws:
+        rows.append({
+            "width": round(tangent.width(dw), 3),
+            "h_exact": round(tangent.height_exact(dw), 4),
+            "h_tangent": round(tangent.height_linear(dw), 4),
+            "h_secant": round(secant.height_linear(dw), 4),
+        })
+    return module, tangent, secant, rows
+
+
+def test_fig1_series(benchmark, results_dir):
+    """Regenerate the Figure-1 series and verify the error signs."""
+    module, tangent, secant, rows = benchmark.pedantic(
+        _series, rounds=1, iterations=1)
+
+    header = f"{'width':>8} {'h exact':>9} {'h tangent':>10} {'h secant':>9}"
+    body = [f"{r['width']:>8} {r['h_exact']:>9} {r['h_tangent']:>10} "
+            f"{r['h_secant']:>9}" for r in rows]
+    worst_tangent = max(r["h_exact"] - r["h_tangent"] for r in rows)
+    worst_secant = max(r["h_secant"] - r["h_exact"] for r in rows)
+    lines = [f"Figure 1: h = S/w linearization (S={AREA:g}, "
+             f"w in [{module.width_min:.2f}, {module.width_max:.2f}])",
+             header, *body, "",
+             f"tangent max underestimate: {worst_tangent:.4f} "
+             f"(may overlap; needs legalization)",
+             f"secant  max overestimate:  {worst_secant:.4f} "
+             f"(always legal; wastes a little area)"]
+    emit(results_dir, "fig1_linearization.txt", "\n".join(lines))
+
+    # tangent never above exact; secant never below exact
+    assert all(r["h_tangent"] <= r["h_exact"] + 1e-9 for r in rows)
+    assert all(r["h_secant"] >= r["h_exact"] - 1e-9 for r in rows)
+    # both exact at dw = 0
+    assert rows[0]["h_tangent"] == rows[0]["h_exact"]
+    assert rows[0]["h_secant"] == rows[0]["h_exact"]

@@ -1,0 +1,52 @@
+"""Figure 2: the successive-augmentation sequence, frame by frame.
+
+The paper's Figure 2 illustrates the method: a partial floorplan, its
+covering polygon, and a new group of modules being added.  This bench
+records every augmentation step of an ami33-class run and writes one SVG
+frame per step — partial floorplan, that step's covering rectangles (dashed)
+and the newly added group (highlighted) — under
+``benchmarks/results/fig2_frames/``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.config import FloorplanConfig
+from repro.core.floorplanner import Floorplanner
+from repro.geometry.rect import Rect
+from repro.netlist.mcnc import ami33_like
+from repro.plotting import render_augmentation_frames
+
+
+def _run():
+    config = FloorplanConfig(seed_size=6, group_size=4,
+                             record_snapshots=True,
+                             subproblem_time_limit=20.0)
+    plan = Floorplanner(ami33_like(), config).run()
+    chip = Rect(0, 0, plan.chip_width,
+                max(s.chip_height_after for s in plan.trace.steps))
+    frames = render_augmentation_frames(plan.trace, chip)
+    return plan, frames
+
+
+def test_fig2_frames(benchmark, results_dir):
+    plan, frames = benchmark.pedantic(_run, rounds=1, iterations=1)
+    frame_dir = results_dir / "fig2_frames"
+    frame_dir.mkdir(exist_ok=True)
+    for name, svg in frames:
+        (frame_dir / f"{name}.svg").write_text(svg)
+
+    lines = [f"Figure 2: {len(frames)} augmentation frames written to "
+             f"{frame_dir.name}/",
+             ""]
+    for step in plan.trace.steps:
+        lines.append(f"step {step.index}: +{len(step.group)} modules on "
+                     f"{step.n_placed_before} placed "
+                     f"({step.n_obstacles} covering rects, "
+                     f"{step.n_binaries} binaries, "
+                     f"{step.solve_seconds:.2f}s)")
+    emit(results_dir, "fig2_summary.txt", "\n".join(lines))
+
+    assert plan.is_legal
+    assert len(frames) == plan.trace.n_steps
+    assert all("<svg" in svg for _name, svg in frames)

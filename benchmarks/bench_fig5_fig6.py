@@ -1,0 +1,62 @@
+"""Figures 5-6: the ami33 floorplan, before and after routing space.
+
+Figure 5 of the paper shows the floorplan of the ami33 chip produced by the
+method; Figure 6 shows the final floorplan with routing space inserted.
+This bench regenerates both as SVG files under ``benchmarks/results/`` and
+checks their structural sanity (legality, all modules drawn, routing
+overlay present).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.config import FloorplanConfig
+from repro.core.floorplanner import Floorplanner
+from repro.netlist.mcnc import ami33_like
+from repro.plotting import render_ascii, render_svg
+from repro.routing.flow import route_and_adjust
+from repro.routing.router import RouterMode
+from repro.routing.technology import Technology
+
+
+def _run():
+    netlist = ami33_like()
+    technology = Technology.around_the_cell()
+    config = FloorplanConfig(seed_size=8, group_size=5,
+                             whitespace_factor=1.05,
+                             use_envelopes=True, technology=technology,
+                             subproblem_time_limit=25.0)
+    plan = Floorplanner(netlist, config).run()
+    routed = route_and_adjust(plan.placements, plan.chip, netlist,
+                              technology, mode=RouterMode.WEIGHTED)
+    return netlist, plan, routed
+
+
+def test_fig5_fig6_artifacts(benchmark, results_dir):
+    """Write fig5.svg (floorplan) and fig6.svg (with routing space)."""
+    netlist, plan, routed = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    fig5 = render_svg(plan.placements, plan.chip)
+    (results_dir / "fig5_floorplan.svg").write_text(fig5)
+    fig6 = render_svg(routed.placements, routed.chip,
+                      routing=routed.routing, channel_graph=routed.graph)
+    (results_dir / "fig6_routed.svg").write_text(fig6)
+
+    summary = "\n".join([
+        "Figures 5-6 regenerated:",
+        f"  fig5_floorplan.svg — {len(plan.placements)} modules, chip "
+        f"{plan.chip_width:.1f} x {plan.chip_height:.1f}, "
+        f"utilization {plan.utilization:.1%}",
+        f"  fig6_routed.svg — final chip {routed.chip.w:.1f} x "
+        f"{routed.chip.h:.1f} (area {routed.chip_area:.0f}), "
+        f"{routed.routing.n_routed}/{len(netlist.nets)} nets routed, "
+        f"wirelength {routed.wirelength:.0f}",
+        "",
+        render_ascii(plan.placements, plan.chip, columns=66),
+    ])
+    emit(results_dir, "fig5_fig6_summary.txt", summary)
+
+    assert plan.is_legal
+    assert fig5.count("<text") == len(netlist)
+    assert "<line" in fig6  # routing overlay present
+    assert routed.routing.n_routed == len(netlist.nets)

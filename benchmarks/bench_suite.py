@@ -1,0 +1,62 @@
+"""Full-suite regression: every embedded benchmark through the whole flow.
+
+The release-style results table: floorplan + route + adjust for each
+embedded MCNC-like instance, recording area, utilization, wirelength, and
+runtime.  Guards against quality regressions across the whole pipeline, the
+way an open-source floorplanner's CI would.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.config import FloorplanConfig
+from repro.core.floorplanner import Floorplanner
+from repro.eval.report import format_table
+from repro.netlist.mcnc import ami33_like, apte_like, hp_like, xerox_like
+from repro.routing.flow import route_and_adjust
+from repro.routing.router import RouterMode
+from repro.routing.technology import Technology
+
+#: Minimum acceptable packing utilization per instance (regression floor).
+#: Envelopes reserve pin-proportional routing space inside the packing, so
+#: heavily connected instances (xerox-like: ~20 pins/module) legitimately
+#: sit well below bare-packing utilizations.
+UTILIZATION_FLOOR = 0.45
+
+
+def _run_suite():
+    technology = Technology.around_the_cell()
+    rows = []
+    for make in (apte_like, xerox_like, hp_like, ami33_like):
+        netlist = make()
+        config = FloorplanConfig(seed_size=6, group_size=4,
+                                 use_envelopes=True, technology=technology,
+                                 subproblem_time_limit=20.0)
+        plan = Floorplanner(netlist, config).run()
+        routed = route_and_adjust(plan.placements, plan.chip, netlist,
+                                  technology, mode=RouterMode.WEIGHTED)
+        rows.append({
+            "instance": netlist.name,
+            "modules": len(netlist),
+            "nets": len(netlist.nets),
+            "pack_area": round(plan.chip_area, 1),
+            "pack_util": round(plan.utilization, 3),
+            "final_area": round(routed.chip_area, 1),
+            "wirelength": round(routed.wirelength, 1),
+            "routed_nets": routed.routing.n_routed,
+            "fp_seconds": round(plan.elapsed_seconds, 2),
+            "legal": plan.is_legal,
+        })
+    return rows
+
+
+def test_full_suite(benchmark, results_dir):
+    rows = benchmark.pedantic(_run_suite, rounds=1, iterations=1)
+    emit(results_dir, "suite.txt",
+         format_table(rows, title="Full-pipeline suite: all embedded "
+                                  "benchmarks (envelopes + weighted router)"))
+
+    assert all(r["legal"] for r in rows)
+    assert all(r["routed_nets"] == r["nets"] for r in rows)
+    assert all(r["pack_util"] >= UTILIZATION_FLOOR for r in rows)
+    assert all(r["final_area"] >= r["pack_area"] * 0.8 for r in rows)

@@ -1,0 +1,45 @@
+"""Table 3 (Series 3): routing-area provision x router, around-the-cell.
+
+The paper's last series uses a technology with routing *around* the cells:
+routing area is provided either by post-placement floorplan adjustment
+(uniform preliminary channels, then demand-based widths) or by the
+section-3.2 pin-proportional envelopes, and nets are routed with the plain
+or the weighted (congestion-penalized) shortest-path router.  Reported
+shape: "the application of envelopes allows us to decrease the chip size".
+
+Shape checks: under the weighted router, the envelope technique's final
+chip area (modules + routing) beats the no-envelope technique's.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.config import FloorplanConfig
+from repro.eval.experiments import run_series3
+from repro.eval.report import format_table
+
+CONFIG = FloorplanConfig(seed_size=6, group_size=4,
+                         subproblem_time_limit=20.0)
+
+
+def test_series3_table(benchmark, results_dir):
+    """Regenerate the full Table 3 grid."""
+    rows = benchmark.pedantic(run_series3, kwargs={"base_config": CONFIG},
+                              rounds=1, iterations=1)
+    table = format_table(rows,
+                         title="Table 3 (Series 3): ami33, around-the-cell",
+                         floatfmt=".3f")
+    by_key = {(r.technique, r.router): r for r in rows}
+    envelope_gain = (by_key[("no_envelopes", "weighted")].chip_area
+                     - by_key[("envelopes", "weighted")].chip_area)
+    lines = [table, "",
+             f"envelope technique saves {envelope_gain:.0f} area units under "
+             f"the weighted router (paper: envelopes decrease the chip size)"]
+    emit(results_dir, "table3.txt", "\n".join(lines))
+
+    assert len(rows) == 4
+    # The paper's claim: envelopes decrease the final chip size.
+    assert by_key[("envelopes", "weighted")].chip_area < \
+        by_key[("no_envelopes", "weighted")].chip_area
+    assert by_key[("envelopes", "shortest")].chip_area < \
+        by_key[("no_envelopes", "shortest")].chip_area

@@ -1,0 +1,28 @@
+"""Shared benchmark utilities.
+
+Every bench regenerates one of the paper's tables or figures.  Domain
+results (the table rows, not just timings) are printed to the terminal and
+saved under ``benchmarks/results/`` so EXPERIMENTS.md can be refreshed from
+a single ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory collecting the regenerated tables/figures."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a regenerated artifact and persist it."""
+    print(f"\n{text}\n")
+    (results_dir / name).write_text(text + "\n")

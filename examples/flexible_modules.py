@@ -1,0 +1,61 @@
+"""Flexible (soft) modules: fixed area, variable shape (section 2.4).
+
+Builds an instance mixing rigid and flexible modules, floorplans it with
+both linearizations of ``h = S / w`` (the paper's tangent Taylor expansion
+and the always-safe secant), and shows how the solver reshapes the soft
+blocks to fill the chip.
+
+Run:
+    python examples/flexible_modules.py
+"""
+
+from repro import FloorplanConfig, Linearization, Module, Net, Netlist, floorplan
+from repro.plotting import render_ascii
+
+
+def build_instance() -> Netlist:
+    """Three rigid blocks and three soft blocks of equal total area."""
+    modules = [
+        Module.rigid("cpu", 8.0, 6.0),
+        Module.rigid("rom", 4.0, 7.0),
+        Module.rigid("io", 10.0, 2.0, rotatable=False),
+        Module.flexible_area("ram", 40.0, aspect_low=0.5, aspect_high=2.0),
+        Module.flexible_area("dsp", 30.0, aspect_low=0.4, aspect_high=2.5),
+        Module.flexible_area("ctl", 12.0, aspect_low=0.25, aspect_high=4.0),
+    ]
+    nets = [
+        Net("bus", ("cpu", "ram", "rom")),
+        Net("dma", ("dsp", "ram")),
+        Net("pins", ("io", "cpu"), criticality=0.7),
+        Net("cfg", ("ctl", "cpu", "dsp")),
+    ]
+    return Netlist(modules, nets, name="soc")
+
+
+def main() -> None:
+    netlist = build_instance()
+    print(f"{netlist.name}: {netlist.n_rigid} rigid + "
+          f"{netlist.n_flexible} flexible modules\n")
+
+    for mode in (Linearization.SECANT, Linearization.TANGENT):
+        config = FloorplanConfig(seed_size=4, group_size=2,
+                                 linearization=mode)
+        plan = floorplan(netlist, config)
+        print(f"--- linearization = {mode.value} ---")
+        print(f"chip {plan.chip_width:.1f} x {plan.chip_height:.1f}, "
+              f"area {plan.chip_area:.0f}, utilization {plan.utilization:.1%}, "
+              f"legal: {plan.is_legal}")
+        for m in netlist.modules:
+            if m.flexible:
+                r = plan.placement(m.name).rect
+                print(f"  {m.name}: chose {r.w:.2f} x {r.h:.2f} "
+                      f"(aspect {r.w / r.h:.2f}, area {r.area:.1f} "
+                      f"= spec {m.area:.1f})")
+        print()
+
+    plan = floorplan(netlist, FloorplanConfig(seed_size=4, group_size=2))
+    print(render_ascii(plan.placements, plan.chip, columns=60))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Quickstart: floorplan a small benchmark and print the result.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import FloorplanConfig, apte_like, floorplan
+from repro.plotting import render_ascii
+
+
+def main() -> None:
+    # A 9-module benchmark instance (an apte-sized MCNC substitute).
+    netlist = apte_like()
+    print(f"Instance: {netlist.name} — {len(netlist)} modules, "
+          f"{len(netlist.nets)} nets, total area {netlist.total_module_area:.0f}")
+
+    # The analytical flow: MILP subproblems + successive augmentation.
+    config = FloorplanConfig(
+        seed_size=5,        # modules placed by the first (seed) MILP
+        group_size=2,       # modules added per augmentation step
+        whitespace_factor=1.15,
+    )
+    plan = floorplan(netlist, config)
+
+    print(f"Chip: {plan.chip_width:.1f} x {plan.chip_height:.1f} "
+          f"(area {plan.chip_area:.0f})")
+    print(f"Utilization: {plan.utilization:.1%}")
+    print(f"HPWL estimate: {plan.hpwl():.1f}")
+    print(f"Legal: {plan.is_legal}")
+    print(f"Solved {plan.trace.n_steps} MILP subproblems, largest had "
+          f"{plan.trace.max_binaries} binary variables, total "
+          f"{plan.trace.total_solve_seconds:.2f}s in the solver")
+    print()
+    print(render_ascii(plan.placements, plan.chip, columns=64))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Soft-block sizing on a GSRC-style instance: refine + width search.
+
+Demonstrates the post-passes around the core flow:
+
+1. parse a GSRC ``.blocks``/``.nets`` instance (the format the MCNC
+   floorplanning benchmarks circulate in);
+2. floorplan it with the MILP augmentation;
+3. run the section-2.5 shape-refinement loop (iterated LPs re-sizing the
+   soft blocks for the fixed topology);
+4. sweep candidate chip widths to pick the best overall chip.
+
+Run:
+    python examples/soft_block_refinement.py
+"""
+
+from repro import FloorplanConfig, floorplan
+from repro.core import refine_shapes, search_chip_width
+from repro.netlist import parse_gsrc
+
+BLOCKS = """\
+UCSC blocks 1.0
+NumSoftRectangularBlocks : 6
+NumHardRectilinearBlocks : 2
+NumTerminals : 0
+
+sb0 softrectangular 900 0.4 2.5
+sb1 softrectangular 700 0.5 2.0
+sb2 softrectangular 500 0.33 3.0
+sb3 softrectangular 400 0.5 2.0
+sb4 softrectangular 300 0.25 4.0
+sb5 softrectangular 250 0.5 2.0
+hb0 hardrectilinear 4 (0, 0) (0, 20) (30, 20) (30, 0)
+hb1 hardrectilinear 4 (0, 0) (0, 15) (15, 15) (15, 0)
+"""
+
+NETS = """\
+UCSC nets 1.0
+NumNets : 6
+NumPins : 14
+NetDegree : 3
+sb0
+hb0
+sb1
+NetDegree : 2
+sb1
+sb2
+NetDegree : 2
+sb2
+hb1
+NetDegree : 3
+sb3
+sb4
+hb0
+NetDegree : 2
+sb4
+sb5
+NetDegree : 2
+sb5
+sb0
+"""
+
+
+def main() -> None:
+    netlist = parse_gsrc(BLOCKS, NETS, name="gsrc_demo")
+    print(f"{netlist.name}: {netlist.n_rigid} hard + {netlist.n_flexible} "
+          f"soft blocks, total area {netlist.total_module_area:.0f}\n")
+
+    config = FloorplanConfig(seed_size=4, group_size=2,
+                             subproblem_time_limit=20.0)
+    plan = floorplan(netlist, config)
+    print(f"MILP floorplan:   {plan.chip_width:6.1f} x {plan.chip_height:6.1f}"
+          f"  area {plan.chip_area:7.0f}  utilization {plan.utilization:.1%}")
+
+    refined = refine_shapes(list(plan.placements.values()))
+    print(f"shape refinement: {refined.chip_width:6.1f} x "
+          f"{refined.chip_height:6.1f}  area {refined.chip_area:7.0f}  "
+          f"({refined.n_rounds} LP rounds, converged={refined.converged})")
+
+    searched = search_chip_width(netlist, config, n_candidates=5)
+    best = searched.best
+    refined_best = refine_shapes(list(best.placements.values()))
+    print(f"width search:     {refined_best.chip_width:6.1f} x "
+          f"{refined_best.chip_height:6.1f}  area "
+          f"{refined_best.chip_area:7.0f}  "
+          f"(best of {len(searched.candidates)} widths, then refined)")
+
+    print("\nsoft-block shapes after refinement:")
+    for p in sorted(refined_best.placements, key=lambda p: p.name):
+        if p.module.flexible:
+            aspect = p.rect.w / p.rect.h
+            print(f"  {p.name}: {p.rect.w:6.2f} x {p.rect.h:6.2f} "
+                  f"(aspect {aspect:4.2f} in "
+                  f"[{p.module.aspect_low:g}, {p.module.aspect_high:g}])")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""repro — an analytical MILP floorplanner.
+
+A production-quality reproduction of Sutanthavibul, Shragowitz & Rosen,
+*"An Analytical Approach to Floorplan Design and Optimization"* (DAC 1990):
+mixed-integer-programming floorplanning with successive augmentation,
+covering-rectangle reduction, flexible-module linearization, routing
+envelopes, graph-based global routing, and LP channel-width adjustment.
+
+Quickstart::
+
+    from repro import ami33_like, FloorplanConfig, floorplan
+
+    plan = floorplan(ami33_like(), FloorplanConfig(seed_size=6, group_size=4))
+    print(plan.chip_area, plan.utilization)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.core import (
+    Floorplan,
+    FloorplanConfig,
+    Floorplanner,
+    Linearization,
+    Objective,
+    Ordering,
+    Placement,
+    derive_relations,
+    floorplan,
+    optimize_topology,
+)
+from repro.netlist import (
+    Module,
+    Net,
+    Netlist,
+    ami33_like,
+    apte_like,
+    hp_like,
+    parse_yal,
+    random_netlist,
+    series1_instance,
+    write_yal,
+    xerox_like,
+)
+from repro.routing import (
+    GlobalRouter,
+    RouterMode,
+    RoutingResult,
+    Technology,
+    adjust_floorplan,
+    build_channel_graph,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Floorplan",
+    "FloorplanConfig",
+    "Floorplanner",
+    "Linearization",
+    "Objective",
+    "Ordering",
+    "Placement",
+    "derive_relations",
+    "floorplan",
+    "optimize_topology",
+    # netlist
+    "Module",
+    "Net",
+    "Netlist",
+    "ami33_like",
+    "apte_like",
+    "hp_like",
+    "parse_yal",
+    "random_netlist",
+    "series1_instance",
+    "write_yal",
+    "xerox_like",
+    # routing
+    "GlobalRouter",
+    "RouterMode",
+    "RoutingResult",
+    "Technology",
+    "adjust_floorplan",
+    "build_channel_graph",
+]

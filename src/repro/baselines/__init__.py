@@ -1,0 +1,28 @@
+"""Baseline floorplanners for comparison.
+
+The paper positions its analytical method against the slicing-structure
+floorplanners that dominated the literature ([OTT82], [WON86], [MUE87]).
+This subpackage implements that contrasting approach from scratch — the
+Wong-Liu (DAC 1986) simulated-annealing floorplanner over normalized Polish
+expressions with Stockmeyer shape-curve sizing — so the benchmark harness can
+compare both families on identical instances.
+"""
+
+from repro.baselines.polish import PolishExpression, random_polish
+from repro.baselines.shapes import ShapeCurve, ShapePoint
+from repro.baselines.annealing import AnnealingSchedule, simulated_annealing
+from repro.baselines.wong_liu import WongLiuFloorplanner, SlicingFloorplan
+from repro.baselines.greedy import GreedyFloorplan, greedy_skyline_floorplan
+
+__all__ = [
+    "PolishExpression",
+    "random_polish",
+    "ShapeCurve",
+    "ShapePoint",
+    "AnnealingSchedule",
+    "simulated_annealing",
+    "WongLiuFloorplanner",
+    "SlicingFloorplan",
+    "GreedyFloorplan",
+    "greedy_skyline_floorplan",
+]

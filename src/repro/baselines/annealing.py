@@ -1,0 +1,116 @@
+"""A generic simulated-annealing engine.
+
+Used by the Wong-Liu baseline.  Deterministic given the RNG, with the usual
+knobs: geometric cooling, a move budget per temperature proportional to the
+problem size, and stopping on a temperature floor or a stretch of
+improvement-free temperatures.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Generic, TypeVar
+
+State = TypeVar("State")
+
+
+@dataclass
+class AnnealingSchedule:
+    """Cooling parameters.
+
+    Attributes:
+        t0: starting temperature; None calibrates it from initial uphill
+            moves so the starting acceptance ratio is ``initial_acceptance``.
+        alpha: geometric cooling factor per temperature step.
+        moves_per_temperature: proposals evaluated at each temperature.
+        t_min: stop when the temperature falls below this.
+        max_idle_temperatures: stop after this many consecutive temperatures
+            without a new best.
+        initial_acceptance: target acceptance ratio for t0 calibration.
+    """
+
+    t0: float | None = None
+    alpha: float = 0.9
+    moves_per_temperature: int = 100
+    t_min: float = 1e-4
+    max_idle_temperatures: int = 8
+    initial_acceptance: float = 0.9
+
+
+@dataclass
+class AnnealingStats:
+    """Run statistics."""
+
+    n_moves: int = 0
+    n_accepted: int = 0
+    n_temperatures: int = 0
+    initial_cost: float = math.nan
+    best_cost: float = math.nan
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Fraction of proposals accepted."""
+        return self.n_accepted / self.n_moves if self.n_moves else 0.0
+
+
+def calibrate_t0(state: State, cost: float,
+                 neighbor_fn: Callable[[State, random.Random], State],
+                 cost_fn: Callable[[State], float], rng: random.Random,
+                 target_acceptance: float, samples: int = 50) -> float:
+    """Temperature at which the average uphill move is accepted with
+    probability ``target_acceptance``."""
+    uphill: list[float] = []
+    current, current_cost = state, cost
+    for _ in range(samples):
+        nxt = neighbor_fn(current, rng)
+        nxt_cost = cost_fn(nxt)
+        if nxt_cost > current_cost:
+            uphill.append(nxt_cost - current_cost)
+        current, current_cost = nxt, nxt_cost
+    if not uphill:
+        return 1.0
+    avg = sum(uphill) / len(uphill)
+    return -avg / math.log(target_acceptance)
+
+
+def simulated_annealing(initial: State,
+                        cost_fn: Callable[[State], float],
+                        neighbor_fn: Callable[[State, random.Random], State],
+                        schedule: AnnealingSchedule,
+                        rng: random.Random) -> tuple[State, float, AnnealingStats]:
+    """Minimize ``cost_fn`` over states reachable through ``neighbor_fn``.
+
+    Returns:
+        ``(best_state, best_cost, stats)``.
+    """
+    current = initial
+    current_cost = cost_fn(current)
+    best, best_cost = current, current_cost
+    stats = AnnealingStats(initial_cost=current_cost)
+
+    temperature = schedule.t0
+    if temperature is None:
+        temperature = calibrate_t0(current, current_cost, neighbor_fn,
+                                   cost_fn, rng, schedule.initial_acceptance)
+    idle = 0
+    while temperature > schedule.t_min and idle < schedule.max_idle_temperatures:
+        improved = False
+        for _ in range(schedule.moves_per_temperature):
+            stats.n_moves += 1
+            candidate = neighbor_fn(current, rng)
+            candidate_cost = cost_fn(candidate)
+            delta = candidate_cost - current_cost
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                current, current_cost = candidate, candidate_cost
+                stats.n_accepted += 1
+                if current_cost < best_cost - 1e-12:
+                    best, best_cost = current, current_cost
+                    improved = True
+        stats.n_temperatures += 1
+        idle = 0 if improved else idle + 1
+        temperature *= schedule.alpha
+
+    stats.best_cost = best_cost
+    return best, best_cost, stats

@@ -1,0 +1,121 @@
+"""Greedy skyline (bottom-left) packer.
+
+A second, much cheaper baseline: place modules one at a time at the lowest
+(then leftmost) position on the current skyline, in decreasing-area order.
+This is the classic constructive packer the analytical method should beat on
+quality; it also supplies fast initial floorplans and upper bounds for
+experiments.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.placement import Placement
+from repro.geometry.rect import GEOM_EPS, Rect, any_overlap
+from repro.geometry.skyline import Skyline
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class GreedyFloorplan:
+    """Result of the greedy packer."""
+
+    netlist: Netlist
+    placements: dict[str, Placement]
+    chip_width: float
+    chip_height: float
+    elapsed_seconds: float = 0.0
+
+    @property
+    def chip_area(self) -> float:
+        """Chip area ``W * H``."""
+        return self.chip_width * self.chip_height
+
+    @property
+    def utilization(self) -> float:
+        """Module area over chip area."""
+        module_area = sum(p.rect.area for p in self.placements.values())
+        return module_area / self.chip_area if self.chip_area > 0 else 0.0
+
+    def validate(self) -> list[str]:
+        """Legality problems (empty when legal)."""
+        problems = []
+        rects = [p.rect for p in self.placements.values()]
+        if any_overlap(rects) is not None:
+            problems.append("overlapping modules")
+        if any(r.x < -GEOM_EPS or r.y < -GEOM_EPS
+               or r.x2 > self.chip_width + GEOM_EPS for r in rects):
+            problems.append("module outside the chip")
+        return problems
+
+
+def greedy_skyline_floorplan(netlist: Netlist, chip_width: float | None = None,
+                             *, allow_rotation: bool = True,
+                             whitespace_factor: float = 1.15) -> GreedyFloorplan:
+    """Pack all modules bottom-left onto a skyline.
+
+    Modules are taken in decreasing-area order; each is dropped at the
+    position (and orientation, if rotation is allowed) minimizing its
+    resulting top edge, ties broken leftward.  Flexible modules use their
+    nominal shape.
+
+    Args:
+        netlist: the circuit (connectivity is ignored — this is a packer).
+        chip_width: fixed chip width; derived from total area when omitted.
+        allow_rotation: try both orientations of rotatable rigid modules.
+        whitespace_factor: head-room used when deriving the chip width.
+
+    Returns:
+        The :class:`GreedyFloorplan`.
+    """
+    start = time.perf_counter()
+    modules = sorted(netlist.modules, key=lambda m: -m.area)
+    if chip_width is None:
+        total = netlist.total_module_area
+        widest = max(max(m.width, m.height) if (allow_rotation and m.rotatable)
+                     else m.width for m in modules)
+        chip_width = max((total * whitespace_factor) ** 0.5, widest)
+
+    sky = Skyline(0.0, chip_width)
+    placements: dict[str, Placement] = {}
+    for module in modules:
+        orientations = [(module.width, module.height, False)]
+        if allow_rotation and module.rotatable and not module.flexible \
+                and abs(module.width - module.height) > GEOM_EPS:
+            orientations.append((module.height, module.width, True))
+        best: tuple[float, float, float, float, float, bool] | None = None
+        for w, h, rotated in orientations:
+            x, y = _drop_position(sky, w)
+            candidate = (y + h, x, y, w, h, rotated)
+            if best is None or candidate[:2] < best[:2]:
+                best = candidate
+        assert best is not None
+        _top, x, y, w, h, rotated = best
+        rect = Rect(x, y, w, h)
+        placements[module.name] = Placement(module, rect, rotated=rotated)
+        sky.add_rect(rect)
+
+    return GreedyFloorplan(
+        netlist=netlist, placements=placements, chip_width=chip_width,
+        chip_height=sky.max_height(),
+        elapsed_seconds=time.perf_counter() - start)
+
+
+def _drop_position(sky: Skyline, width: float) -> tuple[float, float]:
+    """The leftmost-lowest x where a rect of ``width`` can rest on the
+    skyline, and the resting height there."""
+    best_x = sky.x_min
+    best_y = float("inf")
+    steps = sky.steps
+    candidates = [s.x1 for s in steps]
+    candidates.extend(max(sky.x_min, s.x2 - width) for s in steps)
+    for x in sorted(set(candidates)):
+        if x + width > sky.x_max + GEOM_EPS:
+            continue
+        y = max(s.height for s in steps
+                if s.x1 < x + width - GEOM_EPS and s.x2 > x + GEOM_EPS)
+        if y < best_y - GEOM_EPS:
+            best_x, best_y = x, y
+    return best_x, best_y

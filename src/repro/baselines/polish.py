@@ -1,0 +1,175 @@
+"""Normalized Polish expressions (slicing trees).
+
+A slicing floorplan is a recursive cut of the chip by horizontal and vertical
+lines; Wong-Liu represent it as a *normalized Polish expression*: a postfix
+sequence over operands (module names) and the operators ``H`` (horizontal
+cut: left operand below right operand... er, stacked) and ``V`` (vertical
+cut: side by side), with
+
+* the *balloting property* — every prefix has more operands than operators;
+* *normalization* — no two consecutive identical operators (each operator
+  chain alternates), making the expression <-> slicing-tree map bijective.
+
+The three Wong-Liu moves are implemented:
+
+* **M1** — swap two adjacent operands;
+* **M2** — complement a maximal chain of operators (``H`` <-> ``V``);
+* **M3** — swap an adjacent operand-operator pair, when the result is still
+  a normalized, balloting expression.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+OPERATORS = ("H", "V")
+
+
+@dataclass(frozen=True)
+class PolishExpression:
+    """An immutable normalized Polish expression."""
+
+    tokens: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        problems = validate_tokens(self.tokens)
+        if problems:
+            raise ValueError(f"invalid Polish expression: {problems[0]}")
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def operands(self) -> list[str]:
+        """Module names, in expression order."""
+        return [t for t in self.tokens if t not in OPERATORS]
+
+    @property
+    def n_modules(self) -> int:
+        """Number of operands."""
+        return len(self.operands)
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __str__(self) -> str:
+        return " ".join(self.tokens)
+
+    # -- moves --------------------------------------------------------------------
+
+    def swap_operands(self, i: int, j: int) -> "PolishExpression":
+        """M1: swap the i-th and j-th operands (by operand index)."""
+        positions = [k for k, t in enumerate(self.tokens) if t not in OPERATORS]
+        tokens = list(self.tokens)
+        pi, pj = positions[i], positions[j]
+        tokens[pi], tokens[pj] = tokens[pj], tokens[pi]
+        return PolishExpression(tuple(tokens))
+
+    def complement_chain(self, start: int) -> "PolishExpression":
+        """M2: complement the maximal operator chain starting at token index
+        ``start`` (which must be an operator)."""
+        if self.tokens[start] not in OPERATORS:
+            raise ValueError(f"token {start} is not an operator")
+        tokens = list(self.tokens)
+        k = start
+        while k < len(tokens) and tokens[k] in OPERATORS:
+            tokens[k] = "H" if tokens[k] == "V" else "V"
+            k += 1
+        return PolishExpression(tuple(tokens))
+
+    def swap_operand_operator(self, pos: int) -> "PolishExpression | None":
+        """M3: swap tokens at ``pos`` and ``pos + 1`` (one operand, one
+        operator); returns None when the swap breaks validity."""
+        if pos + 1 >= len(self.tokens):
+            return None
+        a, b = self.tokens[pos], self.tokens[pos + 1]
+        if (a in OPERATORS) == (b in OPERATORS):
+            return None
+        tokens = list(self.tokens)
+        tokens[pos], tokens[pos + 1] = tokens[pos + 1], tokens[pos]
+        if validate_tokens(tuple(tokens)):
+            return None
+        return PolishExpression(tuple(tokens))
+
+    def random_neighbor(self, rng: random.Random) -> "PolishExpression":
+        """Apply one random Wong-Liu move (retrying until a legal move is
+        found; a legal M1 always exists for two or more operands)."""
+        for _attempt in range(64):
+            move = rng.randint(1, 3)
+            if move == 1 and self.n_modules >= 2:
+                i = rng.randrange(self.n_modules - 1)
+                return self.swap_operands(i, i + 1)
+            if move == 2:
+                chain_starts = [k for k, t in enumerate(self.tokens)
+                                if t in OPERATORS
+                                and (k == 0 or self.tokens[k - 1] not in OPERATORS)]
+                if chain_starts:
+                    return self.complement_chain(rng.choice(chain_starts))
+            if move == 3:
+                pos = rng.randrange(len(self.tokens) - 1)
+                swapped = self.swap_operand_operator(pos)
+                if swapped is not None:
+                    return swapped
+        # Fall back to the always-legal M1.
+        i = rng.randrange(self.n_modules - 1)
+        return self.swap_operands(i, i + 1)
+
+
+def validate_tokens(tokens: Sequence[str]) -> list[str]:
+    """Validity problems of a token sequence (empty list = valid).
+
+    Checks: at least one operand, exactly ``n - 1`` operators, balloting
+    property, normalization (no two consecutive identical operators), and
+    distinct operand names.
+    """
+    problems: list[str] = []
+    operands = [t for t in tokens if t not in OPERATORS]
+    operators = [t for t in tokens if t in OPERATORS]
+    if not operands:
+        return ["no operands"]
+    if len(operands) != len(set(operands)):
+        problems.append("duplicate operand names")
+    if len(operators) != len(operands) - 1:
+        problems.append(
+            f"{len(operands)} operands need {len(operands) - 1} operators, "
+            f"got {len(operators)}")
+    balance = 0
+    for k, t in enumerate(tokens):
+        if t in OPERATORS:
+            balance -= 1
+            if balance < 1:
+                problems.append(f"balloting property violated at token {k}")
+                break
+            if k > 0 and tokens[k - 1] == t:
+                problems.append(f"consecutive identical operators at token {k}")
+                break
+        else:
+            balance += 1
+    return problems
+
+
+def random_polish(names: Iterable[str], seed: int = 0) -> PolishExpression:
+    """A random normalized Polish expression over ``names``.
+
+    Builds a random skewed/balanced mix by repeatedly combining two random
+    sub-expressions with a random cut direction (alternating when needed to
+    stay normalized).
+    """
+    rng = random.Random(seed)
+    parts: list[tuple[tuple[str, ...], str | None]] = [
+        ((name,), None) for name in names]
+    if not parts:
+        raise ValueError("need at least one module name")
+    rng.shuffle(parts)
+    while len(parts) > 1:
+        i = rng.randrange(len(parts) - 1)
+        (left, _lop) = parts.pop(i)
+        (right, rop) = parts.pop(i)
+        op = rng.choice(OPERATORS)
+        if rop == op:
+            # appending `op` right after the right sub-expression's root
+            # operator would denormalize; flip it.
+            op = "H" if op == "V" else "V"
+        parts.insert(i, (left + right + (op,), op))
+    return PolishExpression(parts[0][0])

@@ -1,0 +1,102 @@
+"""Shape curves for slicing floorplans (Stockmeyer-style sizing).
+
+Each slicing-tree node carries the set of non-dominated ``(width, height)``
+implementations of its subtree.  Combining two children under a vertical cut
+adds widths and maxes heights; under a horizontal cut vice versa.  Points
+keep back-pointers to the child implementations they came from, so the chosen
+root shape can be expanded back into module positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.netlist.module import Module
+
+#: Hyperbola sample count for flexible-module leaf curves.
+FLEXIBLE_SAMPLES = 8
+
+
+@dataclass(frozen=True)
+class ShapePoint:
+    """One implementation of a subtree: its bounding ``w x h`` plus the child
+    implementations (indices into the child curves) that realize it."""
+
+    w: float
+    h: float
+    left_choice: int = -1
+    right_choice: int = -1
+
+    @property
+    def area(self) -> float:
+        """Bounding-box area of this implementation."""
+        return self.w * self.h
+
+
+class ShapeCurve:
+    """A non-dominated, width-sorted list of :class:`ShapePoint`."""
+
+    def __init__(self, points: Sequence[ShapePoint]) -> None:
+        if not points:
+            raise ValueError("a shape curve needs at least one point")
+        self.points: list[ShapePoint] = prune_dominated(points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __getitem__(self, index: int) -> ShapePoint:
+        return self.points[index]
+
+    def min_area_index(self) -> int:
+        """Index of the smallest-area implementation."""
+        return min(range(len(self.points)), key=lambda i: self.points[i].area)
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def for_module(cls, module: Module,
+                   samples: int = FLEXIBLE_SAMPLES) -> "ShapeCurve":
+        """Leaf curve of a module: the two orientations of a rigid block, or
+        ``samples`` points along a flexible block's hyperbola."""
+        if module.flexible:
+            lo, hi = module.width_min, module.width_max
+            if samples < 2 or hi - lo < 1e-12:
+                widths = [module.width]
+            else:
+                step = (hi - lo) / (samples - 1)
+                widths = [lo + k * step for k in range(samples)]
+            pts = [ShapePoint(w, module.area / w) for w in widths]
+            return cls(pts)
+        pts = [ShapePoint(module.width, module.height)]
+        if module.rotatable and abs(module.width - module.height) > 1e-12:
+            pts.append(ShapePoint(module.height, module.width))
+        return cls(pts)
+
+    def combine(self, other: "ShapeCurve", operator: str) -> "ShapeCurve":
+        """Combine two child curves under ``"V"`` (side by side: widths add)
+        or ``"H"`` (stacked: heights add)."""
+        pts: list[ShapePoint] = []
+        for i, a in enumerate(self.points):
+            for j, b in enumerate(other.points):
+                if operator == "V":
+                    pts.append(ShapePoint(a.w + b.w, max(a.h, b.h), i, j))
+                elif operator == "H":
+                    pts.append(ShapePoint(max(a.w, b.w), a.h + b.h, i, j))
+                else:
+                    raise ValueError(f"unknown operator {operator!r}")
+        return ShapeCurve(pts)
+
+
+def prune_dominated(points: Sequence[ShapePoint],
+                    eps: float = 1e-12) -> list[ShapePoint]:
+    """Keep only Pareto-minimal points (no other point is at most as wide
+    *and* at most as tall), sorted by increasing width."""
+    ordered = sorted(points, key=lambda p: (p.w, p.h))
+    kept: list[ShapePoint] = []
+    best_h = float("inf")
+    for p in ordered:
+        if p.h < best_h - eps:
+            kept.append(p)
+            best_h = p.h
+    return kept

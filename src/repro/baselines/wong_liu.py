@@ -1,0 +1,195 @@
+"""The Wong-Liu (DAC 1986) slicing floorplanner baseline.
+
+Simulated annealing over normalized Polish expressions, with Stockmeyer
+shape-curve sizing at every cost evaluation.  This is the slicing-structure
+approach the paper contrasts its analytical method with; the benchmark
+harness runs both on identical instances.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines.annealing import AnnealingSchedule, AnnealingStats, \
+    simulated_annealing
+from repro.baselines.polish import OPERATORS, PolishExpression, random_polish
+from repro.baselines.shapes import ShapeCurve
+from repro.geometry.rect import Rect, any_overlap
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class SlicingFloorplan:
+    """Result of the slicing baseline.
+
+    Attributes:
+        netlist: the input circuit.
+        expression: the winning normalized Polish expression.
+        placements: module rectangles keyed by name.
+        chip_width: realized chip width.
+        chip_height: realized chip height.
+        elapsed_seconds: wall-clock time of the anneal.
+        stats: annealing statistics.
+    """
+
+    netlist: Netlist
+    expression: PolishExpression
+    placements: dict[str, Rect]
+    chip_width: float
+    chip_height: float
+    elapsed_seconds: float = 0.0
+    stats: AnnealingStats = field(default_factory=AnnealingStats)
+
+    @property
+    def chip_area(self) -> float:
+        """Chip bounding-box area."""
+        return self.chip_width * self.chip_height
+
+    @property
+    def utilization(self) -> float:
+        """Module area over chip area."""
+        module_area = sum(r.area for r in self.placements.values())
+        return module_area / self.chip_area if self.chip_area > 0 else 0.0
+
+    def hpwl(self) -> float:
+        """Weighted half-perimeter wirelength over module centers."""
+        total = 0.0
+        for net in self.netlist.nets:
+            xs = [self.placements[m].cx for m in net.modules]
+            ys = [self.placements[m].cy for m in net.modules]
+            total += net.weight * ((max(xs) - min(xs)) + (max(ys) - min(ys)))
+        return total
+
+    def validate(self, eps: float = 1e-6) -> list[str]:
+        """Non-overlap and completeness checks (empty when legal)."""
+        problems = []
+        missing = set(self.netlist.module_names) - set(self.placements)
+        if missing:
+            problems.append(f"unplaced modules: {sorted(missing)}")
+        rects = list(self.placements.values())
+        if any_overlap(rects, eps) is not None:
+            problems.append("overlapping modules")
+        return problems
+
+
+class _Node:
+    """A slicing-tree node with its shape curve."""
+
+    __slots__ = ("operator", "left", "right", "name", "curve")
+
+    def __init__(self, operator: str | None, left: "_Node | None",
+                 right: "_Node | None", name: str | None,
+                 curve: ShapeCurve) -> None:
+        self.operator = operator
+        self.left = left
+        self.right = right
+        self.name = name
+        self.curve = curve
+
+
+class WongLiuFloorplanner:
+    """Slicing floorplanner: SA over Polish expressions."""
+
+    def __init__(self, netlist: Netlist, *, seed: int = 0,
+                 wirelength_weight: float = 0.0,
+                 schedule: AnnealingSchedule | None = None) -> None:
+        """
+        Args:
+            netlist: the circuit to floorplan.
+            seed: RNG seed for the initial expression and the anneal.
+            wirelength_weight: weight of the HPWL term in the cost
+                (0 = pure area, matching the paper's Series-1 objective).
+            schedule: annealing schedule; the default scales the move budget
+                with the module count as Wong-Liu do.
+        """
+        self.netlist = netlist
+        self.seed = seed
+        self.wirelength_weight = wirelength_weight
+        n = len(netlist)
+        self.schedule = schedule or AnnealingSchedule(
+            moves_per_temperature=max(30, 10 * n))
+        self._curves = {m.name: ShapeCurve.for_module(m)
+                        for m in netlist.modules}
+
+    # -- public API ----------------------------------------------------------------
+
+    def run(self) -> SlicingFloorplan:
+        """Anneal and return the best floorplan found."""
+        start = time.perf_counter()
+        rng = random.Random(self.seed)
+        initial = random_polish(self.netlist.module_names, seed=self.seed)
+        best_expr, _best_cost, stats = simulated_annealing(
+            initial, self.cost, lambda e, r: e.random_neighbor(r),
+            self.schedule, rng)
+        placements, w, h = self.realize(best_expr)
+        return SlicingFloorplan(
+            netlist=self.netlist, expression=best_expr, placements=placements,
+            chip_width=w, chip_height=h,
+            elapsed_seconds=time.perf_counter() - start, stats=stats)
+
+    def cost(self, expression: PolishExpression) -> float:
+        """Annealing cost: minimal bounding area (+ optional HPWL)."""
+        root = self._build_tree(expression)
+        best = root.curve[root.curve.min_area_index()]
+        cost = best.area
+        if self.wirelength_weight > 0:
+            placements, _w, _h = self.realize(expression)
+            hpwl = 0.0
+            for net in self.netlist.nets:
+                xs = [placements[m].cx for m in net.modules]
+                ys = [placements[m].cy for m in net.modules]
+                hpwl += net.weight * ((max(xs) - min(xs)) + (max(ys) - min(ys)))
+            cost += self.wirelength_weight * hpwl
+        return cost
+
+    def realize(self, expression: PolishExpression
+                ) -> tuple[dict[str, Rect], float, float]:
+        """Expand an expression into module rectangles at its minimal-area
+        root implementation.
+
+        Returns:
+            ``(placements, chip_width, chip_height)``.
+        """
+        root = self._build_tree(expression)
+        choice = root.curve.min_area_index()
+        placements: dict[str, Rect] = {}
+        self._place(root, choice, 0.0, 0.0, placements)
+        best = root.curve[choice]
+        return placements, best.w, best.h
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _build_tree(self, expression: PolishExpression) -> _Node:
+        stack: list[_Node] = []
+        for token in expression.tokens:
+            if token in OPERATORS:
+                right = stack.pop()
+                left = stack.pop()
+                curve = left.curve.combine(right.curve, token)
+                stack.append(_Node(token, left, right, None, curve))
+            else:
+                stack.append(_Node(None, None, None, token,
+                                   self._curves[token]))
+        if len(stack) != 1:
+            raise ValueError("malformed Polish expression")
+        return stack[0]
+
+    def _place(self, node: _Node, choice: int, x: float, y: float,
+               placements: dict[str, Rect]) -> None:
+        point = node.curve[choice]
+        if node.name is not None:
+            placements[node.name] = Rect(x, y, point.w, point.h)
+            return
+        assert node.left is not None and node.right is not None
+        if node.operator == "V":
+            left_point = node.left.curve[point.left_choice]
+            self._place(node.left, point.left_choice, x, y, placements)
+            self._place(node.right, point.right_choice,
+                        x + left_point.w, y, placements)
+        else:  # "H": left below, right above
+            left_point = node.left.curve[point.left_choice]
+            self._place(node.left, point.left_choice, x, y, placements)
+            self._place(node.right, point.right_choice,
+                        x, y + left_point.h, placements)

@@ -1,0 +1,213 @@
+"""Command-line interface.
+
+``repro-floorplan`` (or ``python -m repro``) drives the full flow from the
+shell::
+
+    repro-floorplan floorplan --benchmark ami33 --svg out.svg
+    repro-floorplan route --benchmark ami33 --envelopes --router weighted
+    repro-floorplan experiments --series 1 2 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.config import FloorplanConfig, Objective, Ordering
+from repro.core.floorplanner import Floorplanner
+from repro.eval.experiments import run_series1, run_series2, run_series3
+from repro.eval.report import format_table
+from repro.netlist.generators import random_netlist
+from repro.netlist.mcnc import ami33_like, apte_like, hp_like, xerox_like
+from repro.netlist.netlist import Netlist
+from repro.netlist.yal import parse_yal
+from repro.plotting import render_ascii, render_svg
+from repro.routing.flow import route_and_adjust
+from repro.routing.router import RouterMode
+from repro.routing.technology import Technology
+
+_BENCHMARKS = {
+    "ami33": ami33_like,
+    "apte": apte_like,
+    "xerox": xerox_like,
+    "hp": hp_like,
+}
+
+
+def _load_netlist(args: argparse.Namespace) -> Netlist:
+    if args.yal:
+        return parse_yal(Path(args.yal).read_text(), name=Path(args.yal).stem)
+    if args.random:
+        return random_netlist(args.random, seed=args.seed)
+    return _BENCHMARKS[args.benchmark]()
+
+
+def _config_from(args: argparse.Namespace) -> FloorplanConfig:
+    technology = Technology.around_the_cell() if getattr(args, "around", False) \
+        else Technology.over_the_cell()
+    return FloorplanConfig(
+        seed_size=args.seed_size,
+        group_size=args.group_size,
+        whitespace_factor=args.whitespace,
+        objective=Objective(args.objective),
+        ordering=Ordering(args.ordering),
+        ordering_seed=args.seed,
+        use_envelopes=getattr(args, "envelopes", False),
+        technology=technology,
+        subproblem_time_limit=args.time_limit,
+        backend=args.backend,
+    )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--benchmark", choices=sorted(_BENCHMARKS),
+                        default="ami33", help="embedded benchmark instance")
+    parser.add_argument("--yal", help="path to a YAL benchmark file")
+    parser.add_argument("--random", type=int, metavar="N",
+                        help="generate a random N-module instance instead")
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument("--seed-size", type=int, default=6,
+                        help="seed group size m")
+    parser.add_argument("--group-size", type=int, default=4,
+                        help="augmentation group size e")
+    parser.add_argument("--whitespace", type=float, default=1.20,
+                        help="chip-width area headroom factor")
+    parser.add_argument("--objective", default="area",
+                        choices=[o.value for o in Objective])
+    parser.add_argument("--ordering", default="connectivity",
+                        choices=[o.value for o in Ordering])
+    parser.add_argument("--time-limit", type=float, default=30.0,
+                        help="per-subproblem MILP time limit (seconds)")
+    parser.add_argument("--backend", default="highs",
+                        choices=["highs", "bnb"], help="MILP backend")
+
+
+def _cmd_floorplan(args: argparse.Namespace) -> int:
+    netlist = _load_netlist(args)
+    plan = Floorplanner(netlist, _config_from(args)).run()
+    print(f"{netlist.name}: chip {plan.chip_width:.1f} x {plan.chip_height:.1f}"
+          f"  area {plan.chip_area:.1f}  utilization {plan.utilization:.1%}"
+          f"  time {plan.elapsed_seconds:.1f}s")
+    problems = plan.validate()
+    if problems:
+        print("VIOLATIONS:", *problems, sep="\n  ")
+        return 1
+    if args.ascii:
+        print(render_ascii(plan.placements, plan.chip))
+    if args.svg:
+        Path(args.svg).write_text(render_svg(plan.placements, plan.chip))
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    netlist = _load_netlist(args)
+    args.around = True
+    config = _config_from(args)
+    plan = Floorplanner(netlist, config).run()
+    routed = route_and_adjust(plan.placements, plan.chip, netlist,
+                              config.technology,
+                              mode=RouterMode(args.router))
+    print(f"{netlist.name}: packing area {plan.chip_area:.1f} -> final area "
+          f"{routed.chip_area:.1f}  wirelength {routed.wirelength:.1f}  "
+          f"routed {routed.routing.n_routed}/{len(netlist.nets)} nets  "
+          f"overflow {routed.routing.total_overflow:.1f}")
+    if args.svg:
+        Path(args.svg).write_text(render_svg(
+            routed.placements, routed.chip, routing=routed.routing,
+            channel_graph=routed.graph))
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    from repro.baselines.annealing import AnnealingSchedule
+    from repro.baselines.greedy import greedy_skyline_floorplan
+    from repro.baselines.wong_liu import WongLiuFloorplanner
+
+    netlist = _load_netlist(args)
+    plan = Floorplanner(netlist, _config_from(args)).run()
+    print(f"{'method':>12} {'chip area':>10} {'util':>7} {'time':>7}")
+    print(f"{'milp':>12} {plan.chip_area:>10.1f} {plan.utilization:>6.1%} "
+          f"{plan.elapsed_seconds:>6.1f}s")
+    if args.method in ("wong-liu", "all"):
+        sa = WongLiuFloorplanner(
+            netlist, seed=args.seed,
+            schedule=AnnealingSchedule(
+                alpha=0.93, moves_per_temperature=20 * len(netlist),
+                max_idle_temperatures=12)).run()
+        print(f"{'wong-liu':>12} {sa.chip_area:>10.1f} "
+              f"{sa.utilization:>6.1%} {sa.elapsed_seconds:>6.1f}s")
+    if args.method in ("greedy", "all"):
+        greedy = greedy_skyline_floorplan(netlist)
+        print(f"{'greedy':>12} {greedy.chip_area:>10.1f} "
+              f"{greedy.utilization:>6.1%} {greedy.elapsed_seconds:>6.1f}s")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    config = FloorplanConfig(subproblem_time_limit=args.time_limit)
+    if "1" in args.series:
+        rows = run_series1(config=config)
+        print(format_table(rows, title="Series 1 (Table 1): size scaling"))
+        print()
+    if "2" in args.series:
+        rows = run_series2(base_config=config)
+        print(format_table(rows, title="Series 2 (Table 2): objectives x orderings"))
+        print()
+    if "3" in args.series:
+        rows = run_series3(base_config=config)
+        print(format_table(rows, title="Series 3 (Table 3): envelopes x routers"))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-floorplan",
+        description="Analytical MILP floorplanner (DAC 1990 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fp = sub.add_parser("floorplan", help="floorplan a benchmark")
+    _add_common(p_fp)
+    p_fp.add_argument("--envelopes", action="store_true",
+                      help="place with routing envelopes")
+    p_fp.add_argument("--ascii", action="store_true",
+                      help="print an ASCII floorplan")
+    p_fp.add_argument("--svg", help="write an SVG floorplan")
+    p_fp.set_defaults(fn=_cmd_floorplan)
+
+    p_rt = sub.add_parser("route", help="floorplan + global route + adjust")
+    _add_common(p_rt)
+    p_rt.add_argument("--envelopes", action="store_true",
+                      help="place with routing envelopes")
+    p_rt.add_argument("--router", default="weighted",
+                      choices=[m.value for m in RouterMode])
+    p_rt.add_argument("--svg", help="write an SVG with routes")
+    p_rt.set_defaults(fn=_cmd_route)
+
+    p_bl = sub.add_parser("baseline",
+                          help="compare against baseline floorplanners")
+    _add_common(p_bl)
+    p_bl.add_argument("--method", default="all",
+                      choices=["wong-liu", "greedy", "all"])
+    p_bl.set_defaults(fn=_cmd_baseline)
+
+    p_ex = sub.add_parser("experiments", help="run the paper's series")
+    p_ex.add_argument("--series", nargs="+", default=["1", "2", "3"],
+                      choices=["1", "2", "3"])
+    p_ex.add_argument("--time-limit", type=float, default=20.0)
+    p_ex.set_defaults(fn=_cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""The paper's primary contribution: MILP floorplanning by successive
+augmentation.
+
+* :mod:`repro.core.formulation` — the section-2 mixed-integer model
+  (non-overlap (2), rotation (4)-(5), flexible linearization (6)-(8)).
+* :mod:`repro.core.selection` — seed/group selection orderings (section 3).
+* :mod:`repro.core.augmentation` — the Figure-3 procedure with
+  covering-rectangle reduction.
+* :mod:`repro.core.topology` — the section-2.5 given-topology LP, also used
+  for legalization and routing-space adjustment.
+* :mod:`repro.core.floorplanner` — the high-level facade.
+"""
+
+from repro.core.config import FloorplanConfig, Objective, Ordering, Linearization
+from repro.core.floorplanner import Floorplanner, Floorplan, Placement, floorplan
+from repro.core.topology import derive_relations, optimize_topology, Relation
+from repro.core.augmentation import AugmentationStep, AugmentationTrace
+from repro.core.width_search import WidthSearchResult, search_chip_width
+from repro.core.shape_refine import RefinementResult, refine_shapes
+
+__all__ = [
+    "WidthSearchResult",
+    "search_chip_width",
+    "RefinementResult",
+    "refine_shapes",
+    "FloorplanConfig",
+    "Objective",
+    "Ordering",
+    "Linearization",
+    "Floorplanner",
+    "Floorplan",
+    "Placement",
+    "floorplan",
+    "derive_relations",
+    "optimize_topology",
+    "Relation",
+    "AugmentationStep",
+    "AugmentationTrace",
+]

@@ -1,0 +1,362 @@
+"""Successive augmentation (section 3, Figures 2-3).
+
+The driver of the method: place a seed group with one MILP, then repeatedly
+(a) pick the next group by connectivity/timing, (b) replace the partial
+floorplan with its covering rectangles, and (c) solve the next MILP, until
+every module is positioned.  The integer-variable count per subproblem stays
+near-constant, which is what makes the total time grow ~linearly with the
+module count (Series 1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.config import FloorplanConfig, Objective
+from repro.core.envelopes import margins_for
+from repro.core.formulation import (
+    AnchorAttraction,
+    AnchorLengthBound,
+    PairLengthBound,
+    SubproblemBuilder,
+)
+from repro.core.placement import Placement
+from repro.core.selection import module_ordering, next_group
+from repro.geometry.covering import covering_rectangles
+from repro.geometry.polygon import CoveringPolygon
+from repro.geometry.rect import Rect
+from repro.milp.solution import Solution
+from repro.milp.solvers.registry import solve
+from repro.netlist.netlist import Netlist
+
+
+class FloorplanError(RuntimeError):
+    """A subproblem could not be solved to a feasible placement."""
+
+
+@dataclass(frozen=True)
+class AugmentationStep:
+    """Record of one MILP subproblem in the augmentation loop.
+
+    ``snapshot``/``snapshot_obstacles`` are populated only when
+    :attr:`~repro.core.config.FloorplanConfig.record_snapshots` is on: the
+    floorplan *after* this step and the covering rectangles it was solved
+    against (the Figure-2 sequence).
+    """
+
+    index: int
+    group: tuple[str, ...]
+    n_placed_before: int
+    n_obstacles: int
+    n_binaries: int
+    n_constraints: int
+    solve_seconds: float
+    status: str
+    objective: float
+    chip_height_after: float
+    n_polygon_edges: int
+    theorem2_holds: bool
+    snapshot: tuple[Placement, ...] | None = None
+    snapshot_obstacles: tuple[Rect, ...] | None = None
+
+
+@dataclass
+class AugmentationTrace:
+    """Per-step records of an augmentation run."""
+
+    steps: list[AugmentationStep] = field(default_factory=list)
+
+    @property
+    def total_solve_seconds(self) -> float:
+        """Total MILP time across all steps."""
+        return sum(s.solve_seconds for s in self.steps)
+
+    @property
+    def max_binaries(self) -> int:
+        """Largest binary count of any subproblem — should stay bounded
+        regardless of the total module count."""
+        return max((s.n_binaries for s in self.steps), default=0)
+
+    @property
+    def n_steps(self) -> int:
+        """Number of MILP subproblems solved."""
+        return len(self.steps)
+
+
+@dataclass
+class AugmentationResult:
+    """Output of :func:`run_augmentation`."""
+
+    placements: list[Placement]
+    chip_width: float
+    chip_height: float
+    trace: AugmentationTrace
+
+
+def run_augmentation(netlist: Netlist, config: FloorplanConfig,
+                     preplaced: dict[str, Placement] | None = None
+                     ) -> AugmentationResult:
+    """Execute the Figure-3 procedure on ``netlist``.
+
+    Args:
+        netlist: the circuit.
+        config: run configuration.
+        preplaced: modules fixed at given positions before the run starts
+            (pads, hard macros).  They enter the partial floorplan as-is;
+            all other modules are placed around them.  Note the covering
+            polygon fills the space *below* every placed module, so floating
+            preplaced macros reserve their full column — anchor them to the
+            chip bottom where possible.
+
+    Returns:
+        Placements for every module, the fixed chip width, the reached chip
+        height, and the per-step trace.
+
+    Raises:
+        FloorplanError: when a subproblem has no feasible solution within the
+            configured limits (after one automatic retry with a doubled time
+            limit).
+        ValueError: when a preplaced name is unknown or exceeds the chip.
+    """
+    preplaced = dict(preplaced or {})
+    for name in preplaced:
+        if name not in netlist:
+            raise ValueError(f"preplaced module {name!r} is not in the netlist")
+
+    order = [n for n in module_ordering(netlist, config.ordering,
+                                        config.ordering_seed)
+             if n not in preplaced]
+    chip_width = _resolve_chip_width(netlist, config)
+    for name, placement in preplaced.items():
+        if placement.envelope.x < -1e-9 or \
+                placement.envelope.x2 > chip_width + 1e-9:
+            raise ValueError(
+                f"preplaced module {name!r} lies outside the chip width "
+                f"{chip_width:.3f}")
+
+    seed_names = order[:config.seed_size]
+    remaining = order[config.seed_size:]
+    trace = AugmentationTrace()
+    placed: list[Placement] = list(preplaced.values())
+
+    if seed_names:
+        placed += _solve_step(netlist, config, chip_width, seed_names,
+                              placed, trace, step_index=0)
+
+    step = 1
+    while remaining:
+        group = next_group(netlist, [p.name for p in placed], remaining,
+                           config.group_size)
+        remaining = [n for n in remaining if n not in set(group)]
+        placed += _solve_step(netlist, config, chip_width, group, placed,
+                              trace, step_index=step)
+        step += 1
+
+    chip_height = max((p.envelope.y2 for p in placed), default=0.0)
+    if config.objective is Objective.PERIMETER:
+        # The chip width was a decision variable; report the realized width.
+        chip_width = max((p.envelope.x2 for p in placed), default=chip_width)
+    return AugmentationResult(placements=placed, chip_width=chip_width,
+                              chip_height=chip_height, trace=trace)
+
+
+def _resolve_chip_width(netlist: Netlist, config: FloorplanConfig) -> float:
+    """Fixed chip width from envelope-inflated module statistics."""
+    total = 0.0
+    widest = 0.0
+    for m in netlist.modules:
+        margins = margins_for(m, config.technology, config.use_envelopes)
+        width = m.max_extent() if (m.flexible or (config.allow_rotation and m.rotatable)) \
+            else m.width
+        total += (m.width + margins.horizontal) * (m.height + margins.vertical) \
+            if not m.flexible else \
+            (m.width_max + margins.horizontal) * (m.area / m.width_max + margins.vertical)
+        widest = max(widest, width + margins.horizontal)
+    return config.resolved_chip_width(total, widest_module=widest)
+
+
+def _solve_step(netlist: Netlist, config: FloorplanConfig, chip_width: float,
+                group: Sequence[str], placed: list[Placement],
+                trace: AugmentationTrace, step_index: int) -> list[Placement]:
+    """Formulate, solve, and decode one subproblem; append its trace record."""
+    window = [netlist.module(name) for name in group]
+    obstacles, polygon = _cover_partial_floorplan(placed, chip_width, config)
+    base_height = max((p.envelope.y2 for p in placed), default=0.0)
+
+    pair_weights: dict[tuple[str, str], float] = {}
+    anchors: list[AnchorAttraction] = []
+    if config.objective is Objective.AREA_WIRELENGTH:
+        for i in range(len(group)):
+            for j in range(i + 1, len(group)):
+                a, b = sorted((group[i], group[j]))
+                c = netlist.common_nets(a, b)
+                if c:
+                    pair_weights[(a, b)] = float(c)
+        for name in group:
+            for p in placed:
+                c = netlist.common_nets(name, p.name)
+                if c:
+                    cx, cy = p.center
+                    anchors.append(AnchorAttraction(name, cx, cy, float(c)))
+
+    pair_bounds, anchor_bounds = _length_bounds(netlist, group, placed)
+
+    def build(overrides=None) -> SubproblemBuilder:
+        return SubproblemBuilder(window, obstacles, chip_width, config,
+                                 pair_weights=pair_weights, anchors=anchors,
+                                 pair_length_bounds=pair_bounds,
+                                 anchor_length_bounds=anchor_bounds,
+                                 flex_linearizations=overrides,
+                                 base_height=base_height)
+
+    builder = build()
+    solution = _solve_with_retry(builder, config)
+    new_placements = builder.decode(solution)
+
+    has_flexible = any(m.flexible for m in window)
+    if has_flexible and config.relinearization_rounds > 0:
+        builder, solution, new_placements = _relinearize(
+            build, config, new_placements, solution, builder)
+
+    chip_height_after = max(
+        [p.envelope.y2 for p in placed + new_placements], default=0.0)
+    trace.steps.append(AugmentationStep(
+        index=step_index,
+        group=tuple(group),
+        n_placed_before=len(placed),
+        n_obstacles=len(obstacles),
+        n_binaries=builder.n_integer_variables,
+        n_constraints=builder.model.n_constraints,
+        solve_seconds=solution.solve_seconds,
+        status=solution.status.value,
+        objective=solution.objective,
+        chip_height_after=chip_height_after,
+        n_polygon_edges=polygon.n_horizontal_edges() if polygon else 0,
+        theorem2_holds=(len(obstacles) <= max(1, len(placed))),
+        snapshot=tuple(placed + new_placements)
+        if config.record_snapshots else None,
+        snapshot_obstacles=tuple(obstacles)
+        if config.record_snapshots else None,
+    ))
+    return new_placements
+
+
+def _relinearize(build, config: FloorplanConfig,
+                 placements: list[Placement], solution, builder):
+    """Iteratively re-expand flexible height models about the realized
+    widths and re-solve (tangent refinement of the eq. (6) Taylor series).
+
+    The tangent point changes the attainable objective, so the iteration can
+    oscillate; the round with the smallest *realized* window overlap (ties
+    broken by objective) is kept.  Convergence = every flexible width moved
+    by less than 1e-6 between rounds.
+    """
+    from repro.core.flexible import linearize_at
+
+    def quality(candidate: list[Placement], objective: float):
+        rects = [p.rect for p in candidate]
+        overlap = sum(rects[i].overlap_area(rects[j])
+                      for i in range(len(rects))
+                      for j in range(i + 1, len(rects)))
+        return (round(overlap, 9), objective)
+
+    best = (builder, solution, placements)
+    best_quality = quality(placements, solution.objective)
+
+    for _round in range(config.relinearization_rounds):
+        overrides = {}
+        for p in placements:
+            if p.module.flexible:
+                overrides[p.name] = linearize_at(p.module, p.rect.w)
+        if not overrides:
+            break
+        next_builder = build(overrides)
+        try:
+            next_solution = _solve_with_retry(next_builder, config)
+        except FloorplanError:
+            break  # keep the best feasible result found so far
+        next_placements = next_builder.decode(next_solution)
+        widths_before = {p.name: p.rect.w for p in placements
+                         if p.module.flexible}
+        builder, solution, placements = (next_builder, next_solution,
+                                         next_placements)
+        candidate_quality = quality(placements, solution.objective)
+        if candidate_quality < best_quality:
+            best = (builder, solution, placements)
+            best_quality = candidate_quality
+        moved = max(abs(widths_before[p.name] - p.rect.w)
+                    for p in placements if p.module.flexible)
+        if moved < 1e-6:
+            break
+    return best
+
+
+def _length_bounds(netlist: Netlist, group: Sequence[str],
+                   placed: list[Placement]
+                   ) -> tuple[list[PairLengthBound], list[AnchorLengthBound]]:
+    """Critical-net length constraints relevant to this window.
+
+    Every endpoint pair of a length-bounded net gets the bound: window-window
+    pairs as :class:`PairLengthBound`, window-placed pairs as
+    :class:`AnchorLengthBound` anchored at the placed module's center.
+    """
+    in_window = set(group)
+    placed_by_name = {p.name: p for p in placed}
+    pair_bounds: list[PairLengthBound] = []
+    anchor_bounds: list[AnchorLengthBound] = []
+    for net in netlist.nets:
+        if net.max_length is None:
+            continue
+        endpoints = list(net.modules)
+        for i in range(len(endpoints)):
+            for j in range(i + 1, len(endpoints)):
+                a, b = endpoints[i], endpoints[j]
+                if a in in_window and b in in_window:
+                    pair_bounds.append(PairLengthBound(a, b, net.max_length))
+                elif a in in_window and b in placed_by_name:
+                    cx, cy = placed_by_name[b].center
+                    anchor_bounds.append(
+                        AnchorLengthBound(a, cx, cy, net.max_length))
+                elif b in in_window and a in placed_by_name:
+                    cx, cy = placed_by_name[a].center
+                    anchor_bounds.append(
+                        AnchorLengthBound(b, cx, cy, net.max_length))
+    return pair_bounds, anchor_bounds
+
+
+def _cover_partial_floorplan(placed: list[Placement], chip_width: float,
+                             config: FloorplanConfig
+                             ) -> tuple[list[Rect], CoveringPolygon | None]:
+    """Covering rectangles of the placed set (envelope rects, so reserved
+    routing margins stay reserved)."""
+    if not placed:
+        return [], None
+    env_rects = [p.envelope for p in placed]
+    polygon = CoveringPolygon.from_rects(env_rects, x_min=0.0, x_max=chip_width)
+    if not config.use_covering_rectangles:
+        return list(env_rects), polygon
+    obstacles = covering_rectangles(env_rects, x_min=0.0, x_max=chip_width,
+                                    style=config.covering_style,
+                                    merge_overlapping=config.merge_covering)
+    return obstacles, polygon
+
+
+def _solve_with_retry(builder: SubproblemBuilder,
+                      config: FloorplanConfig) -> Solution:
+    """Solve the subproblem, retrying once with a doubled time limit."""
+    solution = solve(builder.model, backend=config.backend,
+                     time_limit=config.subproblem_time_limit,
+                     mip_rel_gap=config.mip_rel_gap)
+    if solution.status.has_solution:
+        return solution
+    if config.subproblem_time_limit is not None:
+        solution = solve(builder.model, backend=config.backend,
+                         time_limit=config.subproblem_time_limit * 2,
+                         mip_rel_gap=config.mip_rel_gap)
+        if solution.status.has_solution:
+            return solution
+    raise FloorplanError(
+        f"subproblem with {builder.n_integer_variables} binaries is "
+        f"{solution.status.value}: {solution.message or 'no solution found'}")

@@ -1,0 +1,155 @@
+"""Floorplanner configuration.
+
+Collects every knob of the method in one dataclass: chip sizing, window
+sizes of the successive augmentation, objective and ordering choices
+(Series 2), envelope usage (Series 3), linearization mode for flexible
+modules, covering-rectangle style, and solver backend/limits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.routing.technology import Technology
+
+
+def _default_technology() -> "Technology":
+    """Late import to avoid a core <-> routing import cycle."""
+    from repro.routing.technology import Technology
+
+    return Technology.over_the_cell()
+
+
+class Objective(str, Enum):
+    """Objective functions.
+
+    ``AREA`` and ``AREA_WIRELENGTH`` are the paper's Series-2 objectives
+    (chip width fixed, height minimized — area is ``W * y``).
+    ``PERIMETER`` frees the chip width too and minimizes ``W + y``: a linear
+    stand-in for the section-2.2 "minimal covering rectangle" goal that lets
+    the chip shrink in both dimensions (the fixed width then only acts as an
+    upper bound).
+    """
+
+    AREA = "area"
+    AREA_WIRELENGTH = "area+wirelength"
+    PERIMETER = "perimeter"
+
+
+class Ordering(str, Enum):
+    """Module-ordering strategies of Series 2."""
+
+    RANDOM = "random"
+    CONNECTIVITY = "connectivity"
+
+
+class Linearization(str, Enum):
+    """How ``h = S / w`` is linearized for flexible modules.
+
+    ``TANGENT`` is the paper's first-order Taylor expansion (eq. (6)); it
+    underestimates the convex hyperbola, so realized shapes can overlap
+    slightly and a legalization pass restores feasibility.  ``SECANT``
+    overestimates, guaranteeing legality directly.
+    """
+
+    TANGENT = "tangent"
+    SECANT = "secant"
+
+
+@dataclass
+class FloorplanConfig:
+    """All parameters of a floorplanning run.
+
+    Attributes:
+        chip_width: fixed chip width ``W`` of eq. (3); None derives it from
+            the total module area (see :meth:`resolved_chip_width`).
+        whitespace_factor: area head-room used when deriving the chip width.
+        chip_aspect: target chip aspect ratio (W/H) used when deriving W.
+        seed_size: ``m`` — modules placed by the first MILP (Figure 3 step 1).
+        group_size: ``e`` — modules added per augmentation step.
+        objective: chip area, or chip area + wirelength.
+        wirelength_weight: weight of the wirelength term in the combined
+            objective.
+        ordering: how the module sequence is chosen.
+        ordering_seed: RNG seed for the random ordering.
+        allow_rotation: permit 90-degree rotation of rigid modules (eq. (4)).
+        linearization: flexible-module linearization mode.
+        relinearization_rounds: extra solve rounds per subproblem in which
+            each flexible module's height model is re-expanded (tangent)
+            about its previously realized width — the iterative refinement
+            of the eq. (6) Taylor approximation.  0 disables.
+        use_envelopes: inflate modules by pin-proportional routing margins
+            (section 3.2, Series 3).
+        technology: routing technology (pitches, routing style); defaults to
+            :meth:`Technology.over_the_cell`.
+        use_covering_rectangles: replace the placed set by covering
+            rectangles before each subproblem (section 3.1).  False keeps
+            every placed module as its own fixed obstacle — the ablation
+            quantifying what the covering reduction buys.
+        covering_style: ``"horizontal"`` (Figure 4) or ``"vertical"``.
+        merge_covering: apply the overlapping-partition reduction.
+        legalize: run the section-2.5 LP after augmentation to compact and
+            legalize (mandatory for tangent-linearized flexible modules).
+        record_snapshots: store each augmentation step's partial floorplan
+            (placements + covering rectangles) in the trace, enabling
+            Figure-2-style step visualizations.
+        backend: MILP solver backend (``highs`` / ``bnb``).
+        subproblem_time_limit: per-MILP wall-clock limit in seconds.
+        mip_rel_gap: per-MILP relative gap tolerance.
+    """
+
+    chip_width: float | None = None
+    whitespace_factor: float = 1.20
+    chip_aspect: float = 1.0
+    seed_size: int = 6
+    group_size: int = 4
+    objective: Objective = Objective.AREA
+    wirelength_weight: float = 0.01
+    ordering: Ordering = Ordering.CONNECTIVITY
+    ordering_seed: int = 0
+    allow_rotation: bool = True
+    linearization: Linearization = Linearization.SECANT
+    relinearization_rounds: int = 0
+    use_envelopes: bool = False
+    technology: "Technology" = field(default_factory=_default_technology)
+    use_covering_rectangles: bool = True
+    covering_style: str = "horizontal"
+    merge_covering: bool = True
+    legalize: bool = True
+    record_snapshots: bool = False
+    backend: str = "highs"
+    subproblem_time_limit: float | None = 30.0
+    mip_rel_gap: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.seed_size < 1:
+            raise ValueError("seed_size must be >= 1")
+        if self.group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        if self.whitespace_factor < 1.0:
+            raise ValueError("whitespace_factor must be >= 1.0")
+        if self.chip_width is not None and self.chip_width <= 0:
+            raise ValueError("chip_width must be positive")
+        if self.relinearization_rounds < 0:
+            raise ValueError("relinearization_rounds must be >= 0")
+        self.objective = Objective(self.objective)
+        self.ordering = Ordering(self.ordering)
+        self.linearization = Linearization(self.linearization)
+
+    def resolved_chip_width(self, total_module_area: float,
+                            widest_module: float = 0.0) -> float:
+        """The fixed chip width ``W``.
+
+        When :attr:`chip_width` is None, ``W = sqrt(area * headroom * aspect)``
+        — a chip of the target aspect ratio with whitespace head-room — and at
+        least as wide as the widest module.
+        """
+        if self.chip_width is not None:
+            return self.chip_width
+        width = math.sqrt(total_module_area * self.whitespace_factor
+                          * self.chip_aspect)
+        return max(width, widest_module)

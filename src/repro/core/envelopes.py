@@ -1,0 +1,32 @@
+"""Routing envelopes (section 3.2).
+
+"Each module is placed into an envelope, which exceeds the initial size of
+each side by the value proportional to the number of pins on this side" —
+a side with ``k`` pins reserves a channel of ``k`` routing tracks next to it.
+With envelopes enabled, the MILP places the envelopes; the modules sit inside
+them, and the reserved margins become pre-allocated channel space for the
+global router.
+"""
+
+from __future__ import annotations
+
+from repro.core.placement import EnvelopeMargins
+from repro.netlist.module import Module
+from repro.routing.technology import Technology
+
+#: Margins of a disabled envelope.
+NO_MARGINS = EnvelopeMargins()
+
+
+def margins_for(module: Module, technology: Technology,
+                enabled: bool) -> EnvelopeMargins:
+    """Envelope margins for ``module`` under ``technology``.
+
+    Horizontal channels (above/below the module) hold one track of pitch
+    ``pitch_h`` per pin on that side; vertical channels analogously with
+    ``pitch_v``.  Disabled envelopes have zero margins.
+    """
+    if not enabled:
+        return NO_MARGINS
+    return EnvelopeMargins.from_pins(module.pins, technology.pitch_h,
+                                     technology.pitch_v)

@@ -1,0 +1,119 @@
+"""Linearization of flexible-module shapes (section 2.4, Figure 1).
+
+A flexible module keeps area ``S = w h`` fixed while its width varies in
+``[w_min, w_max]`` (from the aspect-ratio bounds).  The height ``h = S / w``
+is nonlinear; the paper linearizes it with the first two terms of the Taylor
+series about a reference width.  Writing the width as ``w = w_max - dw`` with
+``dw >= 0``, the linearized height is ``h_lin(dw) = h(w_max) + slope * dw``.
+
+Two slopes are offered:
+
+* **tangent** — the paper's choice: ``slope = S / w_max**2`` (the derivative
+  magnitude at ``w_max``).  The tangent *under*-estimates the convex
+  hyperbola, so realized exact heights can exceed the model's and the
+  floorplan may need legalization.
+* **secant** — ``slope = S / (w_min * w_max)`` (the chord between the two
+  extreme shapes).  The secant *over*-estimates interior heights, so a
+  floorplan legal under the linearization stays legal with exact heights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import Linearization
+from repro.netlist.module import Module
+
+
+@dataclass(frozen=True)
+class FlexLinearization:
+    """A linear height model ``h_lin(dw) = h0 + slope * dw`` for the width
+    parametrization ``w = w_max - dw``, ``dw in [0, dw_max]``."""
+
+    module_name: str
+    area: float
+    w_max: float
+    w_min: float
+    h0: float
+    slope: float
+
+    @property
+    def dw_max(self) -> float:
+        """Upper bound of the width-shrink variable."""
+        return self.w_max - self.w_min
+
+    def width(self, dw: float) -> float:
+        """Realized width at ``dw``."""
+        return self.w_max - dw
+
+    def height_linear(self, dw: float) -> float:
+        """The model's (linearized) height at ``dw``."""
+        return self.h0 + self.slope * dw
+
+    def height_exact(self, dw: float) -> float:
+        """The exact hyperbola height at ``dw``."""
+        return self.area / self.width(dw)
+
+    def error(self, dw: float) -> float:
+        """``h_lin - h_exact`` at ``dw``: negative for the tangent mode
+        (underestimate), non-negative for the secant mode."""
+        return self.height_linear(dw) - self.height_exact(dw)
+
+
+def linearize(module: Module,
+              mode: Linearization = Linearization.SECANT) -> FlexLinearization:
+    """Build the linear height model for a flexible module.
+
+    Raises:
+        ValueError: for rigid modules (their shape does not vary).
+    """
+    if not module.flexible:
+        raise ValueError(f"module {module.name} is rigid; nothing to linearize")
+    w_max = module.width_max
+    w_min = module.width_min
+    area = module.area
+    h0 = area / w_max
+    if mode is Linearization.TANGENT:
+        slope = area / (w_max * w_max)
+    elif mode is Linearization.SECANT:
+        slope = area / (w_min * w_max) if w_max > w_min else 0.0
+    else:
+        raise ValueError(f"unknown linearization mode {mode!r}")
+    return FlexLinearization(module_name=module.name, area=area, w_max=w_max,
+                             w_min=w_min, h0=h0, slope=slope)
+
+
+def linearize_at(module: Module, width: float) -> FlexLinearization:
+    """Tangent linearization about an arbitrary reference width.
+
+    Used by the iterative re-linearization loop: after a subproblem solve,
+    each flexible module's model is re-expanded about its *realized* width,
+    so the first-order Taylor approximation is exact at (and near) the
+    operating point.  In the ``dw = w_max - w`` parametrization the tangent
+    at ``w0`` is ``h_lin(dw) = S/w0 + (S/w0^2) (dw - dw0)``.
+
+    Raises:
+        ValueError: for rigid modules or widths outside the legal range.
+    """
+    if not module.flexible:
+        raise ValueError(f"module {module.name} is rigid; nothing to linearize")
+    w_max = module.width_max
+    w_min = module.width_min
+    if not (w_min - 1e-9 <= width <= w_max + 1e-9):
+        raise ValueError(
+            f"module {module.name}: reference width {width} outside "
+            f"[{w_min}, {w_max}]")
+    width = min(max(width, w_min), w_max)
+    area = module.area
+    slope = area / (width * width)
+    dw0 = w_max - width
+    h0 = area / width - slope * dw0  # value extrapolated back to dw = 0
+    return FlexLinearization(module_name=module.name, area=area, w_max=w_max,
+                             w_min=w_min, h0=h0, slope=slope)
+
+
+def max_linear_height(module: Module, mode: Linearization) -> float:
+    """Largest height the linear model can report (at ``dw = dw_max``) —
+    used for conservative big-M bounds."""
+    lin = linearize(module, mode)
+    return max(lin.height_linear(lin.dw_max), lin.height_exact(lin.dw_max))

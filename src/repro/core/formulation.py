@@ -1,0 +1,413 @@
+"""The mixed-integer programming formulation (section 2).
+
+:class:`SubproblemBuilder` assembles one augmentation subproblem: place a
+*window* of unpositioned modules above/beside a set of *fixed obstacles*
+(the covering rectangles of the partial floorplan) inside a chip of fixed
+width ``W``, minimizing the chip height ``y`` — optionally plus a linearized
+wirelength term.
+
+Constraint systems implemented:
+
+* eq. (2): pairwise non-overlap via two binaries ``(p_ij, q_ij)`` per pair
+  and four big-M inequalities, exactly one active per binary combination;
+* eq. (4)-(5): optional 90-degree rotation of rigid modules via a binary
+  ``z_i`` interpolating the effective width/height;
+* eq. (6)-(8): flexible modules via the linearized height model of
+  :mod:`repro.core.flexible` and one continuous ``dw_i`` each;
+* eq. (3): chip bounds ``0 <= x_i``, ``x_i + w_i <= W``, ``y >= y_i + h_i``;
+* fixed-obstacle non-overlap (the covering rectangles enter as constants, so
+  fixed-fixed pairs need no variables at all — the dimensionality reduction
+  of section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.config import FloorplanConfig, Objective
+from repro.core.envelopes import margins_for
+from repro.core.flexible import FlexLinearization, linearize
+from repro.core.placement import EnvelopeMargins, Placement
+from repro.geometry.rect import GEOM_EPS, Rect
+from repro.milp.expr import LinExpr, Variable, lin_sum
+from repro.milp.model import Model
+from repro.milp.solution import Solution
+from repro.netlist.module import Module
+
+
+@dataclass
+class _WindowModule:
+    """Per-window-module variables and effective-dimension expressions."""
+
+    module: Module
+    margins: EnvelopeMargins
+    x: Variable
+    y: Variable
+    width: LinExpr
+    height: LinExpr
+    max_width: float
+    max_height: float
+    rotation: Variable | None = None
+    dw: Variable | None = None
+    flex: FlexLinearization | None = None
+
+
+@dataclass(frozen=True)
+class AnchorAttraction:
+    """A wirelength pull from a window module toward a fixed point (the
+    generalized position of an already-placed module)."""
+
+    window_module: str
+    cx: float
+    cy: float
+    weight: float
+
+
+@dataclass(frozen=True)
+class PairLengthBound:
+    """A hard Manhattan-distance bound between two window modules' centers —
+    the paper's "additional constraints on the length of critical nets"."""
+
+    a: str
+    b: str
+    max_length: float
+
+
+@dataclass(frozen=True)
+class AnchorLengthBound:
+    """A hard Manhattan-distance bound between a window module's center and
+    a fixed point (an already-placed endpoint of a critical net)."""
+
+    module: str
+    cx: float
+    cy: float
+    max_length: float
+
+
+class SubproblemBuilder:
+    """Build and decode one augmentation MILP."""
+
+    def __init__(self, window: Sequence[Module], obstacles: Sequence[Rect],
+                 chip_width: float, config: FloorplanConfig, *,
+                 pair_weights: Mapping[tuple[str, str], float] | None = None,
+                 anchors: Sequence[AnchorAttraction] = (),
+                 pair_length_bounds: Sequence[PairLengthBound] = (),
+                 anchor_length_bounds: Sequence[AnchorLengthBound] = (),
+                 flex_linearizations: Mapping[str, FlexLinearization] | None = None,
+                 base_height: float = 0.0,
+                 prune_floor_obstacles: bool = True) -> None:
+        """
+        Args:
+            window: the unpositioned modules of this step.
+            obstacles: fixed covering rectangles of the partial floorplan.
+            chip_width: the fixed chip width ``W`` of eq. (3).
+            config: floorplanner configuration (rotation, linearization,
+                envelopes, objective, weights).
+            pair_weights: ``c_ij`` common-net counts between window modules
+                (keys are sorted name pairs); used by the wirelength term.
+            anchors: wirelength pulls toward already-placed modules.
+            pair_length_bounds: hard length bounds between window modules
+                (critical-net constraints).
+            anchor_length_bounds: hard length bounds toward fixed points.
+            flex_linearizations: per-module overrides of the flexible height
+                model (used by the re-linearization loop to expand about the
+                previous solution's width instead of the config default).
+            base_height: current height of the partial floorplan; the chip
+                height variable is bounded below by it.
+            prune_floor_obstacles: add the valid cut excluding the useless
+                "window module below a floor-level obstacle" branch.
+        """
+        if not window:
+            raise ValueError("subproblem needs at least one window module")
+        self.config = config
+        self.chip_width = chip_width
+        self.obstacles = list(obstacles)
+        self.model = Model("floorplan_subproblem")
+        self._flex_overrides = dict(flex_linearizations or {})
+        self._window: dict[str, _WindowModule] = {}
+        self._pair_binaries: dict[tuple[str, str], tuple[Variable, Variable]] = {}
+        self._obstacle_binaries: dict[tuple[str, int], tuple[Variable, Variable]] = {}
+        self._wirelength_expr: LinExpr = LinExpr()
+
+        # Conservative vertical big-M: everything could stack on the current
+        # floorplan (whose top is the taller of base_height and the
+        # obstacles' tops).
+        floor_top = max([base_height] + [o.y2 for o in self.obstacles])
+        self._height_bound = floor_top + sum(
+            self._max_height_of(m) for m in window) + 1.0
+        self._width_big_m = chip_width
+        self._height_big_m = self._height_bound
+
+        # The chip is at least as tall as the partial floorplan it extends.
+        self.height_var = self.model.add_continuous(
+            "chip_height", lb=floor_top, ub=self._height_bound)
+        # PERIMETER mode: the chip width is a variable too (bounded above by
+        # the configured width, below by what the obstacles already use).
+        self.width_var: Variable | None = None
+        if config.objective is Objective.PERIMETER:
+            used = max((o.x2 for o in self.obstacles), default=0.0)
+            # Earlier solves carry ~1e-7 feasibility noise, so an obstacle
+            # can poke past the configured width; never let lb exceed ub.
+            self.width_var = self.model.add_continuous(
+                "chip_width", lb=used, ub=max(chip_width, used))
+
+        for module in window:
+            self._add_window_module(module)
+        self._add_pairwise_non_overlap()
+        self._add_obstacle_non_overlap(prune_floor_obstacles)
+        self._add_chip_bounds()
+        if config.objective is Objective.AREA_WIRELENGTH:
+            self._add_wirelength(pair_weights or {}, anchors)
+        self._add_length_bounds(pair_length_bounds, anchor_length_bounds)
+        self._set_objective()
+
+    # -- model construction --------------------------------------------------------
+
+    def _max_height_of(self, module: Module) -> float:
+        margins = margins_for(module, self.config.technology,
+                              self.config.use_envelopes)
+        base = module.max_extent() if (module.flexible or
+                                       (self.config.allow_rotation and module.rotatable)) \
+            else module.height
+        return base + max(margins.vertical, margins.horizontal)
+
+    def _add_window_module(self, module: Module) -> None:
+        if module.name in self._window:
+            raise ValueError(f"duplicate window module {module.name}")
+        margins = margins_for(module, self.config.technology,
+                              self.config.use_envelopes)
+        x = self.model.add_continuous(f"x[{module.name}]", lb=0.0,
+                                      ub=self.chip_width)
+        y = self.model.add_continuous(f"y[{module.name}]", lb=0.0,
+                                      ub=self._height_bound)
+        rotation: Variable | None = None
+        dw: Variable | None = None
+        flex: FlexLinearization | None = None
+
+        if module.flexible:
+            flex = self._flex_overrides.get(
+                module.name, linearize(module, self.config.linearization))
+            dw = self.model.add_continuous(f"dw[{module.name}]", lb=0.0,
+                                           ub=flex.dw_max)
+            width = LinExpr({dw: -1.0}, flex.w_max + margins.horizontal)
+            height = LinExpr({dw: flex.slope}, flex.h0 + margins.vertical)
+            max_width = flex.w_max + margins.horizontal
+            max_height = max(flex.height_linear(flex.dw_max),
+                             flex.height_exact(flex.dw_max)) + margins.vertical
+        elif self.config.allow_rotation and module.rotatable \
+                and abs(module.width - module.height) > GEOM_EPS:
+            rotation = self.model.add_binary(f"z[{module.name}]")
+            w_env = module.width + margins.horizontal
+            h_env = module.height + margins.vertical
+            # Rotating the envelope swaps its dimensions (margins rotate with
+            # the module): width = (1-z) w_env + z h_env_rot where the rotated
+            # envelope's width is module.height + rotated horizontal margins.
+            rot_margins = margins.rotated()
+            w_rot = module.height + rot_margins.horizontal
+            h_rot = module.width + rot_margins.vertical
+            width = LinExpr({rotation: w_rot - w_env}, w_env)
+            height = LinExpr({rotation: h_rot - h_env}, h_env)
+            max_width = max(w_env, w_rot)
+            max_height = max(h_env, h_rot)
+        else:
+            width = LinExpr({}, module.width + margins.horizontal)
+            height = LinExpr({}, module.height + margins.vertical)
+            max_width = module.width + margins.horizontal
+            max_height = module.height + margins.vertical
+
+        self._window[module.name] = _WindowModule(
+            module=module, margins=margins, x=x, y=y, width=width,
+            height=height, max_width=max_width, max_height=max_height,
+            rotation=rotation, dw=dw, flex=flex)
+
+    def _add_pairwise_non_overlap(self) -> None:
+        names = list(self._window)
+        for a in range(len(names)):
+            for b in range(a + 1, len(names)):
+                wi = self._window[names[a]]
+                wj = self._window[names[b]]
+                p = self.model.add_binary(f"p[{wi.module.name},{wj.module.name}]")
+                q = self.model.add_binary(f"q[{wi.module.name},{wj.module.name}]")
+                self._pair_binaries[(wi.module.name, wj.module.name)] = (p, q)
+                mw, mh = self._width_big_m, self._height_big_m
+                tag = f"{wi.module.name}|{wj.module.name}"
+                self.model.add_constraint(
+                    wi.x + wi.width <= wj.x + mw * (p + q),
+                    name=f"no[{tag}]:left")
+                self.model.add_constraint(
+                    wj.x + wj.width <= wi.x + mw * (1 - p + q),
+                    name=f"no[{tag}]:right")
+                self.model.add_constraint(
+                    wi.y + wi.height <= wj.y + mh * (1 + p - q),
+                    name=f"no[{tag}]:below")
+                self.model.add_constraint(
+                    wj.y + wj.height <= wi.y + mh * (2 - p - q),
+                    name=f"no[{tag}]:above")
+
+    def _add_obstacle_non_overlap(self, prune_floor: bool) -> None:
+        for name, wm in self._window.items():
+            for k, obs in enumerate(self.obstacles):
+                p = self.model.add_binary(f"p[{name},obs{k}]")
+                q = self.model.add_binary(f"q[{name},obs{k}]")
+                self._obstacle_binaries[(name, k)] = (p, q)
+                mw, mh = self._width_big_m, self._height_big_m
+                tag = f"{name}|obs{k}"
+                self.model.add_constraint(
+                    wm.x + wm.width <= obs.x + mw * (p + q),
+                    name=f"no[{tag}]:left")
+                self.model.add_constraint(
+                    obs.x2 <= wm.x + mw * (1 - p + q),
+                    name=f"no[{tag}]:right")
+                self.model.add_constraint(
+                    wm.y + wm.height <= obs.y + mh * (1 + p - q),
+                    name=f"no[{tag}]:below")
+                self.model.add_constraint(
+                    obs.y2 <= wm.y + mh * (2 - p - q),
+                    name=f"no[{tag}]:above")
+                if prune_floor and obs.y <= GEOM_EPS:
+                    # A module can never fit below a floor-level obstacle;
+                    # exclude (p, q) = (0, 1) with the valid cut q <= p.
+                    self.model.add_constraint(
+                        q.to_expr() <= p, name=f"cut[{tag}]:floor")
+
+    def _add_chip_bounds(self) -> None:
+        for name, wm in self._window.items():
+            if self.width_var is not None:
+                self.model.add_constraint(
+                    wm.x + wm.width <= self.width_var, name=f"chipw[{name}]")
+            else:
+                self.model.add_constraint(
+                    wm.x + wm.width <= self.chip_width, name=f"chipw[{name}]")
+            self.model.add_constraint(
+                wm.y + wm.height <= self.height_var, name=f"chiph[{name}]")
+
+    def _add_wirelength(self, pair_weights: Mapping[tuple[str, str], float],
+                        anchors: Sequence[AnchorAttraction]) -> None:
+        terms: list[LinExpr] = []
+        for (a, b), weight in sorted(pair_weights.items()):
+            if weight <= 0 or a not in self._window or b not in self._window:
+                continue
+            wa, wb = self._window[a], self._window[b]
+            dx = self.model.add_continuous(f"dx[{a},{b}]", lb=0.0)
+            dy = self.model.add_continuous(f"dy[{a},{b}]", lb=0.0)
+            ca_x = wa.x + wa.width * 0.5
+            cb_x = wb.x + wb.width * 0.5
+            ca_y = wa.y + wa.height * 0.5
+            cb_y = wb.y + wb.height * 0.5
+            self.model.add_constraint(dx >= ca_x - cb_x, name=f"wl[{a},{b}]:dx+")
+            self.model.add_constraint(dx >= cb_x - ca_x, name=f"wl[{a},{b}]:dx-")
+            self.model.add_constraint(dy >= ca_y - cb_y, name=f"wl[{a},{b}]:dy+")
+            self.model.add_constraint(dy >= cb_y - ca_y, name=f"wl[{a},{b}]:dy-")
+            terms.append(weight * (dx + dy))
+        for i, anchor in enumerate(anchors):
+            if anchor.weight <= 0 or anchor.window_module not in self._window:
+                continue
+            wm = self._window[anchor.window_module]
+            dx = self.model.add_continuous(f"adx[{i}]", lb=0.0)
+            dy = self.model.add_continuous(f"ady[{i}]", lb=0.0)
+            cx = wm.x + wm.width * 0.5
+            cy = wm.y + wm.height * 0.5
+            self.model.add_constraint(dx >= cx - anchor.cx, name=f"awl[{i}]:dx+")
+            self.model.add_constraint(dx >= anchor.cx - cx, name=f"awl[{i}]:dx-")
+            self.model.add_constraint(dy >= cy - anchor.cy, name=f"awl[{i}]:dy+")
+            self.model.add_constraint(dy >= anchor.cy - cy, name=f"awl[{i}]:dy-")
+            terms.append(anchor.weight * (dx + dy))
+        self._wirelength_expr = lin_sum(terms)
+
+    def _add_length_bounds(self, pair_bounds: Sequence[PairLengthBound],
+                           anchor_bounds: Sequence[AnchorLengthBound]) -> None:
+        """Critical-net length constraints: center-to-center Manhattan
+        distance capped by the net's ``max_length``.
+
+        The |dx| and |dy| linearizations are one-sided bounds, so capping
+        their sum caps the true distance (the aux variables cannot cheat
+        downward: each is >= both signed differences).
+        """
+        for k, bound in enumerate(pair_bounds):
+            if bound.a not in self._window or bound.b not in self._window:
+                continue
+            wa, wb = self._window[bound.a], self._window[bound.b]
+            dx = self.model.add_continuous(f"ldx[{k}]", lb=0.0)
+            dy = self.model.add_continuous(f"ldy[{k}]", lb=0.0)
+            ca_x = wa.x + wa.width * 0.5
+            cb_x = wb.x + wb.width * 0.5
+            ca_y = wa.y + wa.height * 0.5
+            cb_y = wb.y + wb.height * 0.5
+            tag = f"{bound.a},{bound.b}"
+            self.model.add_constraint(dx >= ca_x - cb_x, name=f"len[{tag}]:dx+")
+            self.model.add_constraint(dx >= cb_x - ca_x, name=f"len[{tag}]:dx-")
+            self.model.add_constraint(dy >= ca_y - cb_y, name=f"len[{tag}]:dy+")
+            self.model.add_constraint(dy >= cb_y - ca_y, name=f"len[{tag}]:dy-")
+            self.model.add_constraint(dx + dy <= bound.max_length,
+                                      name=f"len[{tag}]:cap")
+        for k, bound in enumerate(anchor_bounds):
+            if bound.module not in self._window:
+                continue
+            wm = self._window[bound.module]
+            dx = self.model.add_continuous(f"aldx[{k}]", lb=0.0)
+            dy = self.model.add_continuous(f"aldy[{k}]", lb=0.0)
+            cx = wm.x + wm.width * 0.5
+            cy = wm.y + wm.height * 0.5
+            tag = f"{bound.module}@{k}"
+            self.model.add_constraint(dx >= cx - bound.cx, name=f"len[{tag}]:dx+")
+            self.model.add_constraint(dx >= bound.cx - cx, name=f"len[{tag}]:dx-")
+            self.model.add_constraint(dy >= cy - bound.cy, name=f"len[{tag}]:dy+")
+            self.model.add_constraint(dy >= bound.cy - cy, name=f"len[{tag}]:dy-")
+            self.model.add_constraint(dx + dy <= bound.max_length,
+                                      name=f"len[{tag}]:cap")
+
+    def _set_objective(self) -> None:
+        if self.config.objective is Objective.PERIMETER:
+            assert self.width_var is not None
+            self.model.set_objective(self.width_var + self.height_var)
+            return
+        area_term = self.chip_width * self.height_var
+        if self.config.objective is Objective.AREA_WIRELENGTH:
+            self.model.set_objective(
+                area_term + self.config.wirelength_weight * self._wirelength_expr)
+        else:
+            self.model.set_objective(area_term)
+
+    # -- statistics -------------------------------------------------------------------
+
+    @property
+    def n_integer_variables(self) -> int:
+        """Binary count of this subproblem — the quantity successive
+        augmentation keeps near-constant."""
+        return self.model.n_integer_variables
+
+    # -- decoding ----------------------------------------------------------------------
+
+    def decode(self, solution: Solution) -> list[Placement]:
+        """Extract placements from a solved model.
+
+        Flexible modules get their *exact* height ``S / w`` (the linearized
+        height only lives inside the model); with the secant linearization
+        the exact shape is never taller than the modeled one, so legality is
+        preserved.
+        """
+        if not solution.status.has_solution:
+            raise ValueError(f"cannot decode a {solution.status.value} solution")
+        placements: list[Placement] = []
+        for name, wm in self._window.items():
+            x = solution[wm.x]
+            y = solution[wm.y]
+            rotated = bool(wm.rotation is not None and solution.rounded(wm.rotation) == 1)
+            margins = wm.margins.rotated() if rotated else wm.margins
+
+            if wm.flex is not None and wm.dw is not None:
+                dw = min(max(solution[wm.dw], 0.0), wm.flex.dw_max)
+                width = wm.flex.width(dw)
+                height = wm.flex.height_exact(dw)
+            elif rotated:
+                width, height = wm.module.height, wm.module.width
+            else:
+                width, height = wm.module.width, wm.module.height
+
+            envelope = Rect(x, y, width + margins.horizontal,
+                            height + margins.vertical)
+            rect = Rect(x + margins.left, y + margins.bottom, width, height)
+            placements.append(Placement(module=wm.module, rect=rect,
+                                        rotated=rotated, envelope=envelope))
+        return placements

@@ -1,0 +1,100 @@
+"""Placements: where a module ended up.
+
+Shared by the formulation, augmentation, topology LP, router, and result
+objects.  A placement records both the module's own rectangle and its
+*envelope* rectangle (module plus pin-proportional routing margins, section
+3.2); with envelopes disabled the two coincide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.geometry.rect import Rect
+from repro.netlist.module import Module, PinCounts
+
+
+@dataclass(frozen=True)
+class EnvelopeMargins:
+    """Per-side routing margins added around a module.
+
+    Following section 3.2: a side with ``k`` pins reserves ``k`` routing
+    tracks next to it, i.e. a margin of ``k * pitch`` (horizontal pitch for
+    top/bottom, vertical pitch for left/right).
+    """
+
+    left: float = 0.0
+    right: float = 0.0
+    bottom: float = 0.0
+    top: float = 0.0
+
+    @property
+    def horizontal(self) -> float:
+        """Total width added (left + right)."""
+        return self.left + self.right
+
+    @property
+    def vertical(self) -> float:
+        """Total height added (bottom + top)."""
+        return self.bottom + self.top
+
+    def rotated(self) -> "EnvelopeMargins":
+        """Margins after the module rotates 90 degrees counterclockwise."""
+        return EnvelopeMargins(left=self.top, right=self.bottom,
+                               bottom=self.left, top=self.right)
+
+    @classmethod
+    def from_pins(cls, pins: PinCounts, pitch_h: float,
+                  pitch_v: float) -> "EnvelopeMargins":
+        """Margins proportional to per-side pin counts."""
+        return cls(left=pins.left * pitch_v, right=pins.right * pitch_v,
+                   bottom=pins.bottom * pitch_h, top=pins.top * pitch_h)
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A placed module.
+
+    Attributes:
+        module: the placed module (original definition).
+        rect: the module's realized rectangle (exact dimensions; for flexible
+            modules the height is the exact ``S / w``, not the linearized one).
+        rotated: whether the 90-degree rotation was applied.
+        envelope: the envelope rectangle including routing margins; equals
+            ``rect`` when envelopes are off.
+    """
+
+    module: Module
+    rect: Rect
+    rotated: bool = False
+    envelope: Rect | None = None
+
+    def __post_init__(self) -> None:
+        if self.envelope is None:
+            object.__setattr__(self, "envelope", self.rect)
+
+    @property
+    def name(self) -> str:
+        """The module's name."""
+        return self.module.name
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """Center of the module rectangle."""
+        return self.rect.center
+
+    def effective_pins(self) -> PinCounts:
+        """Pin counts in the chip frame (rotated with the module)."""
+        return self.module.pins.rotated() if self.rotated else self.module.pins
+
+    def moved_to(self, x: float, y: float) -> "Placement":
+        """The same placement translated so the envelope's lower-left corner
+        is at ``(x, y)`` (module rect keeps its offset inside the envelope)."""
+        dx = x - self.envelope.x
+        dy = y - self.envelope.y
+        return replace(self, rect=self.rect.translated(dx, dy),
+                       envelope=self.envelope.translated(dx, dy))
+
+    def resized(self, rect: Rect, envelope: Rect | None = None) -> "Placement":
+        """The same module with new geometry (used by the topology LP)."""
+        return replace(self, rect=rect, envelope=envelope if envelope is not None else rect)

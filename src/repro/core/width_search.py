@@ -1,0 +1,99 @@
+"""Chip-width search.
+
+The paper's formulation fixes one chip dimension ("let us assume that one
+dimension of the chip is known, say W") and minimizes the other.  When no
+width is prescribed, the choice of W trades aspect ratio against packing
+quality.  This module sweeps candidate widths around the area-derived
+default and returns the floorplan minimizing chip area (optionally weighted
+by an aspect-ratio penalty) — a practical outer loop the paper leaves to the
+designer.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from dataclasses import dataclass
+
+from repro.core.config import FloorplanConfig
+from repro.core.floorplanner import Floorplan, Floorplanner
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class WidthCandidate:
+    """One evaluated chip width."""
+
+    chip_width: float
+    chip_area: float
+    aspect: float
+    utilization: float
+    score: float
+
+
+@dataclass
+class WidthSearchResult:
+    """Outcome of :func:`search_chip_width`."""
+
+    best: Floorplan
+    candidates: list[WidthCandidate]
+
+    @property
+    def best_width(self) -> float:
+        """The winning chip width."""
+        return self.best.chip_width
+
+
+def search_chip_width(netlist: Netlist, config: FloorplanConfig | None = None,
+                      *, n_candidates: int = 5, spread: float = 0.35,
+                      aspect_weight: float = 0.0) -> WidthSearchResult:
+    """Floorplan at several chip widths and keep the best.
+
+    Candidates are geometrically spaced in
+    ``[default * (1 - spread), default * (1 + spread)]`` around the
+    area-derived default width.
+
+    Args:
+        netlist: the circuit.
+        config: base configuration (its ``chip_width`` is overridden per
+            candidate).
+        n_candidates: number of widths to try (>= 1).
+        spread: half-width of the sweep, as a fraction of the default.
+        aspect_weight: score = area * (1 + aspect_weight * |log(W/H)|);
+            0 ranks purely by area, larger values prefer square chips.
+
+    Returns:
+        The best floorplan and the per-candidate record.
+    """
+    if n_candidates < 1:
+        raise ValueError("need at least one candidate width")
+    base_config = config or FloorplanConfig()
+    default = base_config.resolved_chip_width(
+        netlist.total_module_area,
+        widest_module=max(m.max_extent() for m in netlist.modules))
+
+    if n_candidates == 1:
+        factors = [1.0]
+    else:
+        low, high = 1.0 - spread, 1.0 + spread
+        ratio = (high / low) ** (1.0 / (n_candidates - 1))
+        factors = [low * ratio ** k for k in range(n_candidates)]
+
+    candidates: list[WidthCandidate] = []
+    best_plan: Floorplan | None = None
+    best_score = math.inf
+    for factor in factors:
+        cfg = copy.deepcopy(base_config)
+        cfg.chip_width = default * factor
+        plan = Floorplanner(netlist, cfg).run()
+        aspect = plan.chip_width / max(plan.chip_height, 1e-9)
+        score = plan.chip_area * (1.0 + aspect_weight * abs(math.log(aspect)))
+        candidates.append(WidthCandidate(
+            chip_width=cfg.chip_width, chip_area=plan.chip_area,
+            aspect=aspect, utilization=plan.utilization, score=score))
+        if score < best_score:
+            best_score = score
+            best_plan = plan
+
+    assert best_plan is not None
+    return WidthSearchResult(best=best_plan, candidates=candidates)

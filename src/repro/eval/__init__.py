@@ -1,0 +1,45 @@
+"""Experiment harness: metrics, the Series 1-3 drivers, and table reports."""
+
+from repro.eval.metrics import (
+    area_utilization,
+    hpwl,
+    routed_wirelength,
+    total_module_area,
+)
+from repro.eval.experiments import (
+    Series1Row,
+    Series2Row,
+    Series3Row,
+    run_series1,
+    run_series2,
+    run_series3,
+)
+from repro.eval.report import format_table
+from repro.eval.critical_chain import (
+    CriticalChain,
+    binding_relations,
+    chain_report,
+    critical_chain,
+)
+from repro.eval.scaling import LinearFit, fit_linear, growth_exponent
+
+__all__ = [
+    "CriticalChain",
+    "binding_relations",
+    "chain_report",
+    "critical_chain",
+    "LinearFit",
+    "fit_linear",
+    "growth_exponent",
+    "area_utilization",
+    "hpwl",
+    "routed_wirelength",
+    "total_module_area",
+    "Series1Row",
+    "Series2Row",
+    "Series3Row",
+    "run_series1",
+    "run_series2",
+    "run_series3",
+    "format_table",
+]

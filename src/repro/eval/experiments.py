@@ -1,0 +1,171 @@
+"""Experiment drivers for the paper's three evaluation series.
+
+Each driver returns typed rows mirroring the corresponding table's columns;
+:mod:`repro.eval.report` renders them in the paper's layout.  The default
+workloads are the documented MCNC substitutes (DESIGN.md section 2); any
+:class:`~repro.netlist.netlist.Netlist` — including genuine YAL files loaded
+via :func:`repro.netlist.yal.parse_yal` — can be passed instead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.config import FloorplanConfig, Objective, Ordering
+from repro.core.floorplanner import Floorplan, Floorplanner
+from repro.eval.metrics import hpwl
+from repro.netlist.generators import series1_instance
+from repro.netlist.mcnc import ami33_like
+from repro.netlist.netlist import Netlist
+from repro.routing.flow import route_and_adjust
+from repro.routing.router import RouterMode
+from repro.routing.technology import Technology
+
+
+# ---------------------------------------------------------------------------
+# Series 1 — problem-size scaling (Table 1)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Series1Row:
+    """One row of Table 1."""
+
+    n_modules: int
+    chip_area: float
+    execution_seconds: float
+    utilization: float
+    max_binaries: int
+    n_steps: int
+
+
+def run_series1(sizes: Sequence[int] = (15, 20, 25), *,
+                include_ami33: bool = True,
+                config: FloorplanConfig | None = None,
+                seed: int = 1990) -> list[Series1Row]:
+    """Table 1: floorplan random instances of growing size plus ami33.
+
+    The claim under test: "execution time grows almost linearly with the
+    problem size" because the per-step binary count stays bounded.
+    """
+    netlists = [series1_instance(n, seed=seed) for n in sizes]
+    if include_ami33:
+        netlists.append(ami33_like())
+    rows: list[Series1Row] = []
+    for netlist in netlists:
+        cfg = config or FloorplanConfig()
+        start = time.perf_counter()
+        plan = Floorplanner(netlist, cfg).run()
+        elapsed = time.perf_counter() - start
+        rows.append(Series1Row(
+            n_modules=len(netlist),
+            chip_area=plan.chip_area,
+            execution_seconds=elapsed,
+            utilization=plan.utilization,
+            max_binaries=plan.trace.max_binaries,
+            n_steps=plan.trace.n_steps,
+        ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Series 2 — objectives x orderings, over-the-cell routing (Table 2)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Series2Row:
+    """One row of Table 2."""
+
+    objective: str
+    ordering: str
+    chip_area: float
+    utilization: float
+    wirelength: float
+    execution_seconds: float
+
+
+def run_series2(netlist: Netlist | None = None, *,
+                base_config: FloorplanConfig | None = None) -> list[Series2Row]:
+    """Table 2: ami33 with over-the-cell routing.
+
+    2 objectives (area; area + wirelength) x 2 orderings (random;
+    connectivity-based linear ordering).  The claims under test: best
+    utilization is high; the combined objective and connectivity ordering
+    reduce wirelength.
+    """
+    netlist = netlist or ami33_like()
+    rows: list[Series2Row] = []
+    for objective in (Objective.AREA, Objective.AREA_WIRELENGTH):
+        for ordering in (Ordering.RANDOM, Ordering.CONNECTIVITY):
+            cfg = _copy_config(base_config)
+            cfg.objective = objective
+            cfg.ordering = ordering
+            cfg.technology = Technology.over_the_cell()
+            cfg.use_envelopes = False
+            start = time.perf_counter()
+            plan = Floorplanner(netlist, cfg).run()
+            elapsed = time.perf_counter() - start
+            rows.append(Series2Row(
+                objective=objective.value,
+                ordering=ordering.value,
+                chip_area=plan.chip_area,
+                utilization=plan.utilization,
+                wirelength=hpwl(netlist, plan.placements),
+                execution_seconds=elapsed,
+            ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Series 3 — routing-area provision x router, around-the-cell (Table 3)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Series3Row:
+    """One row of Table 3."""
+
+    technique: str           # "no_envelopes" | "envelopes"
+    router: str              # "shortest" | "weighted"
+    chip_area: float         # final area including routing space
+    wirelength: float        # routed wirelength
+    utilization: float
+    overflow: float
+
+
+def run_series3(netlist: Netlist | None = None, *,
+                base_config: FloorplanConfig | None = None) -> list[Series3Row]:
+    """Table 3: ami33 with around-the-cell routing.
+
+    2 area-provision techniques (floorplan adjustment without / with
+    envelopes) x 2 routers (shortest path / weighted shortest path).  The
+    claim under test: "the application of envelopes allows us to decrease
+    the chip size".
+    """
+    netlist = netlist or ami33_like()
+    technology = Technology.around_the_cell()
+    rows: list[Series3Row] = []
+    for use_envelopes in (False, True):
+        cfg = _copy_config(base_config)
+        cfg.use_envelopes = use_envelopes
+        cfg.technology = technology
+        plan = Floorplanner(netlist, cfg).run()
+        for mode in (RouterMode.SHORTEST, RouterMode.WEIGHTED):
+            routed = route_and_adjust(plan.placements, plan.chip, netlist,
+                                      technology, mode=mode)
+            rows.append(Series3Row(
+                technique="envelopes" if use_envelopes else "no_envelopes",
+                router=mode.value,
+                chip_area=routed.chip_area,
+                wirelength=routed.wirelength,
+                utilization=routed.utilization(),
+                overflow=routed.routing.total_overflow,
+            ))
+    return rows
+
+
+def _copy_config(base: FloorplanConfig | None) -> FloorplanConfig:
+    """A mutable copy of the base config (or fresh defaults)."""
+    import copy
+
+    return copy.deepcopy(base) if base is not None else FloorplanConfig()

@@ -1,0 +1,43 @@
+"""Floorplan quality metrics.
+
+The paper's tables report chip area, area utilization, execution time, and
+wire length; these helpers compute them from placements and routing results.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.placement import Placement
+from repro.geometry.rect import Rect
+from repro.netlist.netlist import Netlist
+from repro.routing.result import RoutingResult
+
+
+def total_module_area(placements: Mapping[str, Placement]) -> float:
+    """Sum of module-rectangle areas."""
+    return sum(p.rect.area for p in placements.values())
+
+
+def area_utilization(placements: Mapping[str, Placement], chip: Rect) -> float:
+    """Module area over chip area (the paper's utilization columns)."""
+    if chip.area <= 0:
+        return 0.0
+    return total_module_area(placements) / chip.area
+
+
+def hpwl(netlist: Netlist, placements: Mapping[str, Placement]) -> float:
+    """Weighted half-perimeter wirelength over module centers — the
+    placement-stage wirelength estimate."""
+    total = 0.0
+    for net in netlist.nets:
+        xs = [placements[m].rect.cx for m in net.modules]
+        ys = [placements[m].rect.cy for m in net.modules]
+        total += net.weight * ((max(xs) - min(xs)) + (max(ys) - min(ys)))
+    return total
+
+
+def routed_wirelength(routing: RoutingResult) -> float:
+    """Wirelength "measured based on the shortest paths produced by the
+    global router" (Series 3)."""
+    return routing.total_wirelength

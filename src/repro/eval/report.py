@@ -1,0 +1,48 @@
+"""ASCII table rendering for experiment rows.
+
+Renders dataclass rows (or any mapping sequence) in the paper's plain
+table style so bench output reads like Tables 1-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, is_dataclass
+from typing import Any, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Any], title: str = "",
+                 floatfmt: str = ".1f") -> str:
+    """Render rows as an aligned ASCII table.
+
+    Args:
+        rows: dataclass instances or mappings, all with the same keys.
+        title: optional heading line.
+        floatfmt: format spec applied to float cells.
+
+    Returns:
+        The formatted table text (empty string for no rows).
+    """
+    if not rows:
+        return ""
+    dicts: list[Mapping[str, Any]] = [
+        asdict(r) if is_dataclass(r) else dict(r) for r in rows]
+    headers = list(dicts[0])
+
+    def cell(value: Any) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return format(value, floatfmt)
+        return str(value)
+
+    table = [[cell(d[h]) for h in headers] for d in dicts]
+    widths = [max(len(h), *(len(row[i]) for row in table))
+              for i, h in enumerate(headers)]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

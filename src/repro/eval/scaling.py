@@ -1,0 +1,81 @@
+"""Scaling analysis for Series 1.
+
+The paper's central performance claim is that "execution time grows almost
+linearly with the problem size".  These helpers fit and report that trend
+from measured (size, time) points, so the Table-1 bench (and any user
+experiment) can quantify the linearity instead of eyeballing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """A least-squares line ``time = slope * size + intercept``.
+
+    Attributes:
+        slope: seconds per module.
+        intercept: fixed overhead in seconds.
+        r_squared: coefficient of determination of the linear model.
+        residuals: per-point ``measured - predicted``.
+    """
+
+    slope: float
+    intercept: float
+    r_squared: float
+    residuals: tuple[float, ...]
+
+    def predict(self, size: float) -> float:
+        """Predicted time at ``size``."""
+        return self.slope * size + self.intercept
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (f"time = {self.slope:.4f}s/module * n + {self.intercept:.4f}s"
+                f"  (R^2 = {self.r_squared:.3f})")
+
+
+def fit_linear(sizes: Sequence[float], times: Sequence[float]) -> LinearFit:
+    """Least-squares linear fit of times against sizes.
+
+    Raises:
+        ValueError: with fewer than two points (no line to fit).
+    """
+    if len(sizes) != len(times):
+        raise ValueError("sizes and times must have equal length")
+    if len(sizes) < 2:
+        raise ValueError("need at least two points to fit a line")
+    x = np.asarray(sizes, dtype=float)
+    y = np.asarray(times, dtype=float)
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LinearFit(slope=float(slope), intercept=float(intercept),
+                     r_squared=r_squared,
+                     residuals=tuple(float(r) for r in (y - predicted)))
+
+
+def growth_exponent(sizes: Sequence[float], times: Sequence[float]) -> float:
+    """The power-law exponent ``p`` of ``time ~ size^p`` (log-log slope).
+
+    Near 1.0 supports the linear-growth claim; a window-free exact MILP
+    would show a much larger (super-polynomial) exponent.
+
+    Raises:
+        ValueError: on non-positive inputs or fewer than two points.
+    """
+    if len(sizes) < 2:
+        raise ValueError("need at least two points")
+    x = np.asarray(sizes, dtype=float)
+    y = np.asarray(times, dtype=float)
+    if (x <= 0).any() or (y <= 0).any():
+        raise ValueError("sizes and times must be positive for a log-log fit")
+    slope, _ = np.polyfit(np.log(x), np.log(y), 1)
+    return float(slope)

@@ -1,0 +1,130 @@
+"""Covering-rectangle decomposition (Figure 4, Theorems 1-2).
+
+Successive augmentation replaces the ``N`` already-placed modules by ``d <= N``
+fixed *covering rectangles*, shrinking the integer-variable count of each MILP
+subproblem.  The paper's algorithm cuts the covering polygon with horizontal
+edge-cut lines from the bottom up (Figure 4c/4d); Theorem 2 shows the cut
+count is at most ``n - 1`` where ``n`` is the polygon's horizontal edge count,
+and the corollary gives ``N* <= N``.
+
+Three decompositions are provided:
+
+* :func:`horizontal_cut_decomposition` — the paper's Figure-4 algorithm,
+  generalized to skylines with valleys (each slab may then contribute more
+  than one rectangle; for the paper's staircase polygons the Theorem-2 bound
+  holds and is asserted in tests).
+* :func:`vertical_step_decomposition` — one full-height rectangle per skyline
+  run; trivially at most one rectangle per run.
+* :func:`merge_covering_rectangles` — the paper's closing remark that a set of
+  *overlapping* partitions can reduce the count further: every covering
+  rectangle is extended down to the chip bottom (still inside the polygon),
+  after which rectangles contained in others are dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Literal
+
+from repro.geometry.rect import GEOM_EPS, Rect
+from repro.geometry.skyline import Skyline
+
+DecompositionStyle = Literal["horizontal", "vertical"]
+
+
+def horizontal_cut_decomposition(skyline: Skyline, eps: float = GEOM_EPS) -> list[Rect]:
+    """Decompose the region under ``skyline`` by horizontal edge-cuts.
+
+    Distinct step heights are visited bottom-up; the slab between consecutive
+    heights is cut into one rectangle per maximal run of steps at least as
+    tall as the slab top (exactly one run for staircase skylines, hence the
+    Theorem-2 count of at most ``n - 1``).
+
+    Returns an exact, interior-disjoint cover of the region under the skyline
+    (zero-height regions excluded).
+    """
+    heights = [h for h in skyline.distinct_heights() if h > eps]
+    rects: list[Rect] = []
+    prev = 0.0
+    for h in heights:
+        # Within the slab [prev, h], the region exists where skyline >= h.
+        run_start: float | None = None
+        run_end = 0.0
+        for s in skyline.steps:
+            if s.height >= h - eps:
+                if run_start is None:
+                    run_start = s.x1
+                run_end = s.x2
+            else:
+                if run_start is not None:
+                    rects.append(Rect(run_start, prev, run_end - run_start, h - prev))
+                    run_start = None
+        if run_start is not None:
+            rects.append(Rect(run_start, prev, run_end - run_start, h - prev))
+        prev = h
+    return rects
+
+
+def vertical_step_decomposition(skyline: Skyline, eps: float = GEOM_EPS) -> list[Rect]:
+    """One full-height rectangle per skyline run with positive height."""
+    return [
+        Rect(s.x1, 0.0, s.width, s.height)
+        for s in skyline.steps
+        if s.height > eps
+    ]
+
+
+def merge_covering_rectangles(rects: Iterable[Rect], eps: float = GEOM_EPS) -> list[Rect]:
+    """Reduce a covering-rectangle set by allowing overlaps.
+
+    Every rectangle produced by the horizontal decomposition spans an x-range
+    over which the skyline is at least its top edge, so extending it down to
+    ``y = 0`` keeps it inside the covering polygon.  After extension,
+    rectangles contained in another are redundant and dropped.
+
+    The result still covers the same region (it is a superset union-wise of
+    the input) but typically with fewer rectangles — the paper's "overlapping
+    partitions" refinement.
+    """
+    extended = [Rect(r.x, 0.0, r.w, r.y2) for r in rects]
+    # Drop exact duplicates and contained rectangles; prefer keeping taller /
+    # wider rects by scanning in decreasing area order.
+    extended.sort(key=lambda r: r.area, reverse=True)
+    kept: list[Rect] = []
+    for r in extended:
+        if not any(k.contains_rect(r, eps) for k in kept):
+            kept.append(r)
+    return kept
+
+
+def covering_rectangles(placed: Iterable[Rect], x_min: float | None = None,
+                        x_max: float | None = None,
+                        style: DecompositionStyle = "horizontal",
+                        merge_overlapping: bool = True) -> list[Rect]:
+    """Covering rectangles for a placed module set (section 3.1 entry point).
+
+    Args:
+        placed: the fixed modules of the partial floorplan.
+        x_min, x_max: horizontal span of the covering polygon; defaults to the
+            modules' extent.  The augmentation loop passes the chip span so
+            that side notches are represented faithfully.
+        style: ``"horizontal"`` for the paper's edge-cut decomposition,
+            ``"vertical"`` for the per-run variant.
+        merge_overlapping: apply :func:`merge_covering_rectangles` afterwards.
+
+    Returns:
+        Fixed rectangles whose union contains every placed module and is
+        contained in the region under the placed modules' skyline.
+    """
+    placed_list = list(placed)
+    if not placed_list:
+        return []
+    sky = Skyline.from_rects(placed_list, x_min=x_min, x_max=x_max)
+    if style == "horizontal":
+        rects = horizontal_cut_decomposition(sky)
+    elif style == "vertical":
+        rects = vertical_step_decomposition(sky)
+    else:
+        raise ValueError(f"unknown decomposition style {style!r}")
+    if merge_overlapping:
+        rects = merge_covering_rectangles(rects)
+    return rects

@@ -1,0 +1,108 @@
+"""1-D closed intervals.
+
+Used by the skyline and channel-extraction code: channel spans, horizontal
+edge extents, and step runs are all intervals on a single axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.geometry.rect import GEOM_EPS
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` with ``lo <= hi``."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ValueError(f"Interval requires lo <= hi, got [{self.lo}, {self.hi}]")
+
+    @property
+    def length(self) -> float:
+        """Extent ``hi - lo``."""
+        return self.hi - self.lo
+
+    @property
+    def mid(self) -> float:
+        """Midpoint."""
+        return (self.lo + self.hi) / 2.0
+
+    def is_empty(self, eps: float = GEOM_EPS) -> bool:
+        """True when the interval has (numerically) zero length."""
+        return self.length <= eps
+
+    def contains(self, v: float, eps: float = GEOM_EPS) -> bool:
+        """True when ``v`` lies inside the interval (inclusive)."""
+        return self.lo - eps <= v <= self.hi + eps
+
+    def contains_interval(self, other: "Interval", eps: float = GEOM_EPS) -> bool:
+        """True when ``other`` lies entirely inside this interval."""
+        return self.lo - eps <= other.lo and other.hi <= self.hi + eps
+
+    def overlaps(self, other: "Interval", eps: float = GEOM_EPS) -> bool:
+        """True when the interiors intersect (touching endpoints don't count)."""
+        return self.lo < other.hi - eps and other.lo < self.hi - eps
+
+    def touches_or_overlaps(self, other: "Interval", eps: float = GEOM_EPS) -> bool:
+        """True when the intervals intersect or share an endpoint."""
+        return self.lo <= other.hi + eps and other.lo <= self.hi + eps
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        """The common sub-interval, or None when interiors are disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if hi - lo <= GEOM_EPS:
+            return None
+        return Interval(lo, hi)
+
+    def hull(self, other: "Interval") -> "Interval":
+        """The smallest interval covering both."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+
+def merge_intervals(intervals: Iterable[Interval], eps: float = GEOM_EPS) -> list[Interval]:
+    """Merge touching/overlapping intervals into maximal disjoint ones.
+
+    The result is sorted by ``lo`` and pairwise disjoint (no touching either).
+    """
+    items = sorted(intervals, key=lambda iv: (iv.lo, iv.hi))
+    merged: list[Interval] = []
+    for iv in items:
+        if merged and iv.lo <= merged[-1].hi + eps:
+            last = merged[-1]
+            merged[-1] = Interval(last.lo, max(last.hi, iv.hi))
+        else:
+            merged.append(iv)
+    return merged
+
+
+def total_length(intervals: Iterable[Interval]) -> float:
+    """Total length covered (overlaps counted once)."""
+    return sum(iv.length for iv in merge_intervals(intervals))
+
+
+def complement_within(intervals: Iterable[Interval], span: Interval,
+                      eps: float = GEOM_EPS) -> list[Interval]:
+    """The parts of ``span`` not covered by ``intervals``.
+
+    Used to find free channel spans between module edges.
+    """
+    covered = merge_intervals(
+        iv for interval in intervals
+        if (iv := interval.intersection(span)) is not None
+    )
+    gaps: list[Interval] = []
+    cursor = span.lo
+    for iv in covered:
+        if iv.lo - cursor > eps:
+            gaps.append(Interval(cursor, iv.lo))
+        cursor = max(cursor, iv.hi)
+    if span.hi - cursor > eps:
+        gaps.append(Interval(cursor, span.hi))
+    return gaps

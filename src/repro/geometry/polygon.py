@@ -1,0 +1,91 @@
+"""The covering polygon of a partial floorplan.
+
+Section 3.1 of the paper represents the already-placed modules as a hole-free
+rectilinear polygon with a flat bottom ("holes at the bottom of the polygon
+are ignored because new modules are added only from the open side of the
+chip").  That polygon is the region under the skyline of the placed modules;
+this module exposes it with its horizontal-edge structure, which drives the
+Figure-4 edge-cut decomposition and the Theorem-1 edge-count bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.geometry.rect import GEOM_EPS, Rect
+from repro.geometry.skyline import Skyline
+
+
+@dataclass(frozen=True)
+class HorizontalEdge:
+    """A horizontal edge of the covering polygon: ``[x1, x2]`` at height ``y``."""
+
+    x1: float
+    x2: float
+    y: float
+
+    @property
+    def length(self) -> float:
+        """Horizontal extent of the edge."""
+        return self.x2 - self.x1
+
+
+class CoveringPolygon:
+    """The hole-free, flat-bottomed covering polygon of a placed module set.
+
+    The polygon is the region ``{(x, y) : 0 <= y <= skyline(x)}`` over the
+    horizontal extent of the placed modules.  It exists purely through its
+    skyline; all queries derive from the step structure.
+    """
+
+    def __init__(self, skyline: Skyline, n_modules: int) -> None:
+        self.skyline = skyline
+        #: Number of fixed modules the polygon covers (the ``N`` of Theorem 1).
+        self.n_modules = n_modules
+
+    @classmethod
+    def from_rects(cls, rects: Iterable[Rect], x_min: float | None = None,
+                   x_max: float | None = None) -> "CoveringPolygon":
+        """Build the covering polygon of placed module rectangles."""
+        rect_list = list(rects)
+        sky = Skyline.from_rects(rect_list, x_min=x_min, x_max=x_max)
+        return cls(sky, n_modules=len(rect_list))
+
+    # -- structure ---------------------------------------------------------------
+
+    def top_edges(self) -> Sequence[HorizontalEdge]:
+        """The polygon's top horizontal edges, one per skyline run with
+        positive height, ordered by x."""
+        return tuple(
+            HorizontalEdge(s.x1, s.x2, s.height)
+            for s in self.skyline.steps
+            if s.height > GEOM_EPS
+        )
+
+    def n_horizontal_edges(self) -> int:
+        """Number of horizontal edges ``n`` of the polygon (top edges plus the
+        flat bottom).  Theorem 1 bounds this by ``N + 1`` for the paper's
+        bottom-up placement discipline."""
+        return len(self.top_edges()) + 1  # the flat bottom counts as one edge
+
+    def area(self) -> float:
+        """Polygon area (region under the skyline, bottom holes filled)."""
+        return self.skyline.area_under()
+
+    def covers(self, rect: Rect, eps: float = GEOM_EPS) -> bool:
+        """True when ``rect`` lies entirely inside the polygon."""
+        if rect.x < self.skyline.x_min - eps or rect.x2 > self.skyline.x_max + eps:
+            return False
+        if rect.y < -eps:
+            return False
+        for s in self.skyline.steps:
+            lo = max(s.x1, rect.x)
+            hi = min(s.x2, rect.x2)
+            if hi - lo > eps and rect.y2 > s.height + eps:
+                return False
+        return True
+
+    def satisfies_theorem1(self) -> bool:
+        """Check the Theorem-1 bound ``n <= N + 1`` on this polygon."""
+        return self.n_horizontal_edges() <= self.n_modules + 1

@@ -1,0 +1,223 @@
+"""Axis-aligned rectangles.
+
+The floorplanner represents every module placement, covering rectangle, chip
+outline, and routing channel as an axis-aligned rectangle anchored at its
+lower-left corner, matching the paper's coordinate convention (origin at the
+chip's lower-left corner, x to the right, y up).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator
+
+#: Tolerance used for all floating-point geometric comparisons.  Floorplan
+#: coordinates come out of LP solves and carry ~1e-9 noise; geometry must not
+#: report phantom overlaps because of it.
+GEOM_EPS = 1e-7
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle anchored at its lower-left corner.
+
+    Attributes:
+        x: x coordinate of the lower-left corner.
+        y: y coordinate of the lower-left corner.
+        w: width (extent along x); must be >= 0.
+        h: height (extent along y); must be >= 0.
+    """
+
+    x: float
+    y: float
+    w: float
+    h: float
+
+    def __post_init__(self) -> None:
+        if self.w < 0 or self.h < 0:
+            raise ValueError(f"Rect must have non-negative dimensions, got {self.w}x{self.h}")
+
+    # -- derived coordinates -------------------------------------------------
+
+    @property
+    def x2(self) -> float:
+        """x coordinate of the right edge."""
+        return self.x + self.w
+
+    @property
+    def y2(self) -> float:
+        """y coordinate of the top edge."""
+        return self.y + self.h
+
+    @property
+    def cx(self) -> float:
+        """x coordinate of the center."""
+        return self.x + self.w / 2.0
+
+    @property
+    def cy(self) -> float:
+        """y coordinate of the center."""
+        return self.y + self.h / 2.0
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """Center point ``(cx, cy)``."""
+        return (self.cx, self.cy)
+
+    @property
+    def area(self) -> float:
+        """Area ``w * h``."""
+        return self.w * self.h
+
+    @property
+    def perimeter(self) -> float:
+        """Perimeter ``2 (w + h)``."""
+        return 2.0 * (self.w + self.h)
+
+    @property
+    def aspect(self) -> float:
+        """Aspect ratio ``w / h`` (``inf`` for degenerate zero-height rects)."""
+        if self.h == 0:
+            return math.inf
+        return self.w / self.h
+
+    def is_degenerate(self, eps: float = GEOM_EPS) -> bool:
+        """True if either dimension is (numerically) zero."""
+        return self.w <= eps or self.h <= eps
+
+    # -- predicates ----------------------------------------------------------
+
+    def overlaps(self, other: "Rect", eps: float = GEOM_EPS) -> bool:
+        """True if the two rectangles share interior area (touching edges do
+        not count as overlap)."""
+        return (
+            self.x < other.x2 - eps
+            and other.x < self.x2 - eps
+            and self.y < other.y2 - eps
+            and other.y < self.y2 - eps
+        )
+
+    def contains_point(self, px: float, py: float, eps: float = GEOM_EPS) -> bool:
+        """True if ``(px, py)`` lies inside or on the boundary."""
+        return (
+            self.x - eps <= px <= self.x2 + eps
+            and self.y - eps <= py <= self.y2 + eps
+        )
+
+    def contains_rect(self, other: "Rect", eps: float = GEOM_EPS) -> bool:
+        """True if ``other`` lies entirely inside (or on the boundary of) this
+        rectangle."""
+        return (
+            self.x - eps <= other.x
+            and self.y - eps <= other.y
+            and other.x2 <= self.x2 + eps
+            and other.y2 <= self.y2 + eps
+        )
+
+    def touches(self, other: "Rect", eps: float = GEOM_EPS) -> bool:
+        """True if the rectangles share boundary but no interior area."""
+        if self.overlaps(other, eps):
+            return False
+        x_gap = max(other.x - self.x2, self.x - other.x2)
+        y_gap = max(other.y - self.y2, self.y - other.y2)
+        return x_gap <= eps and y_gap <= eps
+
+    # -- constructive operations ----------------------------------------------
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlapping region, or None when the interiors are disjoint."""
+        x1 = max(self.x, other.x)
+        y1 = max(self.y, other.y)
+        x2 = min(self.x2, other.x2)
+        y2 = min(self.y2, other.y2)
+        if x2 - x1 <= GEOM_EPS or y2 - y1 <= GEOM_EPS:
+            return None
+        return Rect(x1, y1, x2 - x1, y2 - y1)
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Area of the overlapping region (0.0 when disjoint)."""
+        inter = self.intersection(other)
+        return inter.area if inter is not None else 0.0
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        """The smallest rectangle covering both."""
+        x1 = min(self.x, other.x)
+        y1 = min(self.y, other.y)
+        x2 = max(self.x2, other.x2)
+        y2 = max(self.y2, other.y2)
+        return Rect(x1, y1, x2 - x1, y2 - y1)
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """A copy moved by ``(dx, dy)``."""
+        return replace(self, x=self.x + dx, y=self.y + dy)
+
+    def moved_to(self, x: float, y: float) -> "Rect":
+        """A copy whose lower-left corner is at ``(x, y)``."""
+        return replace(self, x=x, y=y)
+
+    def rotated(self) -> "Rect":
+        """A copy rotated by 90 degrees about its lower-left corner
+        (width and height swapped, anchor unchanged)."""
+        return Rect(self.x, self.y, self.h, self.w)
+
+    def inflated(self, left: float, bottom: float, right: float, top: float) -> "Rect":
+        """A copy grown outward by per-side margins (used for routing
+        envelopes; see section 3.2 of the paper)."""
+        return Rect(
+            self.x - left,
+            self.y - bottom,
+            self.w + left + right,
+            self.h + bottom + top,
+        )
+
+    def side_midpoint(self, side: str) -> tuple[float, float]:
+        """Midpoint of a side, one of ``left/right/bottom/top``.
+
+        The paper places one *generalized pin* per module side; this is where
+        that pin sits.
+        """
+        if side == "left":
+            return (self.x, self.cy)
+        if side == "right":
+            return (self.x2, self.cy)
+        if side == "bottom":
+            return (self.cx, self.y)
+        if side == "top":
+            return (self.cx, self.y2)
+        raise ValueError(f"unknown side {side!r}")
+
+
+def bounding_box(rects: Iterable[Rect]) -> Rect:
+    """The smallest rectangle covering all of ``rects``.
+
+    Raises:
+        ValueError: when ``rects`` is empty.
+    """
+    it: Iterator[Rect] = iter(rects)
+    try:
+        box = next(it)
+    except StopIteration:
+        raise ValueError("bounding_box of an empty collection") from None
+    for r in it:
+        box = box.union_bbox(r)
+    return box
+
+
+def total_area(rects: Iterable[Rect]) -> float:
+    """Sum of rectangle areas (overlaps counted twice)."""
+    return sum(r.area for r in rects)
+
+
+def any_overlap(rects: list[Rect], eps: float = GEOM_EPS) -> tuple[int, int] | None:
+    """Find one overlapping pair among ``rects``.
+
+    Returns the index pair of the first overlapping pair found, or None when
+    the set is pairwise interior-disjoint.  O(n^2) — the floorplanner's module
+    counts (tens) make a sweep-line unnecessary.
+    """
+    for i in range(len(rects)):
+        for j in range(i + 1, len(rects)):
+            if rects[i].overlaps(rects[j], eps):
+                return (i, j)
+    return None

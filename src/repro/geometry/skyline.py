@@ -1,0 +1,184 @@
+"""Skyline (upper contour) of a placed module set.
+
+The paper's successive-augmentation procedure replaces the partial floorplan
+by a covering polygon whose bottom holes are filled, "because new modules are
+added only from the open side of the chip" (section 3.1).  That hole-filled
+polygon is exactly the region under the *skyline* — the upper envelope of the
+placed rectangles over the chip width.  This module computes and manipulates
+that step function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.geometry.rect import GEOM_EPS, Rect
+
+
+@dataclass(frozen=True)
+class SkylineStep:
+    """One horizontal run of the skyline: height ``height`` over ``[x1, x2]``."""
+
+    x1: float
+    x2: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.x2 <= self.x1:
+            raise ValueError(f"SkylineStep needs x2 > x1, got [{self.x1}, {self.x2}]")
+
+    @property
+    def width(self) -> float:
+        """Horizontal extent of the step."""
+        return self.x2 - self.x1
+
+
+class Skyline:
+    """The upper contour of a set of rectangles over a base span.
+
+    The skyline is stored as a minimal list of :class:`SkylineStep` runs
+    (adjacent equal-height runs merged), sorted by x, exactly covering
+    ``[x_min, x_max]``.  Heights are 0 where no rectangle covers the span.
+    """
+
+    def __init__(self, x_min: float, x_max: float, eps: float = GEOM_EPS) -> None:
+        if x_max <= x_min:
+            raise ValueError(f"Skyline needs x_max > x_min, got [{x_min}, {x_max}]")
+        self.x_min = x_min
+        self.x_max = x_max
+        self.eps = eps
+        self._steps: list[SkylineStep] = [SkylineStep(x_min, x_max, 0.0)]
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_rects(cls, rects: Iterable[Rect], x_min: float | None = None,
+                   x_max: float | None = None, eps: float = GEOM_EPS) -> "Skyline":
+        """Build the skyline of ``rects`` over ``[x_min, x_max]``.
+
+        When the span is omitted it defaults to the rects' horizontal extent.
+        """
+        rect_list = list(rects)
+        if not rect_list and (x_min is None or x_max is None):
+            raise ValueError("from_rects needs either rects or an explicit span")
+        lo = min(r.x for r in rect_list) if x_min is None else x_min
+        hi = max(r.x2 for r in rect_list) if x_max is None else x_max
+        sky = cls(lo, hi, eps=eps)
+        for r in rect_list:
+            sky.add_rect(r)
+        return sky
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def steps(self) -> Sequence[SkylineStep]:
+        """The merged, sorted runs of the skyline."""
+        return tuple(self._steps)
+
+    def height_at(self, x: float) -> float:
+        """Skyline height at coordinate ``x`` (max of the two runs at a
+        breakpoint)."""
+        if not (self.x_min - self.eps <= x <= self.x_max + self.eps):
+            raise ValueError(f"x={x} outside skyline span [{self.x_min}, {self.x_max}]")
+        best = 0.0
+        for s in self._steps:
+            if s.x1 - self.eps <= x <= s.x2 + self.eps:
+                best = max(best, s.height)
+        return best
+
+    def max_height(self) -> float:
+        """The tallest point of the skyline."""
+        return max(s.height for s in self._steps)
+
+    def min_height(self) -> float:
+        """The lowest point of the skyline."""
+        return min(s.height for s in self._steps)
+
+    def distinct_heights(self) -> list[float]:
+        """Sorted distinct step heights (epsilon-deduplicated)."""
+        heights: list[float] = []
+        for s in sorted(self._steps, key=lambda st: st.height):
+            if not heights or s.height - heights[-1] > self.eps:
+                heights.append(s.height)
+        return heights
+
+    def area_under(self) -> float:
+        """Area of the region under the skyline (the covering polygon's area,
+        bottom holes included)."""
+        return sum(s.width * s.height for s in self._steps)
+
+    def has_valley(self) -> bool:
+        """True when some step is lower than both of its neighbors.
+
+        Augmentation-produced skylines with valleys still decompose correctly,
+        but the Theorem-2 rectangle-count bound is stated for the paper's
+        staircase polygons; tests use this predicate to classify cases.
+        """
+        for i in range(1, len(self._steps) - 1):
+            left = self._steps[i - 1].height
+            mid = self._steps[i].height
+            right = self._steps[i + 1].height
+            if mid < left - self.eps and mid < right - self.eps:
+                return True
+        return False
+
+    def n_horizontal_edges(self) -> int:
+        """Number of horizontal edges of the covering polygon (the ``n`` of
+        Theorem 1): one per merged run with positive height, plus runs at
+        height 0 contribute the chip's bottom line segments."""
+        return len(self._steps)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add_rect(self, rect: Rect) -> None:
+        """Raise the skyline to at least ``rect.y2`` over ``[rect.x, rect.x2]``.
+
+        Only the part of the rect inside the skyline span matters; a rect
+        entirely outside the span is ignored.
+        """
+        lo = max(rect.x, self.x_min)
+        hi = min(rect.x2, self.x_max)
+        if hi - lo <= self.eps:
+            return
+        top = rect.y2
+        new_steps: list[SkylineStep] = []
+        for s in self._steps:
+            if s.x2 <= lo + self.eps or s.x1 >= hi - self.eps:
+                new_steps.append(s)
+                continue
+            # Split into (left, middle, right); sub-epsilon slivers are
+            # absorbed into the middle part so the steps keep tiling the
+            # span exactly.
+            has_left = s.x1 < lo - self.eps
+            has_right = s.x2 > hi + self.eps
+            if has_left:
+                new_steps.append(SkylineStep(s.x1, lo, s.height))
+            mid_lo = lo if has_left else s.x1
+            mid_hi = hi if has_right else s.x2
+            new_steps.append(SkylineStep(mid_lo, mid_hi, max(s.height, top)))
+            if has_right:
+                new_steps.append(SkylineStep(hi, s.x2, s.height))
+        self._steps = _merge_steps(new_steps, self.eps)
+
+    def raised_copy(self, rect: Rect) -> "Skyline":
+        """A new skyline with ``rect`` added."""
+        sky = Skyline(self.x_min, self.x_max, eps=self.eps)
+        sky._steps = list(self._steps)
+        sky.add_rect(rect)
+        return sky
+
+
+def _merge_steps(steps: list[SkylineStep], eps: float) -> list[SkylineStep]:
+    """Sort runs by x and merge adjacent runs with (numerically) equal
+    heights."""
+    steps = sorted(steps, key=lambda s: s.x1)
+    merged: list[SkylineStep] = []
+    for s in steps:
+        if merged and abs(merged[-1].height - s.height) <= eps \
+                and abs(merged[-1].x2 - s.x1) <= eps:
+            last = merged[-1]
+            merged[-1] = SkylineStep(last.x1, s.x2, last.height)
+        else:
+            merged.append(s)
+    return merged

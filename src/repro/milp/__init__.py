@@ -1,0 +1,33 @@
+"""Mathematical-programming substrate (the paper's LINDO replacement).
+
+The paper solves each floorplanning subproblem with the LINDO mixed-integer
+linear programming package.  This subpackage provides the equivalent: an
+algebraic modeling layer (:class:`~repro.milp.model.Model`,
+:class:`~repro.milp.expr.LinExpr`) plus interchangeable solver backends:
+
+* ``"highs"`` — HiGHS via :func:`scipy.optimize.milp` (fast default),
+* ``"bnb"``   — a from-scratch branch-and-bound over LP relaxations,
+* ``"simplex"`` — a pure-NumPy two-phase simplex (LP problems only; also the
+  optional relaxation engine inside ``"bnb"``).
+"""
+
+from repro.milp.expr import LinExpr, Variable, VarKind
+from repro.milp.lpformat import read_lp, write_lp
+from repro.milp.model import Constraint, Model, Sense
+from repro.milp.solution import Solution, SolveStatus
+from repro.milp.solvers.registry import available_backends, solve
+
+__all__ = [
+    "LinExpr",
+    "Variable",
+    "VarKind",
+    "Constraint",
+    "Model",
+    "Sense",
+    "Solution",
+    "SolveStatus",
+    "solve",
+    "available_backends",
+    "read_lp",
+    "write_lp",
+]

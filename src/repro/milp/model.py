@@ -1,0 +1,245 @@
+"""The optimization model: variables, constraints, objective, export.
+
+A :class:`Model` collects variables and constraints built with the algebra of
+:mod:`repro.milp.expr` and exports them to the standard-form arrays the
+backends consume (objective vector, sparse constraint matrix with row bounds,
+variable bounds, integrality markers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Mapping
+
+import numpy as np
+from scipy import sparse
+
+from repro.milp.expr import ExprLike, LinExpr, Variable, VarKind, _as_expr
+
+
+class Sense(str, Enum):
+    """Constraint sense; constraints are stored as ``expr SENSE 0``."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class ObjectiveSense(str, Enum):
+    """Optimization direction."""
+
+    MIN = "min"
+    MAX = "max"
+
+
+@dataclass
+class Constraint:
+    """A linear constraint ``expr <= 0``, ``expr >= 0``, or ``expr == 0``.
+
+    Built by comparing expressions (``lhs <= rhs`` stores ``lhs - rhs`` with
+    sense LE).  The name is attached when added to a model.
+    """
+
+    expr: LinExpr
+    sense: Sense
+    name: str = ""
+
+    def violation(self, assignment: Mapping[Variable, float]) -> float:
+        """How much the constraint is violated under ``assignment``
+        (0.0 when satisfied)."""
+        value = self.expr.value(assignment)
+        if self.sense is Sense.LE:
+            return max(0.0, value)
+        if self.sense is Sense.GE:
+            return max(0.0, -value)
+        return abs(value)
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.name or '?'}: {self.expr!r} {self.sense.value} 0)"
+
+
+@dataclass(frozen=True)
+class StandardForm:
+    """Arrays for the backends.
+
+    minimize ``c @ x + c0`` subject to ``row_lb <= A @ x <= row_ub`` and
+    ``lb <= x <= ub``; ``integrality[j]`` is 1 for integral columns else 0.
+    """
+
+    c: np.ndarray
+    c0: float
+    a_matrix: sparse.csr_matrix
+    row_lb: np.ndarray
+    row_ub: np.ndarray
+    lb: np.ndarray
+    ub: np.ndarray
+    integrality: np.ndarray
+    variables: tuple[Variable, ...]
+    maximize: bool
+
+
+class Model:
+    """A mixed-integer linear program under construction."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self._variables: list[Variable] = []
+        self._constraints: list[Constraint] = []
+        self._objective: LinExpr = LinExpr()
+        self._objective_sense = ObjectiveSense.MIN
+
+    # -- building -------------------------------------------------------------
+
+    def add_var(self, name: str, lb: float = 0.0, ub: float = math.inf,
+                kind: VarKind = VarKind.CONTINUOUS) -> Variable:
+        """Create a variable and register it with the model.
+
+        Binary variables get bounds clamped to [0, 1] regardless of the
+        arguments.
+        """
+        if kind is VarKind.BINARY:
+            lb, ub = max(0.0, lb), min(1.0, ub)
+        if ub < lb:
+            raise ValueError(f"variable {name}: ub {ub} < lb {lb}")
+        var = Variable(name, len(self._variables), lb, ub, kind)
+        self._variables.append(var)
+        return var
+
+    def add_binary(self, name: str) -> Variable:
+        """Shorthand for a 0-1 variable."""
+        return self.add_var(name, 0.0, 1.0, VarKind.BINARY)
+
+    def add_continuous(self, name: str, lb: float = 0.0,
+                       ub: float = math.inf) -> Variable:
+        """Shorthand for a continuous variable."""
+        return self.add_var(name, lb, ub, VarKind.CONTINUOUS)
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Register a constraint (built via expression comparison)."""
+        if not isinstance(constraint, Constraint):
+            raise TypeError(
+                "add_constraint expects a Constraint; build one by comparing "
+                "expressions, e.g. model.add_constraint(x + y <= 3)"
+            )
+        for var in constraint.expr.terms:
+            if var.index >= len(self._variables) or self._variables[var.index] is not var:
+                raise ValueError(
+                    f"constraint {name or constraint.name!r} uses variable "
+                    f"{var.name!r} not owned by this model"
+                )
+        constraint.name = name or constraint.name or f"c{len(self._constraints)}"
+        self._constraints.append(constraint)
+        return constraint
+
+    def add_constraints(self, constraints: Iterable[Constraint],
+                        prefix: str = "") -> list[Constraint]:
+        """Register several constraints, naming them ``prefix0, prefix1, ...``."""
+        added = []
+        for i, con in enumerate(constraints):
+            added.append(self.add_constraint(con, name=f"{prefix}{i}" if prefix else ""))
+        return added
+
+    def set_objective(self, expr: ExprLike,
+                      sense: ObjectiveSense | str = ObjectiveSense.MIN) -> None:
+        """Set the objective expression and direction."""
+        self._objective = _as_expr(expr)
+        self._objective_sense = ObjectiveSense(sense)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        """All variables in column order."""
+        return tuple(self._variables)
+
+    @property
+    def constraints(self) -> tuple[Constraint, ...]:
+        """All constraints in row order."""
+        return tuple(self._constraints)
+
+    @property
+    def objective(self) -> LinExpr:
+        """The objective expression."""
+        return self._objective
+
+    @property
+    def objective_sense(self) -> ObjectiveSense:
+        """The optimization direction."""
+        return self._objective_sense
+
+    @property
+    def n_variables(self) -> int:
+        """Number of variables."""
+        return len(self._variables)
+
+    @property
+    def n_integer_variables(self) -> int:
+        """Number of binary/integer variables — the quantity the paper's
+        successive augmentation keeps near-constant per step."""
+        return sum(1 for v in self._variables if v.is_integral)
+
+    @property
+    def n_constraints(self) -> int:
+        """Number of constraints."""
+        return len(self._constraints)
+
+    def is_pure_lp(self) -> bool:
+        """True when the model has no integral variables (the section-2.5
+        given-topology case)."""
+        return self.n_integer_variables == 0
+
+    # -- validation and export ------------------------------------------------------
+
+    def check_assignment(self, assignment: Mapping[Variable, float],
+                         tol: float = 1e-6) -> list[Constraint]:
+        """Constraints violated by more than ``tol`` under ``assignment``."""
+        return [c for c in self._constraints if c.violation(assignment) > tol]
+
+    def to_standard_form(self) -> StandardForm:
+        """Export to the array form the solver backends consume."""
+        n = len(self._variables)
+        c = np.zeros(n)
+        for var, coeff in self._objective.terms.items():
+            c[var.index] += coeff
+        maximize = self._objective_sense is ObjectiveSense.MAX
+        if maximize:
+            c = -c
+
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        row_lb = np.empty(len(self._constraints))
+        row_ub = np.empty(len(self._constraints))
+        for i, con in enumerate(self._constraints):
+            for var, coeff in con.expr.terms.items():
+                if coeff != 0.0:
+                    rows.append(i)
+                    cols.append(var.index)
+                    data.append(coeff)
+            rhs = -con.expr.constant
+            if con.sense is Sense.LE:
+                row_lb[i], row_ub[i] = -np.inf, rhs
+            elif con.sense is Sense.GE:
+                row_lb[i], row_ub[i] = rhs, np.inf
+            else:
+                row_lb[i], row_ub[i] = rhs, rhs
+
+        a_matrix = sparse.csr_matrix(
+            (data, (rows, cols)), shape=(len(self._constraints), n))
+        lb = np.array([v.lb for v in self._variables])
+        ub = np.array([v.ub for v in self._variables])
+        integrality = np.array(
+            [1 if v.is_integral else 0 for v in self._variables])
+        c0 = self._objective.constant * (-1.0 if maximize else 1.0)
+        return StandardForm(c=c, c0=c0, a_matrix=a_matrix, row_lb=row_lb,
+                            row_ub=row_ub, lb=lb, ub=ub,
+                            integrality=integrality,
+                            variables=tuple(self._variables),
+                            maximize=maximize)
+
+    def __repr__(self) -> str:
+        return (f"Model({self.name!r}: {self.n_variables} vars "
+                f"({self.n_integer_variables} integer), "
+                f"{self.n_constraints} constraints)")

@@ -1,0 +1,75 @@
+"""Solver results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping
+
+from repro.milp.expr import LinExpr, Variable
+
+
+class SolveStatus(str, Enum):
+    """Outcome of a solve call."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"          # stopped at a limit with an incumbent
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    LIMIT = "limit"                # stopped at a limit with no incumbent
+    ERROR = "error"
+
+    @property
+    def has_solution(self) -> bool:
+        """True when variable values are available."""
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+@dataclass
+class Solution:
+    """The result of solving a :class:`~repro.milp.model.Model`.
+
+    Attributes:
+        status: solve outcome.
+        objective: objective value in the model's own sense (meaningful only
+            when ``status.has_solution``).
+        values: assignment for every model variable.
+        bound: best dual bound proven (same sense as ``objective``).
+        n_nodes: branch-and-bound nodes explored (0 for pure LPs / HiGHS
+            when not reported).
+        solve_seconds: wall-clock time in the backend.
+        backend: name of the backend that produced this solution.
+        message: backend diagnostic text.
+    """
+
+    status: SolveStatus
+    objective: float = float("nan")
+    values: dict[Variable, float] = field(default_factory=dict)
+    bound: float = float("nan")
+    n_nodes: int = 0
+    solve_seconds: float = 0.0
+    backend: str = ""
+    message: str = ""
+
+    def __getitem__(self, var: Variable) -> float:
+        """Value of ``var`` in this solution."""
+        return self.values[var]
+
+    def value(self, expr: "LinExpr | Variable") -> float:
+        """Evaluate an expression or variable under this solution."""
+        if isinstance(expr, Variable):
+            return self.values[expr]
+        return expr.value(self.values)
+
+    def rounded(self, var: Variable) -> int:
+        """Integer value of an integral variable (rounds solver noise)."""
+        return round(self.values[var])
+
+    def gap(self) -> float:
+        """Relative optimality gap ``|objective - bound| / max(1, |objective|)``
+        (0.0 when the bound is unavailable)."""
+        import math
+
+        if math.isnan(self.bound) or math.isnan(self.objective):
+            return 0.0
+        return abs(self.objective - self.bound) / max(1.0, abs(self.objective))

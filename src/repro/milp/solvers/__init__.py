@@ -1,0 +1,5 @@
+"""Solver backends for :mod:`repro.milp` models."""
+
+from repro.milp.solvers.registry import available_backends, solve
+
+__all__ = ["solve", "available_backends"]

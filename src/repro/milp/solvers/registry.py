@@ -1,0 +1,61 @@
+"""Backend registry: dispatch ``solve(model, backend=...)``."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.milp.model import Model
+from repro.milp.solution import Solution
+
+
+def _solve_highs(model: Model, **options) -> Solution:
+    from repro.milp.solvers.scipy_backend import solve_highs
+
+    return solve_highs(model, **options)
+
+
+def _solve_bnb(model: Model, **options) -> Solution:
+    from repro.milp.solvers.branch_and_bound import solve_bnb
+
+    return solve_bnb(model, **options)
+
+
+def _solve_simplex(model: Model, **options) -> Solution:
+    from repro.milp.solvers.simplex import solve_simplex
+
+    return solve_simplex(model, **options)
+
+
+_BACKENDS: dict[str, Callable[..., Solution]] = {
+    "highs": _solve_highs,
+    "bnb": _solve_bnb,
+    "simplex": _solve_simplex,
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`solve`."""
+    return tuple(_BACKENDS)
+
+
+def solve(model: Model, backend: str = "highs", **options) -> Solution:
+    """Solve ``model`` with the named backend.
+
+    Args:
+        model: the model to solve.
+        backend: one of :func:`available_backends` — ``"highs"`` (HiGHS via
+            SciPy; the default), ``"bnb"`` (from-scratch branch-and-bound),
+            or ``"simplex"`` (pure-NumPy simplex; LPs only).
+        **options: backend-specific options such as ``time_limit``,
+            ``mip_rel_gap``, ``node_limit``, ``lp_engine``.
+
+    Returns:
+        The backend's :class:`~repro.milp.solution.Solution`.
+    """
+    try:
+        fn = _BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; available: {available_backends()}"
+        ) from None
+    return fn(model, **options)

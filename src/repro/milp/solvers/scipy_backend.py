@@ -1,0 +1,157 @@
+"""HiGHS backend via :func:`scipy.optimize.milp`.
+
+This is the default "LINDO" of the reproduction: a black-box exact MILP
+solver.  Pure-LP models are routed through :func:`scipy.optimize.linprog`
+(also HiGHS) which is faster and returns dual information.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy import optimize
+
+from repro.milp.model import Model
+from repro.milp.solution import Solution, SolveStatus
+
+
+def solve_highs(model: Model, *, time_limit: float | None = None,
+                mip_rel_gap: float = 1e-6,
+                node_limit: int | None = None) -> Solution:
+    """Solve ``model`` with HiGHS.
+
+    Args:
+        model: the model to solve.
+        time_limit: wall-clock limit in seconds (None = unlimited).
+        mip_rel_gap: relative MIP gap at which to stop.
+        node_limit: branch-and-bound node limit (None = unlimited).
+
+    Returns:
+        A :class:`~repro.milp.solution.Solution`; objective values are
+        reported in the model's own sense (max objectives are un-negated).
+    """
+    form = model.to_standard_form()
+    start = time.perf_counter()
+
+    if model.is_pure_lp():
+        result = optimize.linprog(
+            form.c,
+            bounds=np.column_stack([form.lb, form.ub]),
+            method="highs",
+            options={"time_limit": time_limit} if time_limit else None,
+            **_linprog_rows(form),
+        )
+        elapsed = time.perf_counter() - start
+        return _from_scipy(result, form, model, elapsed, backend="highs-lp")
+
+    constraints = optimize.LinearConstraint(
+        form.a_matrix, form.row_lb, form.row_ub)
+    bounds = optimize.Bounds(form.lb, form.ub)
+    options: dict[str, object] = {"mip_rel_gap": mip_rel_gap}
+    if time_limit is not None:
+        options["time_limit"] = time_limit
+    if node_limit is not None:
+        options["node_limit"] = node_limit
+    result = optimize.milp(
+        form.c, constraints=constraints, bounds=bounds,
+        integrality=form.integrality, options=options)
+    if result.status == 4:
+        # Some HiGHS builds report "Solve error" on numerically touchy
+        # instances; rounding every coefficient to 12 significant digits
+        # (far above modeling precision) reliably sidesteps it.
+        result = optimize.milp(
+            form.c,
+            constraints=optimize.LinearConstraint(
+                _round_sig_sparse(form.a_matrix),
+                _round_sig(form.row_lb), _round_sig(form.row_ub)),
+            bounds=optimize.Bounds(_round_sig(form.lb), _round_sig(form.ub)),
+            integrality=form.integrality, options=options)
+    elapsed = time.perf_counter() - start
+    return _from_scipy(result, form, model, elapsed, backend="highs")
+
+
+def _round_sig(values: np.ndarray, digits: int = 12) -> np.ndarray:
+    """Round finite entries to ``digits`` significant digits."""
+    out = np.array(values, dtype=float)
+    finite = np.isfinite(out)
+    out[finite] = [float(f"{v:.{digits}g}") for v in out[finite]]
+    return out
+
+
+def _round_sig_sparse(matrix, digits: int = 12):
+    """A copy of a sparse matrix with data rounded to significant digits."""
+    rounded = matrix.copy()
+    rounded.data = _round_sig(rounded.data, digits)
+    return rounded
+
+
+def _linprog_rows(form) -> dict[str, np.ndarray | None]:
+    """Split (row_lb, row_ub) rows into linprog's A_ub/b_ub and A_eq/b_eq."""
+    a_dense = form.a_matrix
+    eq_mask = np.isfinite(form.row_lb) & (form.row_lb == form.row_ub)
+    ub_mask = np.isfinite(form.row_ub) & ~eq_mask
+    lb_mask = np.isfinite(form.row_lb) & ~eq_mask
+
+    a_ub_parts = []
+    b_ub_parts = []
+    if ub_mask.any():
+        a_ub_parts.append(a_dense[ub_mask])
+        b_ub_parts.append(form.row_ub[ub_mask])
+    if lb_mask.any():
+        a_ub_parts.append(-a_dense[lb_mask])
+        b_ub_parts.append(-form.row_lb[lb_mask])
+
+    kwargs: dict[str, np.ndarray | None] = {
+        "A_ub": None, "b_ub": None, "A_eq": None, "b_eq": None}
+    if a_ub_parts:
+        from scipy import sparse
+
+        kwargs["A_ub"] = sparse.vstack(a_ub_parts).tocsr()
+        kwargs["b_ub"] = np.concatenate(b_ub_parts)
+    if eq_mask.any():
+        kwargs["A_eq"] = a_dense[eq_mask]
+        kwargs["b_eq"] = form.row_lb[eq_mask]
+    return kwargs
+
+
+_STATUS_MAP = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.LIMIT,      # iteration/node limit
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+
+def _from_scipy(result, form, model: Model, elapsed: float,
+                backend: str) -> Solution:
+    status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
+    if status is SolveStatus.LIMIT and result.x is not None:
+        status = SolveStatus.FEASIBLE
+    values: dict = {}
+    objective = float("nan")
+    if result.x is not None and status.has_solution:
+        x = np.asarray(result.x, dtype=float)
+        values = {var: float(x[j]) for j, var in enumerate(form.variables)}
+        objective = float(form.c @ x) + form.c0
+        if form.maximize:
+            objective = -objective
+    bound = float("nan")
+    mip_bound = getattr(result, "mip_dual_bound", None)
+    if mip_bound is not None:
+        bound = float(mip_bound) + form.c0
+        if form.maximize:
+            bound = -bound
+    elif status is SolveStatus.OPTIMAL:
+        bound = objective
+    return Solution(
+        status=status,
+        objective=objective,
+        values=values,
+        bound=bound,
+        n_nodes=int(getattr(result, "mip_node_count", 0) or 0),
+        solve_seconds=elapsed,
+        backend=backend,
+        message=str(getattr(result, "message", "")),
+    )

@@ -1,0 +1,286 @@
+"""A pure-NumPy two-phase tableau simplex LP solver.
+
+This is the from-scratch half of the LINDO substitution: a dense primal
+simplex with Bland's anti-cycling rule, usable directly on pure-LP models
+(the paper's section-2.5 given-topology problems) and as the relaxation
+engine inside the from-scratch branch-and-bound.
+
+The implementation targets correctness and clarity over speed: the
+floorplanner's LPs have at most a few hundred rows and columns, where a dense
+tableau is perfectly adequate.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.milp.model import Model
+from repro.milp.solution import Solution, SolveStatus
+
+#: Pivot tolerance: entries smaller than this are treated as zero.
+PIVOT_EPS = 1e-9
+#: Feasibility / reduced-cost tolerance.
+FEAS_EPS = 1e-7
+
+
+class LpStatus(str, Enum):
+    """Raw LP outcome."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+
+
+@dataclass
+class LpResult:
+    """Result of a raw LP solve (minimization)."""
+
+    status: LpStatus
+    x: np.ndarray | None = None
+    objective: float = math.nan
+    n_iterations: int = 0
+
+
+def solve_lp_arrays(c: np.ndarray, a_matrix: np.ndarray, row_lb: np.ndarray,
+                    row_ub: np.ndarray, lb: np.ndarray, ub: np.ndarray,
+                    max_iterations: int | None = None) -> LpResult:
+    """Minimize ``c @ x`` s.t. ``row_lb <= A x <= row_ub``, ``lb <= x <= ub``.
+
+    Lower variable bounds must be finite (the floorplanning models satisfy
+    this: positions, widths, and binaries are all bounded below).  Infinite
+    upper bounds are allowed.
+
+    The problem is reduced to the textbook form ``A' x' {<=,=} b', x' >= 0``
+    by shifting each variable by its lower bound and emitting upper bounds and
+    two-sided rows as explicit inequality rows, then solved with a two-phase
+    dense tableau.
+    """
+    c = np.asarray(c, dtype=float)
+    a_matrix = np.asarray(a_matrix, dtype=float)
+    lb = np.asarray(lb, dtype=float)
+    ub = np.asarray(ub, dtype=float)
+    if not np.all(np.isfinite(lb)):
+        raise ValueError("simplex backend requires finite lower bounds")
+    n = c.size
+
+    # Shift x = lb + x', x' >= 0.
+    rows_a: list[np.ndarray] = []
+    rows_b: list[float] = []
+    rows_eq: list[bool] = []
+
+    def add_row(a_row: np.ndarray, b_value: float, is_eq: bool) -> None:
+        rows_a.append(a_row)
+        rows_b.append(b_value)
+        rows_eq.append(is_eq)
+
+    for i in range(a_matrix.shape[0]):
+        a_row = a_matrix[i]
+        shift = float(a_row @ lb)
+        lo, hi = row_lb[i], row_ub[i]
+        if np.isfinite(lo) and np.isfinite(hi) and lo == hi:
+            add_row(a_row.copy(), hi - shift, True)
+            continue
+        if np.isfinite(hi):
+            add_row(a_row.copy(), hi - shift, False)
+        if np.isfinite(lo):
+            add_row(-a_row, -(lo - shift), False)
+
+    for j in range(n):
+        if np.isfinite(ub[j]):
+            span = ub[j] - lb[j]
+            if span < -FEAS_EPS:
+                return LpResult(LpStatus.INFEASIBLE)
+            row = np.zeros(n)
+            row[j] = 1.0
+            add_row(row, span, False)
+
+    a_all = np.array(rows_a) if rows_a else np.zeros((0, n))
+    b_all = np.array(rows_b)
+    eq_mask = np.array(rows_eq, dtype=bool)
+    result = _two_phase_simplex(c, a_all, b_all, eq_mask,
+                                max_iterations=max_iterations)
+    if result.x is not None:
+        result = LpResult(result.status, result.x + lb,
+                          result.objective + float(c @ lb),
+                          result.n_iterations)
+    return result
+
+
+def _two_phase_simplex(c: np.ndarray, a_matrix: np.ndarray, b: np.ndarray,
+                       eq_mask: np.ndarray,
+                       max_iterations: int | None = None) -> LpResult:
+    """Minimize ``c @ x`` s.t. ``A x <= b`` (rows with eq_mask: ``= b``),
+    ``x >= 0``, via a two-phase dense tableau with Bland's rule."""
+    m, n = a_matrix.shape
+    if max_iterations is None:
+        max_iterations = 50 * (m + n + 10)
+
+    # Normalize to b >= 0 so identity columns are feasible starts.
+    a_matrix = a_matrix.copy()
+    b = b.copy()
+    neg = b < 0
+    a_matrix[neg] *= -1.0
+    b[neg] *= -1.0
+    # '<=' rows that were negated become '>=' rows; track by slack sign.
+    slack_sign = np.where(eq_mask, 0.0, np.where(neg, -1.0, 1.0))
+
+    # Columns: n structural | slacks (for non-eq rows) | artificials.
+    slack_rows = np.flatnonzero(slack_sign != 0.0)
+    n_slack = slack_rows.size
+    # Artificials needed where no +1 slack provides a basic column.
+    art_rows = np.flatnonzero((slack_sign <= 0.0))
+    n_art = art_rows.size
+    total = n + n_slack + n_art
+
+    tableau = np.zeros((m, total))
+    tableau[:, :n] = a_matrix
+    for k, i in enumerate(slack_rows):
+        tableau[i, n + k] = slack_sign[i]
+    for k, i in enumerate(art_rows):
+        tableau[i, n + n_slack + k] = 1.0
+
+    basis = np.empty(m, dtype=int)
+    art_of_row: dict[int, int] = {int(i): n + n_slack + k
+                                  for k, i in enumerate(art_rows)}
+    slack_of_row: dict[int, int] = {int(i): n + k
+                                    for k, i in enumerate(slack_rows)}
+    for i in range(m):
+        if i in art_of_row:
+            basis[i] = art_of_row[i]
+        else:
+            basis[i] = slack_of_row[i]
+
+    rhs = b.copy()
+    iterations = 0
+
+    # -- Phase I: minimize sum of artificials ------------------------------------
+    if n_art:
+        phase1_cost = np.zeros(total)
+        phase1_cost[n + n_slack:] = 1.0
+        status, iterations = _optimize(tableau, rhs, basis, phase1_cost,
+                                       max_iterations, iterations,
+                                       allowed=total)
+        if status is LpStatus.ITERATION_LIMIT:
+            return LpResult(status, n_iterations=iterations)
+        infeasibility = sum(rhs[i] for i in range(m)
+                            if basis[i] >= n + n_slack)
+        if infeasibility > FEAS_EPS:
+            return LpResult(LpStatus.INFEASIBLE, n_iterations=iterations)
+        # Drive any remaining (degenerate) artificials out of the basis.
+        for i in range(m):
+            if basis[i] >= n + n_slack:
+                pivot_col = next(
+                    (j for j in range(n + n_slack)
+                     if abs(tableau[i, j]) > PIVOT_EPS), None)
+                if pivot_col is not None:
+                    _pivot(tableau, rhs, basis, i, pivot_col)
+                # else: the row is all zeros over real columns — redundant.
+
+    # -- Phase II: original objective, artificials barred -------------------------
+    phase2_cost = np.zeros(total)
+    phase2_cost[:n] = c
+    status, iterations = _optimize(tableau, rhs, basis, phase2_cost,
+                                   max_iterations, iterations,
+                                   allowed=n + n_slack)
+    if status in (LpStatus.UNBOUNDED, LpStatus.ITERATION_LIMIT):
+        return LpResult(status, n_iterations=iterations)
+
+    x = np.zeros(n)
+    for i in range(m):
+        if basis[i] < n:
+            x[basis[i]] = rhs[i]
+    return LpResult(LpStatus.OPTIMAL, x, float(c @ x), iterations)
+
+
+def _optimize(tableau: np.ndarray, rhs: np.ndarray, basis: np.ndarray,
+              cost: np.ndarray, max_iterations: int, iterations: int,
+              allowed: int) -> tuple[LpStatus, int]:
+    """Run simplex iterations in place until optimal/unbounded/limit.
+
+    ``allowed`` restricts entering columns to indices below it (used to bar
+    artificial columns in phase II).
+    """
+    m = tableau.shape[0]
+    while iterations < max_iterations:
+        iterations += 1
+        # Reduced costs: c_j - c_B @ B^-1 A_j (tableau already in B^-1 A form).
+        cost_basis = cost[basis]
+        reduced = cost[:allowed] - cost_basis @ tableau[:, :allowed]
+        entering_candidates = np.flatnonzero(reduced < -FEAS_EPS)
+        if entering_candidates.size == 0:
+            return LpStatus.OPTIMAL, iterations
+        entering = int(entering_candidates[0])  # Bland's rule
+
+        column = tableau[:, entering]
+        positive = column > PIVOT_EPS
+        if not positive.any():
+            return LpStatus.UNBOUNDED, iterations
+        ratios = np.full(m, np.inf)
+        ratios[positive] = rhs[positive] / column[positive]
+        best = ratios.min()
+        # Bland: among ties pick the row whose basic variable has min index.
+        tie_rows = np.flatnonzero(np.abs(ratios - best) <= PIVOT_EPS * (1 + best))
+        leaving = int(min(tie_rows, key=lambda i: basis[i]))
+        _pivot(tableau, rhs, basis, leaving, entering)
+    return LpStatus.ITERATION_LIMIT, iterations
+
+
+def _pivot(tableau: np.ndarray, rhs: np.ndarray, basis: np.ndarray,
+           row: int, col: int) -> None:
+    """Gauss-Jordan pivot on (row, col), updating the basis in place."""
+    pivot_value = tableau[row, col]
+    tableau[row] /= pivot_value
+    rhs[row] /= pivot_value
+    for i in range(tableau.shape[0]):
+        if i != row and abs(tableau[i, col]) > PIVOT_EPS:
+            factor = tableau[i, col]
+            tableau[i] -= factor * tableau[row]
+            rhs[i] -= factor * rhs[row]
+            if rhs[i] < 0.0 and rhs[i] > -FEAS_EPS:
+                rhs[i] = 0.0
+    basis[row] = col
+
+
+def solve_simplex(model: Model, *, max_iterations: int | None = None,
+                  **_ignored) -> Solution:
+    """Solve a pure-LP model with the NumPy simplex.
+
+    Raises:
+        ValueError: when the model contains integer variables (use the
+            ``"bnb"`` or ``"highs"`` backends for MILPs).
+    """
+    if not model.is_pure_lp():
+        raise ValueError(
+            "simplex backend only solves pure LPs; "
+            "use backend='bnb' or 'highs' for integer models")
+    form = model.to_standard_form()
+    start = time.perf_counter()
+    result = solve_lp_arrays(form.c, form.a_matrix.toarray(), form.row_lb,
+                             form.row_ub, form.lb, form.ub,
+                             max_iterations=max_iterations)
+    elapsed = time.perf_counter() - start
+
+    status_map = {
+        LpStatus.OPTIMAL: SolveStatus.OPTIMAL,
+        LpStatus.INFEASIBLE: SolveStatus.INFEASIBLE,
+        LpStatus.UNBOUNDED: SolveStatus.UNBOUNDED,
+        LpStatus.ITERATION_LIMIT: SolveStatus.LIMIT,
+    }
+    status = status_map[result.status]
+    values: dict = {}
+    objective = math.nan
+    if result.x is not None and status.has_solution:
+        values = {var: float(result.x[j]) for j, var in enumerate(form.variables)}
+        objective = result.objective + form.c0
+        if form.maximize:
+            objective = -objective
+    return Solution(status=status, objective=objective, values=values,
+                    bound=objective if status is SolveStatus.OPTIMAL else math.nan,
+                    solve_seconds=elapsed, backend="simplex",
+                    message=f"{result.n_iterations} simplex iterations")

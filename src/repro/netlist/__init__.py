@@ -1,0 +1,34 @@
+"""Circuit model substrate: modules, nets, netlists, benchmark I/O.
+
+The paper's input is a set of rigid and flexible modules plus a netlist from
+which pairwise common-net counts ``c_ij`` are derived (section 2.2).  This
+subpackage models those inputs, parses/writes the MCNC YAL benchmark format,
+generates the seeded random instances of Series 1, and embeds the documented
+ami33-like substitute instance.
+"""
+
+from repro.netlist.module import Module, PinCounts, Side
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+from repro.netlist.generators import random_netlist, series1_instance
+from repro.netlist.mcnc import ami33_like, apte_like, xerox_like, hp_like
+from repro.netlist.yal import parse_yal, write_yal
+from repro.netlist.gsrc import parse_gsrc, write_gsrc
+
+__all__ = [
+    "parse_gsrc",
+    "write_gsrc",
+    "Module",
+    "PinCounts",
+    "Side",
+    "Net",
+    "Netlist",
+    "random_netlist",
+    "series1_instance",
+    "ami33_like",
+    "apte_like",
+    "xerox_like",
+    "hp_like",
+    "parse_yal",
+    "write_yal",
+]

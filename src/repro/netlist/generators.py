@@ -1,0 +1,142 @@
+"""Seeded random benchmark generation.
+
+Series 1 of the paper evaluates scaling on "problems with 15, 20, and 25
+modules [that] were randomly generated".  This module reproduces that
+workload class: seeded, deterministic random instances with an MCNC-like
+spread of module sizes, aspect ratios, and net degrees.
+
+Pin counts are not independent random numbers: as in the YAL benchmarks,
+every net endpoint is a pin, so each module's pins are its incident nets
+distributed over its four sides.  This correlation is what makes the
+section-3.2 envelopes informative — highly connected modules reserve more
+routing space.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.netlist.module import Module, PinCounts
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+
+_SIDES = ("left", "right", "bottom", "top")
+
+
+def random_netlist(n_modules: int, seed: int, *, total_area: float | None = None,
+                   flexible_fraction: float = 0.0,
+                   nets_per_module: float = 3.7,
+                   max_net_degree: int = 5,
+                   critical_fraction: float = 0.05,
+                   name: str | None = None) -> Netlist:
+    """Generate a deterministic random floorplanning instance.
+
+    Module areas follow a lognormal distribution (matching the wide size
+    spread of the MCNC blocks), rescaled so they sum to ``total_area``.
+    Aspect ratios are drawn in [1, 3] with random orientation.  Net count is
+    ``round(nets_per_module * n_modules)`` (ami33 has 123 nets over 33
+    modules, i.e. ~3.7), with degrees in [2, max_net_degree] skewed toward
+    two-pin nets.  Every net endpoint becomes a pin on a random side of its
+    module, so pin counts track connectivity.
+
+    Args:
+        n_modules: number of modules.
+        seed: RNG seed; identical seeds give identical instances.
+        total_area: target sum of module areas (default ``349.09 * n``,
+            ami33's per-module average of 11520/33).
+        flexible_fraction: fraction of modules generated as flexible
+            (fixed area, aspect in [0.5, 2]).
+        nets_per_module: net count per module.
+        max_net_degree: largest net degree.
+        critical_fraction: fraction of nets marked timing-critical.
+        name: netlist name (default ``random<n>_s<seed>``).
+
+    Returns:
+        The generated :class:`~repro.netlist.netlist.Netlist`.
+    """
+    if n_modules < 2:
+        raise ValueError("need at least two modules")
+    rng = random.Random(seed)
+    if total_area is None:
+        total_area = 11520.0 / 33.0 * n_modules
+
+    # -- module areas: lognormal, rescaled to the exact total ------------------
+    raw_areas = [rng.lognormvariate(0.0, 0.8) for _ in range(n_modules)]
+    scale = total_area / sum(raw_areas)
+    areas = [a * scale for a in raw_areas]
+    names = [f"m{i:02d}" for i in range(n_modules)]
+
+    nets = _random_nets(rng, names, round(nets_per_module * n_modules),
+                        max_net_degree, critical_fraction)
+    pin_sides = _pins_from_nets(rng, names, nets)
+
+    n_flexible = round(flexible_fraction * n_modules)
+    flexible_ids = set(rng.sample(range(n_modules), n_flexible))
+
+    modules: list[Module] = []
+    for i, (mod_name, area) in enumerate(zip(names, areas)):
+        pins = PinCounts(**pin_sides[mod_name])
+        if i in flexible_ids:
+            modules.append(Module.flexible_area(
+                mod_name, area, aspect_low=0.5, aspect_high=2.0, pins=pins))
+        else:
+            aspect = rng.uniform(1.0, 3.0)
+            if rng.random() < 0.5:
+                aspect = 1.0 / aspect
+            width = math.sqrt(area * aspect)
+            height = area / width
+            modules.append(Module.rigid(mod_name, width, height, pins=pins))
+
+    return Netlist(modules, nets, name=name or f"random{n_modules}_s{seed}")
+
+
+def _pins_from_nets(rng: random.Random, names: list[str],
+                    nets: list[Net]) -> dict[str, dict[str, int]]:
+    """One pin per net endpoint, on a random side of its module (at least
+    one pin per side stays plausible: modules with no nets get one pin)."""
+    sides: dict[str, dict[str, int]] = {
+        n: dict.fromkeys(_SIDES, 0) for n in names}
+    for net in nets:
+        for module_name in net.modules:
+            side = rng.choice(_SIDES)
+            sides[module_name][side] += 1
+    for n in names:
+        if sum(sides[n].values()) == 0:
+            sides[n][rng.choice(_SIDES)] = 1
+    return sides
+
+
+def _random_nets(rng: random.Random, names: list[str], n_nets: int,
+                 max_degree: int, critical_fraction: float) -> list[Net]:
+    """Random nets with degree skewed toward 2 and guaranteed coverage.
+
+    The first pass chains all modules so no module is disconnected; the rest
+    are uniform random subsets.
+    """
+    nets: list[Net] = []
+    order = list(names)
+    rng.shuffle(order)
+    for i in range(len(order) - 1):
+        if len(nets) >= n_nets:
+            break
+        nets.append(Net(f"n{len(nets):03d}", (order[i], order[i + 1])))
+    while len(nets) < n_nets:
+        degree_weights = [4.0 / (d * d) for d in range(2, max_degree + 1)]
+        degree = rng.choices(range(2, max_degree + 1), weights=degree_weights)[0]
+        endpoints = tuple(rng.sample(names, min(degree, len(names))))
+        nets.append(Net(f"n{len(nets):03d}", endpoints))
+    n_critical = round(critical_fraction * len(nets))
+    for idx in rng.sample(range(len(nets)), n_critical):
+        n = nets[idx]
+        nets[idx] = Net(n.name, n.modules, weight=n.weight,
+                        criticality=rng.uniform(0.5, 1.0))
+    return nets
+
+
+def series1_instance(n_modules: int, seed: int = 1990) -> Netlist:
+    """A Series-1 instance: the paper's randomly generated 15/20/25-module
+    problems (all rigid modules, chip-area objective)."""
+    return random_netlist(n_modules, seed=seed + n_modules,
+                          flexible_fraction=0.0,
+                          name=f"series1_{n_modules}")

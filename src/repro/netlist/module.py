@@ -1,0 +1,190 @@
+"""Modules: rigid and flexible rectangular blocks.
+
+Section 2.2 of the paper: the input is ``K = K_r U K_f`` modules.  A *rigid*
+module has given width and height (90-degree rotation allowed); a *flexible*
+module has a fixed area ``S_i = w_i h_i`` and aspect-ratio bounds
+``b_i <= w_i / h_i <= a_i``.  Each module additionally carries per-side pin
+counts used for the routing envelopes of section 3.2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.geometry.rect import Rect
+
+
+class Side(str, Enum):
+    """A module side, in the chip coordinate frame."""
+
+    LEFT = "left"
+    RIGHT = "right"
+    BOTTOM = "bottom"
+    TOP = "top"
+
+
+@dataclass(frozen=True)
+class PinCounts:
+    """Number of pins on each side of a module.
+
+    The paper replaces exact pin positions by one *generalized pin* per side
+    and sizes the routing envelope of each side proportionally to its pin
+    count (section 3.2).
+    """
+
+    left: int = 0
+    right: int = 0
+    bottom: int = 0
+    top: int = 0
+
+    def __post_init__(self) -> None:
+        for side in ("left", "right", "bottom", "top"):
+            if getattr(self, side) < 0:
+                raise ValueError(f"negative pin count on side {side}")
+
+    @property
+    def total(self) -> int:
+        """Total pin count over all four sides."""
+        return self.left + self.right + self.bottom + self.top
+
+    def on(self, side: Side) -> int:
+        """Pin count on ``side``."""
+        return getattr(self, side.value)
+
+    def rotated(self) -> "PinCounts":
+        """Pin counts after a 90-degree counterclockwise rotation
+        (left->bottom, bottom->right, right->top, top->left)."""
+        return PinCounts(left=self.top, right=self.bottom,
+                         bottom=self.left, top=self.right)
+
+
+@dataclass(frozen=True)
+class Module:
+    """A rectangular module, rigid or flexible.
+
+    Rigid modules are constructed with :meth:`rigid`; flexible ones with
+    :meth:`flexible`.  For a flexible module, ``width``/``height`` hold the
+    *nominal* dimensions (the square-ish shape of area ``area``); the MILP
+    formulation varies the realized width within the aspect bounds.
+
+    Attributes:
+        name: unique module identifier.
+        width: given width (rigid) or nominal width (flexible).
+        height: given height (rigid) or nominal height (flexible).
+        flexible: True when the module's shape may vary at fixed area.
+        aspect_low: lower bound ``b`` on the aspect ratio ``w / h``.
+        aspect_high: upper bound ``a`` on the aspect ratio ``w / h``.
+        rotatable: whether 90-degree rotation is permitted (rigid modules).
+        pins: per-side pin counts for routing envelopes.
+    """
+
+    name: str
+    width: float
+    height: float
+    flexible: bool = False
+    aspect_low: float = 1.0
+    aspect_high: float = 1.0
+    rotatable: bool = True
+    pins: PinCounts = field(default_factory=PinCounts)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"module {self.name}: dimensions must be positive")
+        if self.flexible:
+            if self.aspect_low <= 0 or self.aspect_high < self.aspect_low:
+                raise ValueError(
+                    f"module {self.name}: aspect bounds must satisfy "
+                    f"0 < low <= high, got [{self.aspect_low}, {self.aspect_high}]"
+                )
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def rigid(cls, name: str, width: float, height: float, *,
+              rotatable: bool = True, pins: PinCounts | None = None) -> "Module":
+        """A rigid module with fixed dimensions."""
+        return cls(name=name, width=width, height=height, flexible=False,
+                   rotatable=rotatable, pins=pins or PinCounts())
+
+    @classmethod
+    def flexible_area(cls, name: str, area: float, *, aspect_low: float = 0.5,
+                      aspect_high: float = 2.0,
+                      pins: PinCounts | None = None) -> "Module":
+        """A flexible module of fixed area with aspect-ratio bounds
+        ``aspect_low <= w/h <= aspect_high``.
+
+        The nominal shape realizes the geometric mean aspect ratio.
+        """
+        if area <= 0:
+            raise ValueError(f"module {name}: area must be positive")
+        nominal_aspect = math.sqrt(aspect_low * aspect_high)
+        width = math.sqrt(area * nominal_aspect)
+        height = area / width
+        return cls(name=name, width=width, height=height, flexible=True,
+                   aspect_low=aspect_low, aspect_high=aspect_high,
+                   rotatable=False, pins=pins or PinCounts())
+
+    # -- geometry -----------------------------------------------------------------
+
+    @property
+    def area(self) -> float:
+        """Module area.  For flexible modules this is the invariant ``S_i``."""
+        return self.width * self.height
+
+    @property
+    def width_min(self) -> float:
+        """Smallest legal width.
+
+        For flexible modules this follows from ``w/h >= b`` and ``wh = S``:
+        ``w >= sqrt(S b)``.  For rigid modules it is the given width (rotation
+        is modeled separately with the binary ``z_i``).
+        """
+        if not self.flexible:
+            return self.width
+        return math.sqrt(self.area * self.aspect_low)
+
+    @property
+    def width_max(self) -> float:
+        """Largest legal width (``sqrt(S a)`` for flexible modules)."""
+        if not self.flexible:
+            return self.width
+        return math.sqrt(self.area * self.aspect_high)
+
+    def height_for_width(self, w: float) -> float:
+        """Exact height at width ``w`` (``S / w`` for flexible modules)."""
+        if not self.flexible:
+            if not math.isclose(w, self.width, rel_tol=1e-9):
+                raise ValueError(f"rigid module {self.name} has fixed width {self.width}")
+            return self.height
+        if not (self.width_min - 1e-9 <= w <= self.width_max + 1e-9):
+            raise ValueError(
+                f"module {self.name}: width {w} outside "
+                f"[{self.width_min}, {self.width_max}]"
+            )
+        return self.area / w
+
+    def placed(self, x: float, y: float, *, rotated: bool = False,
+               width: float | None = None) -> Rect:
+        """The rectangle this module occupies at position ``(x, y)``.
+
+        Args:
+            rotated: apply the 90-degree rotation (rigid modules only).
+            width: realized width for flexible modules (defaults to nominal).
+        """
+        if self.flexible:
+            w = self.width if width is None else width
+            return Rect(x, y, w, self.height_for_width(w))
+        if width is not None and not math.isclose(width, self.width, rel_tol=1e-9):
+            raise ValueError(f"rigid module {self.name} cannot take width overrides")
+        if rotated:
+            return Rect(x, y, self.height, self.width)
+        return Rect(x, y, self.width, self.height)
+
+    def max_extent(self) -> float:
+        """The largest dimension the module can present on either axis; used
+        to build conservative big-M bounds."""
+        if self.flexible:
+            return max(self.width_max, self.area / self.width_min)
+        return max(self.width, self.height)

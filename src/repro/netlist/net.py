@@ -1,0 +1,68 @@
+"""Nets: hyperedges over modules.
+
+The connectivity input of section 2.2 is a netlist: for each module, the set
+of nets incident to it.  From it the formulation derives pairwise common-net
+counts ``c_ij``; the router additionally uses per-net weights and
+criticalities (timing-critical nets are routed first, following [YOU89]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Net:
+    """A net connecting two or more modules.
+
+    Attributes:
+        name: unique net identifier.
+        modules: names of connected modules (order-irrelevant; duplicates are
+            collapsed).
+        weight: objective weight of this net's wirelength contribution.
+        criticality: routing priority; nets with higher criticality are routed
+            first (0 = non-critical).
+        max_length: optional hard bound on the net's placement-stage length
+            (the paper's "additional constraints on the length of critical
+            nets"); enforced as a constraint by the MILP formulation.
+    """
+
+    name: str
+    modules: tuple[str, ...]
+    weight: float = 1.0
+    criticality: float = 0.0
+    max_length: float | None = None
+
+    def __post_init__(self) -> None:
+        deduped = tuple(dict.fromkeys(self.modules))
+        object.__setattr__(self, "modules", deduped)
+        if len(self.modules) < 2:
+            raise ValueError(f"net {self.name}: needs at least two distinct modules")
+        if self.weight < 0:
+            raise ValueError(f"net {self.name}: negative weight")
+        if self.max_length is not None and self.max_length <= 0:
+            raise ValueError(f"net {self.name}: max_length must be positive")
+
+    @property
+    def degree(self) -> int:
+        """Number of distinct modules on the net."""
+        return len(self.modules)
+
+    @property
+    def is_critical(self) -> bool:
+        """True when the net carries a timing criticality."""
+        return self.criticality > 0
+
+    def connects(self, module_name: str) -> bool:
+        """True when ``module_name`` is on this net."""
+        return module_name in self.modules
+
+    def pairs(self) -> list[tuple[str, str]]:
+        """All unordered module pairs on the net (clique model), each pair in
+        sorted order."""
+        mods = sorted(self.modules)
+        return [
+            (mods[i], mods[j])
+            for i in range(len(mods))
+            for j in range(i + 1, len(mods))
+        ]

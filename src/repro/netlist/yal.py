@@ -1,0 +1,206 @@
+"""YAL benchmark format reader/writer.
+
+YAL is the netlist format of the MCNC Physical Design Workshop benchmarks
+(ami33, apte, xerox, hp, ...), the suite the paper evaluates on.  This module
+implements the subset those files use:
+
+* ``MODULE <name>; ... ENDMODULE;`` blocks,
+* ``TYPE GENERAL | STANDARD | PAD | PARENT;``,
+* ``DIMENSIONS x1 y1 x2 y2 ...;`` — a rectilinear outline; we take the
+  bounding box (the benchmark blocks are rectangles),
+* ``IOLIST; <pin> <side> <pos> [<width> [<layer>]]; ... ENDIOLIST;`` — pins
+  with side letters ``L R B T`` (counted per side for envelopes),
+* ``NETWORK; <instance> <module> <signal> ...; ENDNETWORK;`` in the PARENT
+  module — signals shared by several instances become nets.
+
+The parser is lenient about whitespace/newlines and treats ``;`` as the sole
+statement terminator, matching the benchmark files' loose formatting.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.netlist.module import Module, PinCounts
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+
+_SIDE_FIELDS = {"L": "left", "R": "right", "B": "bottom", "T": "top"}
+
+#: Signals treated as power/ground/clock and excluded from the netlist, as is
+#: conventional for these benchmarks.
+GLOBAL_SIGNALS = {"GND", "VDD", "VSS", "VCC", "CK", "CLK", "PAD"}
+
+
+@dataclass
+class _RawModule:
+    name: str
+    mtype: str = "GENERAL"
+    points: list[tuple[float, float]] = field(default_factory=list)
+    pin_sides: dict[str, int] = field(default_factory=lambda: dict.fromkeys(
+        ("left", "right", "bottom", "top"), 0))
+    network: list[tuple[str, str, list[str]]] = field(default_factory=list)
+
+
+def _statements(text: str) -> list[str]:
+    """Split YAL text into ``;``-terminated statements, comments stripped."""
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    text = re.sub(r"(?m)#.*$", " ", text)
+    return [s.strip() for s in text.split(";") if s.strip()]
+
+
+def parse_yal(text: str, name: str = "yal",
+              drop_globals: bool = True) -> Netlist:
+    """Parse YAL text into a :class:`~repro.netlist.netlist.Netlist`.
+
+    Args:
+        text: YAL file contents.
+        name: name for the resulting netlist.
+        drop_globals: exclude power/ground/clock signals
+            (:data:`GLOBAL_SIGNALS`) from net construction.
+
+    Returns:
+        A netlist of rigid modules; the PARENT module supplies the nets and is
+        not itself a placeable module.
+    """
+    raw_modules: list[_RawModule] = []
+    current: _RawModule | None = None
+    mode: str | None = None  # None | "iolist" | "network"
+
+    for stmt in _statements(text):
+        tokens = stmt.split()
+        head = tokens[0].upper()
+
+        if head == "MODULE":
+            if len(tokens) < 2:
+                raise ValueError("MODULE statement without a name")
+            current = _RawModule(name=tokens[1])
+            raw_modules.append(current)
+            mode = None
+            continue
+        if head == "ENDMODULE":
+            current = None
+            mode = None
+            continue
+        if current is None:
+            raise ValueError(f"statement outside MODULE block: {stmt!r}")
+
+        if head == "TYPE":
+            current.mtype = tokens[1].upper()
+        elif head == "DIMENSIONS":
+            coords = [float(t) for t in tokens[1:]]
+            if len(coords) % 2 != 0 or len(coords) < 6:
+                raise ValueError(f"bad DIMENSIONS for module {current.name}")
+            current.points = list(zip(coords[::2], coords[1::2]))
+        elif head == "IOLIST":
+            mode = "iolist"
+        elif head == "ENDIOLIST":
+            mode = None
+        elif head == "NETWORK":
+            mode = "network"
+        elif head == "ENDNETWORK":
+            mode = None
+        elif mode == "iolist":
+            # <pin-name> <side> <position> [...]; side may be a letter or
+            # a coordinate pair in some files — only count lettered sides.
+            if len(tokens) >= 2 and tokens[1].upper() in _SIDE_FIELDS:
+                current.pin_sides[_SIDE_FIELDS[tokens[1].upper()]] += 1
+        elif mode == "network":
+            if len(tokens) >= 3:
+                instance, module_ref, signals = tokens[0], tokens[1], tokens[2:]
+                current.network.append((instance, module_ref, signals))
+        else:
+            raise ValueError(f"unrecognized YAL statement: {stmt!r}")
+
+    return _assemble(raw_modules, name, drop_globals)
+
+
+def _assemble(raw_modules: list[_RawModule], name: str,
+              drop_globals: bool) -> Netlist:
+    parents = [m for m in raw_modules if m.mtype == "PARENT"]
+    leaves = [m for m in raw_modules if m.mtype != "PARENT"]
+
+    defs: dict[str, _RawModule] = {m.name: m for m in leaves}
+    modules: list[Module] = []
+    instance_of: dict[str, str] = {}
+
+    if parents:
+        # Instances of the parent's NETWORK are the placeable modules.
+        for instance, module_ref, _signals in parents[0].network:
+            if module_ref not in defs:
+                raise ValueError(f"instance {instance} references unknown module {module_ref}")
+            raw = defs[module_ref]
+            modules.append(_leaf_to_module(raw, rename=instance))
+            instance_of[instance] = module_ref
+    else:
+        modules = [_leaf_to_module(m) for m in leaves]
+
+    nets = _nets_from_network(parents[0].network, drop_globals) if parents else []
+    return Netlist(modules, nets, name=name)
+
+
+def _leaf_to_module(raw: _RawModule, rename: str | None = None) -> Module:
+    if not raw.points:
+        raise ValueError(f"module {raw.name} has no DIMENSIONS")
+    xs = [p[0] for p in raw.points]
+    ys = [p[1] for p in raw.points]
+    width = max(xs) - min(xs)
+    height = max(ys) - min(ys)
+    pins = PinCounts(**raw.pin_sides)
+    return Module.rigid(rename or raw.name, width, height, pins=pins)
+
+
+def _nets_from_network(network: list[tuple[str, str, list[str]]],
+                       drop_globals: bool) -> list[Net]:
+    on_signal: dict[str, list[str]] = {}
+    for instance, _module_ref, signals in network:
+        for sig in signals:
+            if drop_globals and sig.upper() in GLOBAL_SIGNALS:
+                continue
+            on_signal.setdefault(sig, []).append(instance)
+    nets = []
+    for sig, instances in on_signal.items():
+        endpoints = tuple(dict.fromkeys(instances))
+        if len(endpoints) >= 2:
+            nets.append(Net(sig, endpoints))
+    return nets
+
+
+def write_yal(netlist: Netlist) -> str:
+    """Serialize a netlist to YAL text (the subset :func:`parse_yal` reads).
+
+    Flexible modules are emitted at their nominal dimensions with a comment
+    noting the aspect bounds (YAL has no native soft-block syntax).
+    """
+    lines: list[str] = []
+    for m in netlist.modules:
+        lines.append(f"MODULE {m.name};")
+        lines.append("TYPE GENERAL;")
+        if m.flexible:
+            lines.append(f"/* flexible: area={m.area:g} "
+                         f"aspect=[{m.aspect_low:g},{m.aspect_high:g}] */")
+        w, h = m.width, m.height
+        lines.append(f"DIMENSIONS 0 0 {w:g} 0 {w:g} {h:g} 0 {h:g};")
+        lines.append("IOLIST;")
+        side_letters = {"left": "L", "right": "R", "bottom": "B", "top": "T"}
+        for side, letter in side_letters.items():
+            for k in range(getattr(m.pins, side)):
+                lines.append(f"P_{m.name}_{letter}{k} {letter} 0;")
+        lines.append("ENDIOLIST;")
+        lines.append("ENDMODULE;")
+        lines.append("")
+
+    lines.append(f"MODULE {netlist.name}_parent;")
+    lines.append("TYPE PARENT;")
+    lines.append("NETWORK;")
+    signals_of: dict[str, list[str]] = {m.name: [] for m in netlist.modules}
+    for n in netlist.nets:
+        for mod in n.modules:
+            signals_of[mod].append(n.name)
+    for m in netlist.modules:
+        sigs = " ".join(signals_of[m.name])
+        lines.append(f"{m.name} {m.name} {sigs};".rstrip())
+    lines.append("ENDNETWORK;")
+    lines.append("ENDMODULE;")
+    return "\n".join(lines) + "\n"

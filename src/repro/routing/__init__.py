@@ -1,0 +1,47 @@
+"""Routing substrate: generalized pins, channel graph, global router,
+channel-width adjustment (sections 3.2 of the paper).
+
+The flow mirrors the paper's: the floorplan defines a channel-position graph
+over the free space; nets are routed between *generalized pins* (one per
+module side) with a shortest-path or penalty-weighted shortest-path search,
+timing-critical nets first; afterwards channel widths are adjusted to the
+routed demand and the final chip area is computed.
+"""
+
+from repro.routing.technology import Technology, RoutingStyle
+from repro.routing.pins import GeneralizedPin, generalized_pins
+from repro.routing.graph import ChannelGraph, build_channel_graph
+from repro.routing.router import GlobalRouter, RouterMode
+from repro.routing.result import RoutingResult, NetRoute
+from repro.routing.adjust import adjust_floorplan, AdjustedFloorplan
+from repro.routing.flow import (
+    RoutedFloorplan,
+    provide_routing_space,
+    route_and_adjust,
+)
+from repro.routing.timing import (
+    TimingModel,
+    apply_criticalities,
+    net_slacks,
+)
+
+__all__ = [
+    "RoutedFloorplan",
+    "provide_routing_space",
+    "route_and_adjust",
+    "TimingModel",
+    "apply_criticalities",
+    "net_slacks",
+    "Technology",
+    "RoutingStyle",
+    "GeneralizedPin",
+    "generalized_pins",
+    "ChannelGraph",
+    "build_channel_graph",
+    "GlobalRouter",
+    "RouterMode",
+    "RoutingResult",
+    "NetRoute",
+    "adjust_floorplan",
+    "AdjustedFloorplan",
+]

@@ -1,0 +1,253 @@
+"""The channel-position graph.
+
+"Our global router is graph based.  It uses the channel position graph
+obtained from the floorplan produced by the integer programming step and
+assigns a preliminary capacity to each edge."
+
+The graph is built over the floorplan's *channel grid*: the distinct module
+edge coordinates cut the chip into cells; free cells (not covered by a
+module) become nodes, and adjacent free cells are joined by edges whose
+capacity is the number of routing tracks that fit through their shared
+boundary.  For over-the-cell technologies every cell is free.  A ring of
+routing space is added around the chip so nets can always detour around the
+module block (around-the-cell routing).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from repro.core.placement import Placement
+from repro.geometry.rect import GEOM_EPS, Rect
+from repro.routing.pins import GeneralizedPin
+from repro.routing.technology import Technology
+
+Node = tuple[int, int]
+
+
+@dataclass
+class ChannelGraph:
+    """The routing graph plus its grid geometry.
+
+    Attributes:
+        graph: undirected networkx graph; nodes are ``(i, j)`` cell indices
+            with attributes ``rect`` and ``center``; edges carry ``length``
+            (center-to-center distance), ``capacity`` (tracks through the
+            shared boundary), ``usage`` (routed wires so far), and
+            ``orientation`` (``"h"`` for a horizontal boundary crossed by
+            vertical wires, ``"v"`` for a vertical boundary crossed by
+            horizontal wires).
+        xs: sorted x cut coordinates.
+        ys: sorted y cut coordinates.
+        region: the routed region (chip plus routing ring).
+    """
+
+    graph: nx.Graph
+    xs: list[float]
+    ys: list[float]
+    region: Rect
+
+    def cell_rect(self, node: Node) -> Rect:
+        """Geometry of a cell node."""
+        return self.graph.nodes[node]["rect"]
+
+    def node_at(self, x: float, y: float) -> Node | None:
+        """The cell containing point ``(x, y)``, or None when outside the
+        region or blocked."""
+        i = bisect.bisect_right(self.xs, x) - 1
+        j = bisect.bisect_right(self.ys, y) - 1
+        i = min(max(i, 0), len(self.xs) - 2)
+        j = min(max(j, 0), len(self.ys) - 2)
+        node = (i, j)
+        return node if node in self.graph else None
+
+    def main_component(self) -> frozenset[Node]:
+        """The largest connected component of free cells.
+
+        Compacted floorplans can enclose isolated free pockets; pins snap to
+        the main component so every terminal is mutually reachable.
+        """
+        if getattr(self, "_main_component", None) is None:
+            import networkx as nx
+
+            if self.graph.number_of_nodes() == 0:
+                self._main_component = frozenset()
+            else:
+                biggest = max(nx.connected_components(self.graph), key=len)
+                self._main_component = frozenset(biggest)
+        return self._main_component
+
+    def nearest_node(self, x: float, y: float, *,
+                     connected_only: bool = True) -> Node:
+        """The free cell nearest to ``(x, y)``: the containing cell when
+        acceptable, otherwise a breadth-first search over grid neighbors.
+
+        Args:
+            connected_only: restrict the answer to the main connected
+                component (so routing between returned nodes always exists).
+
+        Raises:
+            ValueError: when the graph has no nodes at all.
+        """
+        if self.graph.number_of_nodes() == 0:
+            raise ValueError("channel graph has no free cells")
+        allowed = self.main_component() if connected_only else None
+
+        def acceptable(node: Node) -> bool:
+            return node in self.graph and (allowed is None or node in allowed)
+
+        direct = self.node_at(x, y)
+        if direct is not None and acceptable(direct):
+            return direct
+        i = min(max(bisect.bisect_right(self.xs, x) - 1, 0), len(self.xs) - 2)
+        j = min(max(bisect.bisect_right(self.ys, y) - 1, 0), len(self.ys) - 2)
+        seen = {(i, j)}
+        queue: deque[Node] = deque([(i, j)])
+        while queue:
+            ci, cj = queue.popleft()
+            if acceptable((ci, cj)):
+                return (ci, cj)
+            for ni, nj in ((ci + 1, cj), (ci - 1, cj), (ci, cj + 1), (ci, cj - 1)):
+                if 0 <= ni < len(self.xs) - 1 and 0 <= nj < len(self.ys) - 1 \
+                        and (ni, nj) not in seen:
+                    seen.add((ni, nj))
+                    queue.append((ni, nj))
+        # Unreachable by construction (some free cell always exists), but
+        # fall back to any node rather than crash.
+        return next(iter(self.graph.nodes))
+
+    def pin_node(self, pin: GeneralizedPin) -> Node:
+        """The routing node serving a generalized pin: the free cell just
+        outside the pin's module side (nearest reachable free cell when the
+        channel there is fully blocked)."""
+        nudge = GEOM_EPS * 10
+        offsets = {"left": (-nudge, 0.0), "right": (nudge, 0.0),
+                   "bottom": (0.0, -nudge), "top": (0.0, nudge)}
+        dx, dy = offsets[pin.side.value]
+        return self.nearest_node(pin.x + dx, pin.y + dy)
+
+    def reset_usage(self) -> None:
+        """Clear routed usage on every edge."""
+        for _u, _v, data in self.graph.edges(data=True):
+            data["usage"] = 0.0
+
+    def total_overflow(self) -> float:
+        """Summed usage beyond capacity over all edges."""
+        return sum(max(0.0, d["usage"] - d["capacity"])
+                   for _u, _v, d in self.graph.edges(data=True))
+
+
+def build_channel_graph(placements: Sequence[Placement], chip: Rect,
+                        technology: Technology, *,
+                        ring_width: float | None = None,
+                        max_cell_size: float | None = None) -> ChannelGraph:
+    """Build the channel-position graph for a floorplan.
+
+    Args:
+        placements: placed modules (module rects block cells for
+            around-the-cell technologies; envelope margins remain routable).
+        chip: the chip rectangle from the floorplanner.
+        technology: pitches and routing style.
+        ring_width: width of the open routing ring around the chip; defaults
+            to 8 tracks of the larger pitch (0 disables the ring).
+        max_cell_size: subdivide grid intervals larger than this so channels
+            have internal routing resolution (a net between two facing module
+            sides then crosses at least one edge and registers channel
+            usage).  Defaults to 1/24 of the larger region dimension.
+
+    Returns:
+        The :class:`ChannelGraph`.
+    """
+    if ring_width is None:
+        ring_width = 8.0 * max(technology.pitch_h, technology.pitch_v)
+    region = chip.inflated(ring_width, ring_width, ring_width, ring_width) \
+        if ring_width > 0 else chip
+    if max_cell_size is None:
+        max_cell_size = max(region.w, region.h) / 24.0
+
+    xs = _cuts([region.x, region.x2]
+               + [c for p in placements for c in (p.rect.x, p.rect.x2)],
+               region.x, region.x2)
+    ys = _cuts([region.y, region.y2]
+               + [c for p in placements for c in (p.rect.y, p.rect.y2)],
+               region.y, region.y2)
+    xs = _subdivide(xs, max_cell_size)
+    ys = _subdivide(ys, max_cell_size)
+
+    blockers = [] if not technology.needs_channel_area \
+        else [p.rect for p in placements]
+
+    graph = nx.Graph()
+    n_cols = len(xs) - 1
+    n_rows = len(ys) - 1
+    free = [[False] * n_rows for _ in range(n_cols)]
+    for i in range(n_cols):
+        for j in range(n_rows):
+            cell = Rect(xs[i], ys[j], xs[i + 1] - xs[i], ys[j + 1] - ys[j])
+            if not any(b.overlaps(cell) for b in blockers):
+                free[i][j] = True
+                graph.add_node((i, j), rect=cell, center=cell.center)
+
+    for i in range(n_cols):
+        for j in range(n_rows):
+            if not free[i][j]:
+                continue
+            cell = graph.nodes[(i, j)]["rect"]
+            # right neighbor: vertical boundary, crossed by horizontal wires
+            if i + 1 < n_cols and free[i + 1][j]:
+                other = graph.nodes[(i + 1, j)]["rect"]
+                boundary = cell.h
+                graph.add_edge(
+                    (i, j), (i + 1, j),
+                    length=_dist(cell.center, other.center),
+                    capacity=boundary / technology.pitch_h,
+                    usage=0.0, orientation="v")
+            # top neighbor: horizontal boundary, crossed by vertical wires
+            if j + 1 < n_rows and free[i][j + 1]:
+                other = graph.nodes[(i, j + 1)]["rect"]
+                boundary = cell.w
+                graph.add_edge(
+                    (i, j), (i, j + 1),
+                    length=_dist(cell.center, other.center),
+                    capacity=boundary / technology.pitch_v,
+                    usage=0.0, orientation="h")
+
+    return ChannelGraph(graph=graph, xs=xs, ys=ys, region=region)
+
+
+def _cuts(values: Iterable[float], lo: float, hi: float,
+          eps: float = GEOM_EPS) -> list[float]:
+    """Sorted, deduplicated cut coordinates clipped to ``[lo, hi]``."""
+    clipped = sorted(min(max(v, lo), hi) for v in values)
+    cuts: list[float] = []
+    for v in clipped:
+        if not cuts or v - cuts[-1] > eps:
+            cuts.append(v)
+    if len(cuts) < 2:
+        cuts = [lo, hi]
+    return cuts
+
+
+def _subdivide(cuts: list[float], max_size: float) -> list[float]:
+    """Insert evenly spaced cuts so no interval exceeds ``max_size``."""
+    if max_size <= 0:
+        return cuts
+    refined: list[float] = [cuts[0]]
+    for a, b in zip(cuts, cuts[1:]):
+        gap = b - a
+        if gap > max_size:
+            pieces = math.ceil(gap / max_size)
+            refined.extend(a + gap * k / pieces for k in range(1, pieces))
+        refined.append(b)
+    return refined
+
+
+def _dist(a: tuple[float, float], b: tuple[float, float]) -> float:
+    """Manhattan distance between cell centers (wires are rectilinear)."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])

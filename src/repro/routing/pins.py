@@ -1,0 +1,49 @@
+"""Generalized pins (section 3.2).
+
+"Instead of considering a center of a module as a generalized pin position we
+consider four generalized pins, one on each side."  A generalized pin sits at
+the midpoint of a module side; the router may connect a net through whichever
+side is cheapest, which is what makes this model "more realistic" than
+center-to-center estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.placement import Placement
+from repro.netlist.module import Side
+
+
+@dataclass(frozen=True)
+class GeneralizedPin:
+    """One generalized pin: a module side's midpoint plus its pin count."""
+
+    module: str
+    side: Side
+    x: float
+    y: float
+    n_pins: int
+
+    @property
+    def point(self) -> tuple[float, float]:
+        """The pin position."""
+        return (self.x, self.y)
+
+
+def generalized_pins(placement: Placement) -> list[GeneralizedPin]:
+    """The four generalized pins of a placed module.
+
+    Pin counts follow the module's orientation (a rotated module's left-side
+    pins face down, etc.).  Sides with zero pins are still returned — the
+    router may use any side, but prefers pinned ones when weighting is
+    enabled.
+    """
+    pins = placement.effective_pins()
+    rect = placement.rect
+    result = []
+    for side in Side:
+        px, py = rect.side_midpoint(side.value)
+        result.append(GeneralizedPin(module=placement.name, side=side,
+                                     x=px, y=py, n_pins=pins.on(side)))
+    return result

@@ -1,0 +1,247 @@
+"""The global router (section 3.2).
+
+"It uses the shortest path algorithm to find a route between two generalized
+pins.  It also uses a penalty function for utilization of a channel beyond
+its preliminary capacity.  Nets with the tight timing requirements are routed
+first."
+
+Two modes, matching Series 3:
+
+* **SHORTEST** — plain shortest paths by geometric length;
+* **WEIGHTED** — length scaled by a congestion penalty that grows once a
+  channel's usage approaches/exceeds its preliminary capacity, spreading
+  wires away from saturated channels.
+
+Multi-pin nets are routed as approximate Steiner trees by iterative nearest-
+terminal growth: the tree starts at one module's generalized pins and
+repeatedly absorbs the cheapest path to a not-yet-connected module (any of
+its four pins), updating channel usage as it goes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from enum import Enum
+from typing import Mapping, Sequence
+
+from repro.core.placement import Placement
+from repro.netlist.net import Net
+from repro.routing.graph import ChannelGraph, Node
+from repro.routing.pins import generalized_pins
+from repro.routing.result import NetRoute, RoutingResult, canonical_edge
+
+
+class RouterMode(str, Enum):
+    """Routing cost modes of Series 3."""
+
+    SHORTEST = "shortest"
+    WEIGHTED = "weighted"
+
+
+class GlobalRouter:
+    """Graph-based global router over a :class:`ChannelGraph`."""
+
+    def __init__(self, channel_graph: ChannelGraph,
+                 mode: RouterMode = RouterMode.WEIGHTED,
+                 congestion_penalty: float = 4.0) -> None:
+        """
+        Args:
+            channel_graph: the routing graph (usage is reset on each
+                :meth:`route` call).
+            mode: shortest-path or congestion-weighted costs.
+            congestion_penalty: weight of the over-utilization penalty in
+                WEIGHTED mode.
+        """
+        self.channel_graph = channel_graph
+        self.mode = RouterMode(mode)
+        self.congestion_penalty = congestion_penalty
+
+    # -- public API -----------------------------------------------------------------
+
+    def route(self, nets: Sequence[Net],
+              placements: Mapping[str, Placement],
+              rip_up_rounds: int = 0) -> RoutingResult:
+        """Route all nets; timing-critical nets first.
+
+        Args:
+            nets: the nets to route.
+            placements: placements of every module the nets reference.
+            rip_up_rounds: after the initial pass, repeat up to this many
+                rip-up-and-reroute rounds: nets crossing over-capacity
+                channels are torn out (least-critical first) and re-routed
+                against the remaining usage, with a growing congestion
+                penalty.  0 keeps the paper's single-pass behaviour.
+
+        Returns:
+            The :class:`~repro.routing.result.RoutingResult`.
+        """
+        graph = self.channel_graph.graph
+        self.channel_graph.reset_usage()
+
+        pin_nodes: dict[str, list[Node]] = {}
+        for name, placement in placements.items():
+            nodes = {self.channel_graph.pin_node(pin)
+                     for pin in generalized_pins(placement)}
+            pin_nodes[name] = sorted(nodes)
+
+        # "Nets with the tight timing requirements are routed first"; among
+        # equals, short (low-degree) nets first for stable behaviour.
+        order = sorted(nets, key=lambda n: (-n.criticality, n.degree, n.name))
+        routed: dict[str, NetRoute] = {}
+        failed: list[str] = []
+        for net in order:
+            route = self._route_net(net, pin_nodes)
+            if route is None:
+                failed.append(net.name)
+                continue
+            routed[net.name] = route
+            self._commit(route, +1.0)
+
+        nets_by_name = {n.name: n for n in order}
+        base_penalty = self.congestion_penalty
+        try:
+            for round_index in range(rip_up_rounds):
+                offenders = self._overflowing_nets(routed, nets_by_name)
+                if not offenders:
+                    break
+                # pressure congestion harder each round
+                self.congestion_penalty = base_penalty * (2.0 ** (round_index + 1))
+                for net in offenders:
+                    old = routed.pop(net.name)
+                    self._commit(old, -1.0)
+                    new = self._route_net(net, pin_nodes)
+                    if new is None:
+                        self._commit(old, +1.0)
+                        routed[net.name] = old
+                        continue
+                    self._commit(new, +1.0)
+                    routed[net.name] = new
+        finally:
+            self.congestion_penalty = base_penalty
+
+        result = RoutingResult(failed_nets=failed)
+        for net in order:
+            route = routed.get(net.name)
+            if route is None:
+                continue
+            result.routes.append(route)
+            result.total_wirelength += route.length
+            for u, v in route.edges:
+                key = canonical_edge(u, v)
+                result.edge_usage[key] = result.edge_usage.get(key, 0.0) + 1.0
+        result.total_overflow = self.channel_graph.total_overflow()
+        result.max_edge_utilization = max(
+            (d["usage"] / d["capacity"]
+             for _u, _v, d in graph.edges(data=True) if d["capacity"] > 0),
+            default=0.0)
+        return result
+
+    # -- rip-up helpers ----------------------------------------------------------------
+
+    def _commit(self, route: NetRoute, delta: float) -> None:
+        """Apply (or remove) a route's usage on the graph."""
+        graph = self.channel_graph.graph
+        for u, v in route.edges:
+            graph.edges[u, v]["usage"] += delta
+
+    def _overflowing_nets(self, routed: Mapping[str, NetRoute],
+                          nets_by_name: Mapping[str, Net]) -> list[Net]:
+        """Nets using at least one over-capacity edge, least critical (and
+        longest) first so timing-critical routes keep their paths."""
+        graph = self.channel_graph.graph
+        hot = {(u, v) if u <= v else (v, u)
+               for u, v, d in graph.edges(data=True)
+               if d["usage"] > d["capacity"] + 1e-9}
+        if not hot:
+            return []
+        offenders = [nets_by_name[name] for name, route in routed.items()
+                     if any(e in hot for e in route.edges)]
+        offenders.sort(key=lambda n: (n.criticality,
+                                      -routed[n.name].length, n.name))
+        return offenders
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _edge_cost(self, data: dict) -> float:
+        """Edge cost under the current mode and usage."""
+        length = data["length"]
+        if self.mode is RouterMode.SHORTEST:
+            return length
+        capacity = max(data["capacity"], 1e-9)
+        utilization = (data["usage"] + 1.0) / capacity
+        penalty = self.congestion_penalty * max(0.0, utilization - 1.0)
+        return length * (1.0 + penalty)
+
+    def _route_net(self, net: Net,
+                   pin_nodes: Mapping[str, list[Node]]) -> NetRoute | None:
+        """Grow a Steiner-ish tree over the net's terminals."""
+        terminals = [pin_nodes[name] for name in net.modules
+                     if name in pin_nodes]
+        if len(terminals) < 2:
+            return None
+
+        tree_nodes: set[Node] = set(terminals[0])
+        remaining = list(range(1, len(terminals)))
+        edges: list[tuple[Node, Node]] = []
+        length = 0.0
+
+        while remaining:
+            target_of: dict[Node, int] = {}
+            for idx in remaining:
+                for node in terminals[idx]:
+                    target_of.setdefault(node, idx)
+            path = self._multi_source_shortest(tree_nodes, set(target_of))
+            if path is None:
+                return None
+            reached = path[-1]
+            connected = target_of[reached]
+            remaining.remove(connected)
+            for a, b in zip(path, path[1:]):
+                edges.append(canonical_edge(a, b))
+                length += self.channel_graph.graph.edges[a, b]["length"]
+            tree_nodes.update(path)
+            tree_nodes.update(terminals[connected])
+
+        # Deduplicate edges shared by several branch paths.
+        unique_edges = tuple(dict.fromkeys(edges))
+        unique_length = sum(self.channel_graph.graph.edges[u, v]["length"]
+                            for u, v in unique_edges)
+        return NetRoute(net=net.name, edges=unique_edges,
+                        length=unique_length, n_terminals=len(terminals))
+
+    def _multi_source_shortest(self, sources: set[Node],
+                               targets: set[Node]) -> list[Node] | None:
+        """Dijkstra from all of ``sources`` to the nearest of ``targets``.
+
+        Returns the node path (source ... target) or None when unreachable.
+        """
+        overlap = sources & targets
+        if overlap:
+            node = min(overlap)
+            return [node]
+        graph = self.channel_graph.graph
+        dist: dict[Node, float] = {}
+        prev: dict[Node, Node | None] = {}
+        heap: list[tuple[float, Node]] = []
+        for s in sources:
+            if s in graph:
+                dist[s] = 0.0
+                prev[s] = None
+                heapq.heappush(heap, (0.0, s))
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, float("inf")):
+                continue
+            if u in targets:
+                path = [u]
+                while prev[path[-1]] is not None:
+                    path.append(prev[path[-1]])  # type: ignore[arg-type]
+                path.reverse()
+                return path
+            for v, data in graph[u].items():
+                nd = d + self._edge_cost(data)
+                if nd < dist.get(v, float("inf")):
+                    dist[v] = nd
+                    prev[v] = u
+                    heapq.heappush(heap, (nd, v))
+        return None

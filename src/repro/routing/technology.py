@@ -1,0 +1,59 @@
+"""Routing technology parameters.
+
+The paper's input information "includes the widths and spacings of metals for
+routing in both horizontal and vertical directions" (section 2.2) and
+distinguishes two technologies in the experiments: *over-the-cell* routing
+(Series 2 — wires run over modules, no routing area is added) and
+*around-the-cell* routing (Series 3 — wires consume channel area between
+modules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class RoutingStyle(str, Enum):
+    """Where wires may run relative to modules."""
+
+    OVER_THE_CELL = "over_the_cell"
+    AROUND_THE_CELL = "around_the_cell"
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Routing technology: track pitches and routing style.
+
+    Attributes:
+        pitch_h: metal width plus spacing of one *horizontal* routing track
+            (the paper's ``p_h``); horizontal tracks stack vertically, so this
+            pitch widens horizontal channels.
+        pitch_v: pitch of one vertical routing track; widens vertical channels.
+        style: over-the-cell or around-the-cell routing.
+    """
+
+    pitch_h: float = 0.25
+    pitch_v: float = 0.25
+    style: RoutingStyle = RoutingStyle.AROUND_THE_CELL
+
+    def __post_init__(self) -> None:
+        if self.pitch_h <= 0 or self.pitch_v <= 0:
+            raise ValueError("routing pitches must be positive")
+
+    @classmethod
+    def over_the_cell(cls, pitch_h: float = 0.25, pitch_v: float = 0.25) -> "Technology":
+        """Series-2 technology: routing over the cells, no channel area."""
+        return cls(pitch_h=pitch_h, pitch_v=pitch_v,
+                   style=RoutingStyle.OVER_THE_CELL)
+
+    @classmethod
+    def around_the_cell(cls, pitch_h: float = 0.25, pitch_v: float = 0.25) -> "Technology":
+        """Series-3 technology: routing in channels around the cells."""
+        return cls(pitch_h=pitch_h, pitch_v=pitch_v,
+                   style=RoutingStyle.AROUND_THE_CELL)
+
+    @property
+    def needs_channel_area(self) -> bool:
+        """True when routed wires consume chip area."""
+        return self.style is RoutingStyle.AROUND_THE_CELL

@@ -1,0 +1,103 @@
+"""Net criticality from a timing model ([YOU89] hook).
+
+The paper routes "nets with the tight timing requirements" first, citing
+Youssef/Shragowitz/Bening's critical-path work.  This module supplies the
+hook's data: given per-net delay budgets and an estimated (or routed) net
+length, it computes slacks and a normalized criticality in [0, 1] that the
+router's ordering and the selection heuristic consume.
+
+The delay model is intentionally simple — wire delay proportional to net
+length plus a per-endpoint load term — because the paper only needs a
+*ranking* of nets, not signoff timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.core.placement import Placement
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Linear wire-delay model.
+
+    Attributes:
+        delay_per_unit: delay per unit of net length (HPWL).
+        delay_per_pin: load delay per net endpoint.
+    """
+
+    delay_per_unit: float = 1.0
+    delay_per_pin: float = 0.5
+
+    def net_delay(self, length: float, degree: int) -> float:
+        """Estimated delay of a net of the given length and degree."""
+        return self.delay_per_unit * length + self.delay_per_pin * degree
+
+
+def net_length_estimate(net: Net,
+                        placements: Mapping[str, Placement]) -> float:
+    """Half-perimeter length of a net over module centers."""
+    xs = [placements[m].rect.cx for m in net.modules]
+    ys = [placements[m].rect.cy for m in net.modules]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def net_slacks(netlist: Netlist, placements: Mapping[str, Placement],
+               budgets: Mapping[str, float],
+               model: TimingModel | None = None) -> dict[str, float]:
+    """Per-net slack = budget - estimated delay.
+
+    Nets without a budget get infinite slack (never critical).
+    """
+    model = model or TimingModel()
+    slacks: dict[str, float] = {}
+    for net in netlist.nets:
+        budget = budgets.get(net.name)
+        if budget is None:
+            slacks[net.name] = float("inf")
+            continue
+        delay = model.net_delay(net_length_estimate(net, placements),
+                                net.degree)
+        slacks[net.name] = budget - delay
+    return slacks
+
+
+def apply_criticalities(netlist: Netlist,
+                        placements: Mapping[str, Placement],
+                        budgets: Mapping[str, float],
+                        model: TimingModel | None = None,
+                        slack_margin: float = 0.0) -> Netlist:
+    """A copy of ``netlist`` with criticalities derived from timing slack.
+
+    Nets whose slack falls at or below ``slack_margin`` become critical; the
+    criticality is the violation normalized to [0, 1] over the violating
+    nets, so the tightest net routes first.
+
+    Args:
+        netlist: the circuit.
+        placements: placements the length estimates are taken from.
+        budgets: per-net delay budgets (missing = unconstrained).
+        model: the wire-delay model.
+        slack_margin: slack at which a net starts counting as critical.
+
+    Returns:
+        A new :class:`~repro.netlist.netlist.Netlist` with updated nets.
+    """
+    slacks = net_slacks(netlist, placements, budgets, model)
+    violations = {name: slack_margin - s for name, s in slacks.items()
+                  if s <= slack_margin}
+    worst = max(violations.values(), default=0.0)
+    new_nets = []
+    for net in netlist.nets:
+        if net.name in violations and worst > 0:
+            criticality = max(0.05, violations[net.name] / worst)
+            new_nets.append(replace(net, criticality=criticality))
+        elif net.name in violations:
+            new_nets.append(replace(net, criticality=1.0))
+        else:
+            new_nets.append(replace(net, criticality=0.0))
+    return Netlist(list(netlist.modules), new_nets, name=netlist.name)

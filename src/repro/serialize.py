@@ -1,0 +1,182 @@
+"""JSON persistence for netlists and floorplans.
+
+Experiments that take minutes shouldn't be rerun to re-examine a result:
+these helpers serialize netlists and completed floorplans to plain JSON and
+restore them, self-contained (a saved floorplan embeds its netlist and the
+configuration that produced it).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.config import FloorplanConfig
+from repro.core.floorplanner import Floorplan
+from repro.core.placement import Placement
+from repro.geometry.rect import Rect
+from repro.netlist.module import Module, PinCounts
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+from repro.routing.technology import Technology
+
+#: Format version stamped into every document.
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# netlists
+# ---------------------------------------------------------------------------
+
+def netlist_to_dict(netlist: Netlist) -> dict[str, Any]:
+    """A JSON-safe representation of a netlist."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": netlist.name,
+        "modules": [
+            {
+                "name": m.name,
+                "width": m.width,
+                "height": m.height,
+                "flexible": m.flexible,
+                "aspect_low": m.aspect_low,
+                "aspect_high": m.aspect_high,
+                "rotatable": m.rotatable,
+                "pins": {"left": m.pins.left, "right": m.pins.right,
+                         "bottom": m.pins.bottom, "top": m.pins.top},
+            }
+            for m in netlist.modules
+        ],
+        "nets": [
+            {
+                "name": n.name,
+                "modules": list(n.modules),
+                "weight": n.weight,
+                "criticality": n.criticality,
+                "max_length": n.max_length,
+            }
+            for n in netlist.nets
+        ],
+    }
+
+
+def netlist_from_dict(data: dict[str, Any]) -> Netlist:
+    """Rebuild a netlist from :func:`netlist_to_dict` output."""
+    modules = [
+        Module(name=m["name"], width=m["width"], height=m["height"],
+               flexible=m["flexible"], aspect_low=m["aspect_low"],
+               aspect_high=m["aspect_high"], rotatable=m["rotatable"],
+               pins=PinCounts(**m["pins"]))
+        for m in data["modules"]
+    ]
+    nets = [
+        Net(name=n["name"], modules=tuple(n["modules"]), weight=n["weight"],
+            criticality=n["criticality"], max_length=n.get("max_length"))
+        for n in data["nets"]
+    ]
+    return Netlist(modules, nets, name=data["name"])
+
+
+# ---------------------------------------------------------------------------
+# floorplans
+# ---------------------------------------------------------------------------
+
+def _rect_to_list(rect: Rect) -> list[float]:
+    return [rect.x, rect.y, rect.w, rect.h]
+
+
+def _rect_from_list(values: list[float]) -> Rect:
+    return Rect(*values)
+
+
+def _config_to_dict(config: FloorplanConfig) -> dict[str, Any]:
+    return {
+        "chip_width": config.chip_width,
+        "whitespace_factor": config.whitespace_factor,
+        "chip_aspect": config.chip_aspect,
+        "seed_size": config.seed_size,
+        "group_size": config.group_size,
+        "objective": config.objective.value,
+        "wirelength_weight": config.wirelength_weight,
+        "ordering": config.ordering.value,
+        "ordering_seed": config.ordering_seed,
+        "allow_rotation": config.allow_rotation,
+        "linearization": config.linearization.value,
+        "relinearization_rounds": config.relinearization_rounds,
+        "use_envelopes": config.use_envelopes,
+        "technology": {
+            "pitch_h": config.technology.pitch_h,
+            "pitch_v": config.technology.pitch_v,
+            "style": config.technology.style.value,
+        },
+        "use_covering_rectangles": config.use_covering_rectangles,
+        "covering_style": config.covering_style,
+        "merge_covering": config.merge_covering,
+        "legalize": config.legalize,
+        "backend": config.backend,
+        "subproblem_time_limit": config.subproblem_time_limit,
+        "mip_rel_gap": config.mip_rel_gap,
+    }
+
+
+def _config_from_dict(data: dict[str, Any]) -> FloorplanConfig:
+    fields = dict(data)
+    tech = fields.pop("technology")
+    fields["technology"] = Technology(pitch_h=tech["pitch_h"],
+                                      pitch_v=tech["pitch_v"],
+                                      style=tech["style"])
+    return FloorplanConfig(**fields)
+
+
+def floorplan_to_dict(plan: Floorplan) -> dict[str, Any]:
+    """A self-contained JSON-safe representation of a floorplan."""
+    return {
+        "version": FORMAT_VERSION,
+        "netlist": netlist_to_dict(plan.netlist),
+        "config": _config_to_dict(plan.config),
+        "chip_width": plan.chip_width,
+        "chip_height": plan.chip_height,
+        "elapsed_seconds": plan.elapsed_seconds,
+        "placements": {
+            name: {
+                "rect": _rect_to_list(p.rect),
+                "rotated": p.rotated,
+                "envelope": _rect_to_list(p.envelope),
+            }
+            for name, p in plan.placements.items()
+        },
+    }
+
+
+def floorplan_from_dict(data: dict[str, Any]) -> Floorplan:
+    """Rebuild a floorplan from :func:`floorplan_to_dict` output."""
+    netlist = netlist_from_dict(data["netlist"])
+    placements = {
+        name: Placement(
+            module=netlist.module(name),
+            rect=_rect_from_list(entry["rect"]),
+            rotated=entry["rotated"],
+            envelope=_rect_from_list(entry["envelope"]),
+        )
+        for name, entry in data["placements"].items()
+    }
+    return Floorplan(
+        netlist=netlist,
+        config=_config_from_dict(data["config"]),
+        placements=placements,
+        chip_width=data["chip_width"],
+        chip_height=data["chip_height"],
+        elapsed_seconds=data.get("elapsed_seconds", 0.0),
+    )
+
+
+def save_floorplan(plan: Floorplan, path: str) -> None:
+    """Write a floorplan to a JSON file."""
+    with open(path, "w") as f:
+        json.dump(floorplan_to_dict(plan), f, indent=1)
+
+
+def load_floorplan(path: str) -> Floorplan:
+    """Read a floorplan from a JSON file."""
+    with open(path) as f:
+        return floorplan_from_dict(json.load(f))

@@ -1,0 +1,58 @@
+"""Shared fixtures: small instances and fast configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FloorplanConfig
+from repro.netlist.module import Module, PinCounts
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+from repro.routing.technology import Technology
+
+
+@pytest.fixture
+def tiny_netlist() -> Netlist:
+    """Four rigid modules with a simple net structure."""
+    modules = [
+        Module.rigid("a", 4.0, 3.0, pins=PinCounts(1, 1, 1, 1)),
+        Module.rigid("b", 2.0, 5.0, pins=PinCounts(2, 0, 1, 0)),
+        Module.rigid("c", 3.0, 3.0, pins=PinCounts(0, 1, 0, 2)),
+        Module.rigid("d", 5.0, 2.0, pins=PinCounts(1, 1, 0, 0)),
+    ]
+    nets = [
+        Net("n1", ("a", "b")),
+        Net("n2", ("b", "c", "d")),
+        Net("n3", ("a", "d"), criticality=0.8),
+    ]
+    return Netlist(modules, nets, name="tiny")
+
+
+@pytest.fixture
+def mixed_netlist() -> Netlist:
+    """Rigid + flexible mix for flexible-module paths."""
+    modules = [
+        Module.rigid("r1", 4.0, 2.0),
+        Module.rigid("r2", 3.0, 3.0, rotatable=False),
+        Module.flexible_area("f1", 9.0, aspect_low=0.5, aspect_high=2.0),
+        Module.flexible_area("f2", 6.0, aspect_low=0.25, aspect_high=4.0),
+    ]
+    nets = [
+        Net("n1", ("r1", "f1")),
+        Net("n2", ("r2", "f2")),
+        Net("n3", ("f1", "f2", "r1")),
+    ]
+    return Netlist(modules, nets, name="mixed")
+
+
+@pytest.fixture
+def fast_config() -> FloorplanConfig:
+    """A configuration that solves quickly in tests."""
+    return FloorplanConfig(seed_size=3, group_size=2,
+                           subproblem_time_limit=10.0)
+
+
+@pytest.fixture
+def around_tech() -> Technology:
+    """Around-the-cell technology with convenient pitches."""
+    return Technology.around_the_cell(pitch_h=0.25, pitch_v=0.25)

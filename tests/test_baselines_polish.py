@@ -1,0 +1,115 @@
+"""Unit + property tests for normalized Polish expressions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.polish import (
+    OPERATORS,
+    PolishExpression,
+    random_polish,
+    validate_tokens,
+)
+
+
+class TestValidation:
+    def test_valid_expression(self):
+        assert validate_tokens(("a", "b", "V", "c", "H")) == []
+
+    def test_balloting_violation(self):
+        assert validate_tokens(("a", "V", "b")) != []
+
+    def test_consecutive_operators_violation(self):
+        assert validate_tokens(("a", "b", "c", "V", "V")) != []
+
+    def test_alternating_operators_fine(self):
+        assert validate_tokens(("a", "b", "c", "V", "H")) == []
+
+    def test_operator_count_mismatch(self):
+        assert validate_tokens(("a", "b")) != []
+
+    def test_duplicate_operands(self):
+        assert validate_tokens(("a", "a", "V")) != []
+
+    def test_empty(self):
+        assert validate_tokens(()) != []
+
+    def test_constructor_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            PolishExpression(("a", "V", "b"))
+
+
+class TestMoves:
+    def _expr(self) -> PolishExpression:
+        return PolishExpression(("a", "b", "V", "c", "H", "d", "V"))
+
+    def test_operands(self):
+        assert self._expr().operands == ["a", "b", "c", "d"]
+        assert self._expr().n_modules == 4
+
+    def test_m1_swap_operands(self):
+        swapped = self._expr().swap_operands(0, 1)
+        assert swapped.operands == ["b", "a", "c", "d"]
+        assert validate_tokens(swapped.tokens) == []
+
+    def test_m2_complement_chain(self):
+        expr = self._expr()
+        flipped = expr.complement_chain(2)  # the 'V' at index 2
+        assert flipped.tokens[2] == "H"
+        assert validate_tokens(flipped.tokens) == []
+
+    def test_m2_requires_operator_position(self):
+        with pytest.raises(ValueError):
+            self._expr().complement_chain(0)
+
+    def test_m3_swap_returns_none_when_invalid(self):
+        # swapping 'b' and 'V' in (a b V ...) gives (a V b ...): balloting broken
+        expr = PolishExpression(("a", "b", "V"))
+        assert expr.swap_operand_operator(1) is None
+
+    def test_m3_valid_swap(self):
+        expr = PolishExpression(("a", "b", "V", "c", "H"))
+        # swap 'V' (index 2) and 'c' (index 3) -> a b c V H? invalid (VH ok,
+        # balloting: a b c V H is valid!)
+        swapped = expr.swap_operand_operator(2)
+        if swapped is not None:
+            assert validate_tokens(swapped.tokens) == []
+
+    def test_random_neighbor_always_valid(self):
+        rng = random.Random(0)
+        expr = self._expr()
+        for _ in range(200):
+            expr = expr.random_neighbor(rng)
+            assert validate_tokens(expr.tokens) == []
+
+    def test_random_neighbor_preserves_operands(self):
+        rng = random.Random(1)
+        expr = self._expr()
+        for _ in range(100):
+            expr = expr.random_neighbor(rng)
+        assert sorted(expr.operands) == ["a", "b", "c", "d"]
+
+
+class TestRandomPolish:
+    @given(st.integers(min_value=1, max_value=20),
+           st.integers(min_value=0, max_value=500))
+    @settings(max_examples=40)
+    def test_random_polish_valid(self, n: int, seed: int):
+        names = [f"m{i}" for i in range(n)]
+        expr = random_polish(names, seed=seed)
+        assert validate_tokens(expr.tokens) == []
+        assert sorted(expr.operands) == sorted(names)
+
+    def test_deterministic(self):
+        names = ["a", "b", "c", "d", "e"]
+        assert random_polish(names, 3).tokens == random_polish(names, 3).tokens
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            random_polish([], seed=0)
+
+    def test_str(self):
+        expr = PolishExpression(("a", "b", "V"))
+        assert str(expr) == "a b V"

@@ -1,0 +1,161 @@
+"""Unit tests for shape curves, the SA engine, and the Wong-Liu baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.annealing import (
+    AnnealingSchedule,
+    calibrate_t0,
+    simulated_annealing,
+)
+from repro.baselines.polish import PolishExpression
+from repro.baselines.shapes import ShapeCurve, ShapePoint, prune_dominated
+from repro.baselines.wong_liu import WongLiuFloorplanner
+from repro.netlist.generators import random_netlist
+from repro.netlist.module import Module
+
+
+class TestShapeCurve:
+    def test_prune_dominated(self):
+        pts = [ShapePoint(2, 5), ShapePoint(3, 4), ShapePoint(4, 4),
+               ShapePoint(5, 3), ShapePoint(6, 6)]
+        kept = prune_dominated(pts)
+        assert [(p.w, p.h) for p in kept] == [(2, 5), (3, 4), (5, 3)]
+
+    def test_rigid_leaf_two_orientations(self):
+        curve = ShapeCurve.for_module(Module.rigid("m", 4, 2))
+        assert len(curve) == 2
+        assert {(p.w, p.h) for p in curve.points} == {(4, 2), (2, 4)}
+
+    def test_square_leaf_single_point(self):
+        curve = ShapeCurve.for_module(Module.rigid("m", 3, 3))
+        assert len(curve) == 1
+
+    def test_non_rotatable_leaf_single_point(self):
+        curve = ShapeCurve.for_module(Module.rigid("m", 4, 2, rotatable=False))
+        assert len(curve) == 1
+
+    def test_flexible_leaf_samples_hyperbola(self):
+        module = Module.flexible_area("f", 16.0, aspect_low=0.25,
+                                      aspect_high=4.0)
+        curve = ShapeCurve.for_module(module, samples=6)
+        assert len(curve) == 6
+        for p in curve.points:
+            assert p.w * p.h == pytest.approx(16.0)
+
+    def test_combine_vertical_cut(self):
+        a = ShapeCurve([ShapePoint(2, 3)])
+        b = ShapeCurve([ShapePoint(4, 1)])
+        combined = a.combine(b, "V")
+        assert (combined[0].w, combined[0].h) == (6, 3)
+
+    def test_combine_horizontal_cut(self):
+        a = ShapeCurve([ShapePoint(2, 3)])
+        b = ShapeCurve([ShapePoint(4, 1)])
+        combined = a.combine(b, "H")
+        assert (combined[0].w, combined[0].h) == (4, 4)
+
+    def test_combine_keeps_backpointers(self):
+        a = ShapeCurve.for_module(Module.rigid("a", 4, 2))
+        b = ShapeCurve.for_module(Module.rigid("b", 3, 1))
+        combined = a.combine(b, "V")
+        for p in combined.points:
+            assert 0 <= p.left_choice < len(a)
+            assert 0 <= p.right_choice < len(b)
+
+    def test_min_area_index(self):
+        curve = ShapeCurve([ShapePoint(2, 5), ShapePoint(3, 3), ShapePoint(6, 2)])
+        assert curve.min_area_index() == 1
+
+    def test_unknown_operator_rejected(self):
+        a = ShapeCurve([ShapePoint(1, 1)])
+        with pytest.raises(ValueError):
+            a.combine(a, "X")
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(ValueError):
+            ShapeCurve([])
+
+
+class TestAnnealing:
+    def test_minimizes_quadratic(self):
+        rng = random.Random(0)
+        best, best_cost, stats = simulated_annealing(
+            initial=10.0,
+            cost_fn=lambda x: (x - 3.0) ** 2,
+            neighbor_fn=lambda x, r: x + r.uniform(-1, 1),
+            schedule=AnnealingSchedule(t0=5.0, alpha=0.8,
+                                       moves_per_temperature=50),
+            rng=rng)
+        assert best_cost < 0.1
+        assert abs(best - 3.0) < 0.4
+        assert stats.n_moves > 0
+        assert stats.initial_cost == pytest.approx(49.0)
+
+    def test_calibrate_t0_positive(self):
+        rng = random.Random(1)
+        t0 = calibrate_t0(0.0, 0.0,
+                          lambda x, r: x + r.uniform(-1, 1),
+                          lambda x: abs(x), rng, target_acceptance=0.9)
+        assert t0 > 0
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            return simulated_annealing(
+                5.0, lambda x: x * x, lambda x, r: x + r.uniform(-1, 1),
+                AnnealingSchedule(t0=1.0, moves_per_temperature=20),
+                random.Random(seed))[1]
+
+        assert run(7) == run(7)
+
+
+class TestWongLiu:
+    def test_small_instance_legal(self):
+        nl = random_netlist(6, seed=11)
+        result = WongLiuFloorplanner(nl, seed=1).run()
+        assert result.validate() == []
+        assert result.chip_area > 0
+        assert 0 < result.utilization <= 1.0
+
+    def test_realize_matches_curve_area(self):
+        nl = random_netlist(5, seed=12)
+        fp = WongLiuFloorplanner(nl, seed=2)
+        expr = fp.run().expression
+        placements, w, h = fp.realize(expr)
+        assert max(r.x2 for r in placements.values()) <= w + 1e-9
+        assert max(r.y2 for r in placements.values()) <= h + 1e-9
+
+    def test_placements_match_module_dims(self):
+        nl = random_netlist(5, seed=13)
+        result = WongLiuFloorplanner(nl, seed=3).run()
+        for m in nl.modules:
+            r = result.placements[m.name]
+            dims = {round(r.w, 6), round(r.h, 6)}
+            expected = {round(m.width, 6), round(m.height, 6)}
+            assert dims == expected  # possibly rotated
+
+    def test_cost_improves_over_random_start(self):
+        nl = random_netlist(8, seed=14)
+        fp = WongLiuFloorplanner(nl, seed=4)
+        from repro.baselines.polish import random_polish
+
+        initial_cost = fp.cost(random_polish(nl.module_names, seed=4))
+        result = fp.run()
+        assert result.chip_area <= initial_cost + 1e-9
+
+    def test_wirelength_weight_changes_result(self):
+        nl = random_netlist(8, seed=15)
+        area_only = WongLiuFloorplanner(nl, seed=5).run()
+        with_wl = WongLiuFloorplanner(nl, seed=5,
+                                      wirelength_weight=2.0).run()
+        assert with_wl.hpwl() <= area_only.hpwl() * 1.5  # pulled together
+
+    def test_utilization_reasonable(self):
+        nl = random_netlist(8, seed=16)
+        result = WongLiuFloorplanner(nl, seed=6).run()
+        assert result.utilization > 0.4
+
+    def test_hpwl_positive(self):
+        nl = random_netlist(5, seed=17)
+        assert WongLiuFloorplanner(nl, seed=7).run().hpwl() > 0

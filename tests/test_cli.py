@@ -1,0 +1,93 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_floorplan_defaults(self):
+        args = build_parser().parse_args(["floorplan"])
+        assert args.benchmark == "ami33"
+        assert args.objective == "area"
+
+    def test_route_options(self):
+        args = build_parser().parse_args(
+            ["route", "--benchmark", "apte", "--router", "shortest",
+             "--envelopes"])
+        assert args.router == "shortest"
+        assert args.envelopes
+
+    def test_experiments_series(self):
+        args = build_parser().parse_args(["experiments", "--series", "1"])
+        assert args.series == ["1"]
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["floorplan", "--benchmark", "nope"])
+
+
+class TestCommands:
+    def test_floorplan_command(self, capsys):
+        rc = main(["floorplan", "--benchmark", "apte", "--seed-size", "4",
+                   "--group-size", "2", "--time-limit", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "utilization" in out
+
+    def test_floorplan_ascii(self, capsys):
+        rc = main(["floorplan", "--benchmark", "apte", "--seed-size", "4",
+                   "--group-size", "2", "--ascii", "--time-limit", "10"])
+        assert rc == 0
+        assert "=" in capsys.readouterr().out  # legend lines
+
+    def test_floorplan_svg(self, tmp_path, capsys):
+        svg_path = tmp_path / "plan.svg"
+        rc = main(["floorplan", "--benchmark", "apte", "--seed-size", "4",
+                   "--group-size", "2", "--svg", str(svg_path),
+                   "--time-limit", "10"])
+        assert rc == 0
+        assert svg_path.read_text().startswith("<svg")
+
+    def test_random_instance(self, capsys):
+        rc = main(["floorplan", "--random", "5", "--seed", "3",
+                   "--seed-size", "3", "--group-size", "2",
+                   "--time-limit", "10"])
+        assert rc == 0
+
+    def test_yal_input(self, tmp_path, capsys):
+        from repro.netlist.mcnc import apte_like
+        from repro.netlist.yal import write_yal
+
+        yal_path = tmp_path / "bench.yal"
+        yal_path.write_text(write_yal(apte_like()))
+        rc = main(["floorplan", "--yal", str(yal_path), "--seed-size", "4",
+                   "--group-size", "2", "--time-limit", "10"])
+        assert rc == 0
+
+    def test_route_command(self, capsys):
+        rc = main(["route", "--random", "5", "--seed", "9", "--seed-size",
+                   "3", "--group-size", "2", "--time-limit", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "final area" in out
+
+    def test_baseline_command(self, capsys):
+        rc = main(["baseline", "--random", "6", "--seed", "4", "--seed-size",
+                   "3", "--group-size", "2", "--time-limit", "10",
+                   "--method", "greedy"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "milp" in out and "greedy" in out
+        assert "wong-liu" not in out
+
+    def test_baseline_all_methods(self, capsys):
+        rc = main(["baseline", "--random", "5", "--seed", "4", "--seed-size",
+                   "3", "--group-size", "2", "--time-limit", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wong-liu" in out and "greedy" in out

@@ -1,0 +1,230 @@
+"""Unit tests for the MILP subproblem formulation (section 2)."""
+
+import pytest
+
+from repro.core.config import FloorplanConfig, Linearization, Objective
+from repro.core.formulation import AnchorAttraction, SubproblemBuilder
+from repro.geometry.rect import Rect, any_overlap
+from repro.milp.solvers.registry import solve
+from repro.netlist.module import Module, PinCounts
+from repro.routing.technology import Technology
+
+
+def _solve_and_decode(builder: SubproblemBuilder):
+    solution = solve(builder.model, backend="highs", time_limit=20.0)
+    assert solution.status.has_solution, solution.message
+    return builder.decode(solution), solution
+
+
+class TestVariableCounts:
+    def test_pairwise_binaries(self):
+        """K window modules -> K(K-1) pair binaries (2 per pair), the
+        section-2.3 count (plus one rotation binary per rotatable module)."""
+        modules = [Module.rigid(f"m{i}", 2 + i, 3) for i in range(4)]
+        cfg = FloorplanConfig(allow_rotation=False)
+        builder = SubproblemBuilder(modules, [], chip_width=30.0, config=cfg)
+        assert builder.n_integer_variables == 4 * 3  # K(K-1) = 12
+
+    def test_rotation_binaries_added(self):
+        modules = [Module.rigid(f"m{i}", 2, 5) for i in range(3)]
+        cfg = FloorplanConfig(allow_rotation=True)
+        builder = SubproblemBuilder(modules, [], chip_width=30.0, config=cfg)
+        assert builder.n_integer_variables == 3 * 2 + 3
+
+    def test_square_module_needs_no_rotation_binary(self):
+        modules = [Module.rigid("sq", 3, 3)]
+        cfg = FloorplanConfig(allow_rotation=True)
+        builder = SubproblemBuilder(modules, [], chip_width=30.0, config=cfg)
+        assert builder.n_integer_variables == 0
+
+    def test_obstacles_cost_two_binaries_each(self):
+        modules = [Module.rigid("m", 2, 2)]
+        cfg = FloorplanConfig(allow_rotation=False)
+        builder = SubproblemBuilder(modules, [Rect(0, 0, 5, 5),
+                                              Rect(5, 0, 5, 3)],
+                                    chip_width=30.0, config=cfg)
+        assert builder.n_integer_variables == 4
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            SubproblemBuilder([], [], chip_width=10.0,
+                              config=FloorplanConfig())
+
+    def test_duplicate_window_module_rejected(self):
+        m = Module.rigid("m", 2, 2)
+        with pytest.raises(ValueError):
+            SubproblemBuilder([m, m], [], chip_width=10.0,
+                              config=FloorplanConfig())
+
+
+class TestRigidPlacement:
+    def test_two_modules_do_not_overlap(self):
+        modules = [Module.rigid("a", 4, 3), Module.rigid("b", 3, 4)]
+        builder = SubproblemBuilder(modules, [], chip_width=10.0,
+                                    config=FloorplanConfig(allow_rotation=False))
+        placements, _ = _solve_and_decode(builder)
+        rects = [p.rect for p in placements]
+        assert any_overlap(rects) is None
+
+    def test_chip_width_respected(self):
+        modules = [Module.rigid(f"m{i}", 4, 2) for i in range(3)]
+        builder = SubproblemBuilder(modules, [], chip_width=8.0,
+                                    config=FloorplanConfig(allow_rotation=False))
+        placements, _ = _solve_and_decode(builder)
+        assert all(p.rect.x2 <= 8.0 + 1e-6 for p in placements)
+
+    def test_min_height_objective(self):
+        """Two 4x2 modules in a width-8 chip pack side by side: height 2."""
+        modules = [Module.rigid("a", 4, 2), Module.rigid("b", 4, 2)]
+        builder = SubproblemBuilder(modules, [], chip_width=8.0,
+                                    config=FloorplanConfig(allow_rotation=False))
+        _, solution = _solve_and_decode(builder)
+        assert solution.value(builder.height_var) == pytest.approx(2.0)
+
+    def test_narrow_chip_forces_stacking(self):
+        modules = [Module.rigid("a", 4, 2), Module.rigid("b", 4, 2)]
+        builder = SubproblemBuilder(modules, [], chip_width=5.0,
+                                    config=FloorplanConfig(allow_rotation=False))
+        _, solution = _solve_and_decode(builder)
+        assert solution.value(builder.height_var) == pytest.approx(4.0)
+
+    def test_rotation_helps(self):
+        """A 2x6 module in a width-6 chip next to a 4x2: rotating the tall
+        module lets everything fit at height 2."""
+        modules = [Module.rigid("tall", 2, 6), Module.rigid("flat", 4, 2)]
+        builder = SubproblemBuilder(modules, [], chip_width=10.0,
+                                    config=FloorplanConfig(allow_rotation=True))
+        placements, solution = _solve_and_decode(builder)
+        assert solution.value(builder.height_var) == pytest.approx(2.0)
+        tall = next(p for p in placements if p.name == "tall")
+        assert tall.rotated
+        assert tall.rect.w == pytest.approx(6.0)
+
+    def test_rotation_disabled_respected(self):
+        modules = [Module.rigid("tall", 2, 6, rotatable=False),
+                   Module.rigid("flat", 4, 2)]
+        builder = SubproblemBuilder(modules, [], chip_width=10.0,
+                                    config=FloorplanConfig(allow_rotation=True))
+        placements, solution = _solve_and_decode(builder)
+        assert solution.value(builder.height_var) == pytest.approx(6.0)
+        assert not any(p.rotated for p in placements)
+
+
+class TestObstacles:
+    def test_module_avoids_obstacle(self):
+        modules = [Module.rigid("m", 4, 4)]
+        obstacle = Rect(0, 0, 10, 3)  # full-width floor obstacle
+        builder = SubproblemBuilder(modules, [obstacle], chip_width=10.0,
+                                    config=FloorplanConfig(allow_rotation=False),
+                                    base_height=3.0)
+        placements, _ = _solve_and_decode(builder)
+        assert not placements[0].rect.overlaps(obstacle)
+        assert placements[0].rect.y >= 3.0 - 1e-6
+
+    def test_module_fits_beside_obstacle(self):
+        modules = [Module.rigid("m", 4, 4)]
+        obstacle = Rect(0, 0, 5, 8)
+        builder = SubproblemBuilder(modules, [obstacle], chip_width=10.0,
+                                    config=FloorplanConfig(allow_rotation=False))
+        placements, solution = _solve_and_decode(builder)
+        assert not placements[0].rect.overlaps(obstacle)
+        # best solution keeps chip height at the obstacle top (8), module
+        # beside the obstacle
+        assert solution.value(builder.height_var) == pytest.approx(8.0)
+        assert placements[0].rect.x >= 5.0 - 1e-6
+
+
+class TestFlexibleModules:
+    def test_flexible_adapts_width(self):
+        """A flexible module beside a fixed one should stretch to fill the
+        chip width and minimize height."""
+        flex = Module.flexible_area("f", 8.0, aspect_low=0.5, aspect_high=2.0)
+        builder = SubproblemBuilder([flex], [], chip_width=4.0,
+                                    config=FloorplanConfig())
+        placements, _ = _solve_and_decode(builder)
+        p = placements[0]
+        assert p.rect.w == pytest.approx(4.0, rel=1e-3)  # widest legal shape
+        assert p.rect.area == pytest.approx(8.0)
+
+    def test_secant_mode_never_overlaps_with_exact_heights(self):
+        cfg = FloorplanConfig(linearization=Linearization.SECANT)
+        modules = [
+            Module.flexible_area("f1", 8.0, aspect_low=0.5, aspect_high=2.0),
+            Module.flexible_area("f2", 6.0, aspect_low=0.5, aspect_high=2.0),
+            Module.rigid("r", 3, 3),
+        ]
+        builder = SubproblemBuilder(modules, [], chip_width=7.0, config=cfg)
+        placements, _ = _solve_and_decode(builder)
+        assert any_overlap([p.rect for p in placements]) is None
+
+    def test_flexible_area_preserved_after_decode(self):
+        cfg = FloorplanConfig()
+        flex = Module.flexible_area("f", 10.0, aspect_low=0.25, aspect_high=4.0)
+        builder = SubproblemBuilder([flex, Module.rigid("r", 2, 2)], [],
+                                    chip_width=8.0, config=cfg)
+        placements, _ = _solve_and_decode(builder)
+        p = next(p for p in placements if p.name == "f")
+        assert p.rect.area == pytest.approx(10.0, rel=1e-6)
+
+
+class TestEnvelopes:
+    def test_envelope_inflates_footprint(self):
+        tech = Technology.around_the_cell(pitch_h=0.5, pitch_v=0.5)
+        cfg = FloorplanConfig(use_envelopes=True, technology=tech,
+                              allow_rotation=False)
+        module = Module.rigid("m", 4, 4, pins=PinCounts(2, 2, 2, 2))
+        builder = SubproblemBuilder([module], [], chip_width=10.0, config=cfg)
+        placements, _ = _solve_and_decode(builder)
+        p = placements[0]
+        assert p.envelope.w == pytest.approx(6.0)  # 4 + 2*(2*0.5)
+        assert p.envelope.h == pytest.approx(6.0)
+        assert p.envelope.contains_rect(p.rect)
+
+    def test_envelopes_separate_module_rects(self):
+        tech = Technology.around_the_cell(pitch_h=0.5, pitch_v=0.5)
+        cfg = FloorplanConfig(use_envelopes=True, technology=tech,
+                              allow_rotation=False)
+        modules = [Module.rigid("a", 3, 3, pins=PinCounts(2, 2, 2, 2)),
+                   Module.rigid("b", 3, 3, pins=PinCounts(2, 2, 2, 2))]
+        builder = SubproblemBuilder(modules, [], chip_width=20.0, config=cfg)
+        placements, _ = _solve_and_decode(builder)
+        a, b = placements
+        gap = max(b.rect.x - a.rect.x2, a.rect.x - b.rect.x2,
+                  b.rect.y - a.rect.y2, a.rect.y - b.rect.y2)
+        assert gap >= 2.0 - 1e-6  # two facing margins of 2 pins * 0.5
+
+
+class TestWirelengthObjective:
+    def test_connected_modules_pull_together(self):
+        cfg = FloorplanConfig(objective=Objective.AREA_WIRELENGTH,
+                              wirelength_weight=10.0, allow_rotation=False)
+        modules = [Module.rigid(f"m{i}", 2, 2) for i in range(4)]
+        # heavy attraction between m0 and m3 only
+        builder = SubproblemBuilder(
+            modules, [], chip_width=8.0, config=cfg,
+            pair_weights={("m0", "m3"): 50.0})
+        placements, _ = _solve_and_decode(builder)
+        pos = {p.name: p.rect for p in placements}
+        d03 = abs(pos["m0"].cx - pos["m3"].cx) + abs(pos["m0"].cy - pos["m3"].cy)
+        d01 = abs(pos["m0"].cx - pos["m1"].cx) + abs(pos["m0"].cy - pos["m1"].cy)
+        assert d03 <= d01 + 1e-6
+
+    def test_anchor_attracts(self):
+        cfg = FloorplanConfig(objective=Objective.AREA_WIRELENGTH,
+                              wirelength_weight=5.0, allow_rotation=False)
+        modules = [Module.rigid("m", 2, 2)]
+        anchor = AnchorAttraction("m", cx=9.0, cy=1.0, weight=100.0)
+        builder = SubproblemBuilder(modules, [], chip_width=10.0, config=cfg,
+                                    anchors=[anchor])
+        placements, _ = _solve_and_decode(builder)
+        # the module should hug the right edge near the anchor
+        assert placements[0].rect.cx >= 8.0 - 1e-6
+
+    def test_area_objective_ignores_weights(self):
+        cfg = FloorplanConfig(objective=Objective.AREA, allow_rotation=False)
+        modules = [Module.rigid("a", 2, 2), Module.rigid("b", 2, 2)]
+        builder = SubproblemBuilder(modules, [], chip_width=8.0, config=cfg,
+                                    pair_weights={("a", "b"): 100.0})
+        # no wirelength variables created
+        assert all("dx" not in v.name and "dy" not in v.name
+                   for v in builder.model.variables)

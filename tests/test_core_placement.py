@@ -1,0 +1,76 @@
+"""Unit tests for placements and routing envelopes."""
+
+import pytest
+
+from repro.core.envelopes import margins_for
+from repro.core.placement import EnvelopeMargins, Placement
+from repro.geometry.rect import Rect
+from repro.netlist.module import Module, PinCounts
+from repro.routing.technology import Technology
+
+
+class TestEnvelopeMargins:
+    def test_from_pins(self):
+        pins = PinCounts(left=2, right=1, bottom=3, top=4)
+        margins = EnvelopeMargins.from_pins(pins, pitch_h=0.5, pitch_v=0.25)
+        # left/right are vertical channels (pitch_v); top/bottom horizontal
+        assert margins.left == 0.5
+        assert margins.right == 0.25
+        assert margins.bottom == 1.5
+        assert margins.top == 2.0
+
+    def test_totals(self):
+        m = EnvelopeMargins(1, 2, 3, 4)
+        assert m.horizontal == 3.0
+        assert m.vertical == 7.0
+
+    def test_rotation(self):
+        m = EnvelopeMargins(left=1, right=2, bottom=3, top=4)
+        r = m.rotated()
+        assert (r.left, r.right, r.bottom, r.top) == (4, 3, 1, 2)
+
+    def test_margins_for_disabled(self):
+        module = Module.rigid("m", 2, 2, pins=PinCounts(5, 5, 5, 5))
+        margins = margins_for(module, Technology.around_the_cell(), enabled=False)
+        assert margins.horizontal == 0.0 and margins.vertical == 0.0
+
+    def test_margins_for_enabled_proportional_to_pins(self):
+        tech = Technology.around_the_cell(pitch_h=0.3, pitch_v=0.2)
+        module = Module.rigid("m", 2, 2, pins=PinCounts(1, 2, 3, 4))
+        margins = margins_for(module, tech, enabled=True)
+        assert margins.left == pytest.approx(0.2)
+        assert margins.top == pytest.approx(1.2)
+
+
+class TestPlacement:
+    def test_envelope_defaults_to_rect(self):
+        p = Placement(Module.rigid("m", 2, 3), Rect(1, 1, 2, 3))
+        assert p.envelope == p.rect
+
+    def test_center_and_name(self):
+        p = Placement(Module.rigid("m", 2, 4), Rect(0, 0, 2, 4))
+        assert p.name == "m"
+        assert p.center == (1.0, 2.0)
+
+    def test_effective_pins_rotate(self):
+        module = Module.rigid("m", 2, 4, pins=PinCounts(1, 2, 3, 4))
+        upright = Placement(module, Rect(0, 0, 2, 4), rotated=False)
+        rotated = Placement(module, Rect(0, 0, 4, 2), rotated=True)
+        assert upright.effective_pins() == module.pins
+        assert rotated.effective_pins() == module.pins.rotated()
+
+    def test_moved_to_preserves_offsets(self):
+        module = Module.rigid("m", 2, 2)
+        p = Placement(module, Rect(1.5, 1.5, 2, 2),
+                      envelope=Rect(1, 1, 3, 3))
+        moved = p.moved_to(10, 20)
+        assert moved.envelope.x == 10 and moved.envelope.y == 20
+        assert moved.rect.x == pytest.approx(10.5)
+        assert moved.rect.y == pytest.approx(20.5)
+
+    def test_resized(self):
+        module = Module.flexible_area("f", 8.0)
+        p = Placement(module, Rect(0, 0, 4, 2))
+        q = p.resized(Rect(0, 0, 2, 4))
+        assert q.rect.w == 2
+        assert q.envelope == q.rect

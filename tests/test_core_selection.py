@@ -1,0 +1,100 @@
+"""Unit tests for module ordering and group selection (Figure 3 steps)."""
+
+import pytest
+
+from repro.core.config import Ordering
+from repro.core.selection import (
+    connectivity_ordering,
+    criticality_bonus,
+    module_ordering,
+    next_group,
+    random_ordering,
+)
+from repro.netlist.module import Module
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+
+
+def _star_netlist() -> Netlist:
+    """hub connects to every leaf; leaves are otherwise unconnected."""
+    modules = [Module.rigid(n, 2, 2)
+               for n in ("hub", "l1", "l2", "l3", "lonely")]
+    nets = [Net(f"n{i}", ("hub", leaf)) for i, leaf in
+            enumerate(("l1", "l2", "l3"))]
+    nets.append(Net("n9", ("l1", "l2")))
+    nets.append(Net("nc", ("l3", "lonely"), criticality=0.9))
+    return Netlist(modules, nets)
+
+
+class TestOrderings:
+    def test_random_is_permutation(self):
+        nl = _star_netlist()
+        order = random_ordering(nl, seed=3)
+        assert sorted(order) == sorted(nl.module_names)
+
+    def test_random_deterministic_per_seed(self):
+        nl = _star_netlist()
+        assert random_ordering(nl, 1) == random_ordering(nl, 1)
+        assert random_ordering(nl, 1) != random_ordering(nl, 2)
+
+    def test_connectivity_starts_at_hub(self):
+        order = connectivity_ordering(_star_netlist())
+        assert order[0] == "hub"
+
+    def test_connectivity_is_permutation(self):
+        nl = _star_netlist()
+        assert sorted(connectivity_ordering(nl)) == sorted(nl.module_names)
+
+    def test_connectivity_puts_lonely_last(self):
+        order = connectivity_ordering(_star_netlist())
+        assert order[-1] == "lonely"
+
+    def test_connectivity_deterministic(self):
+        nl = _star_netlist()
+        assert connectivity_ordering(nl) == connectivity_ordering(nl)
+
+    def test_module_ordering_dispatch(self):
+        nl = _star_netlist()
+        assert module_ordering(nl, Ordering.CONNECTIVITY) == \
+            connectivity_ordering(nl)
+        assert module_ordering(nl, Ordering.RANDOM, seed=7) == \
+            random_ordering(nl, 7)
+
+
+class TestNextGroup:
+    def test_most_connected_selected(self):
+        nl = _star_netlist()
+        group = next_group(nl, placed=["hub"],
+                           candidates=["l1", "l2", "l3", "lonely"],
+                           group_size=2)
+        assert "lonely" not in group
+        assert len(group) == 2
+
+    def test_group_size_clamped(self):
+        nl = _star_netlist()
+        group = next_group(nl, placed=["hub"], candidates=["l1"],
+                           group_size=5)
+        assert group == ["l1"]
+
+    def test_criticality_bonus(self):
+        nl = _star_netlist()
+        assert criticality_bonus(nl, "lonely") == pytest.approx(0.9)
+        assert criticality_bonus(nl, "l2") == pytest.approx(0.0)
+
+    def test_timing_consideration_boosts_critical_module(self):
+        """lonely has zero connectivity to placed but carries a critical
+        net; with flat connectivity it should beat an equally unconnected
+        candidate."""
+        modules = [Module.rigid(n, 2, 2) for n in ("a", "b", "c")]
+        nets = [Net("n1", ("b", "c"), criticality=1.0)]
+        nl = Netlist(modules, nets)
+        group = next_group(nl, placed=["a"], candidates=["b", "c"],
+                           group_size=1)
+        assert group == ["b"]
+
+    def test_order_preserved_on_ties(self):
+        modules = [Module.rigid(n, 2, 2) for n in ("a", "b", "c", "d")]
+        nl = Netlist(modules, [Net("n", ("a", "b"))])
+        group = next_group(nl, placed=["a"], candidates=["d", "c"],
+                           group_size=2)
+        assert group == ["d", "c"]

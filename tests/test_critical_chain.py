@@ -1,0 +1,96 @@
+"""Tests for the critical-chain analysis."""
+
+import pytest
+
+from repro.core.config import FloorplanConfig
+from repro.core.floorplanner import floorplan
+from repro.core.placement import Placement
+from repro.eval.critical_chain import (
+    binding_relations,
+    chain_report,
+    critical_chain,
+)
+from repro.geometry.rect import Rect
+from repro.netlist.generators import random_netlist
+from repro.netlist.module import Module
+
+
+def _place(name: str, x: float, y: float, w: float, h: float) -> Placement:
+    return Placement(Module.rigid(name, w, h), Rect(x, y, w, h))
+
+
+class TestBindingRelations:
+    def test_touching_pair_binding(self):
+        placements = [_place("a", 0, 0, 3, 3), _place("b", 3, 0, 3, 3)]
+        tight = binding_relations(placements)
+        assert len(tight) == 1
+        assert tight[0].first == "a" and tight[0].axis == "x"
+
+    def test_separated_pair_not_binding(self):
+        placements = [_place("a", 0, 0, 3, 3), _place("b", 10, 0, 3, 3)]
+        assert binding_relations(placements) == []
+
+    def test_vertical_stack_binding(self):
+        placements = [_place("a", 0, 0, 3, 3), _place("b", 0, 3, 3, 3)]
+        tight = binding_relations(placements)
+        assert len(tight) == 1
+        assert tight[0].axis == "y"
+
+
+class TestCriticalChain:
+    def test_simple_stack(self):
+        """Three stacked modules: the chain is the full stack."""
+        placements = [_place("a", 0, 0, 3, 2), _place("b", 0, 2, 3, 4),
+                      _place("c", 0, 6, 3, 1)]
+        chain = critical_chain(placements, "y")
+        assert chain.modules == ("a", "b", "c")
+        assert chain.extent == pytest.approx(7.0)
+        assert chain.is_tight
+
+    def test_tallest_column_wins(self):
+        """Two columns: the taller one is the critical chain."""
+        placements = [
+            _place("a1", 0, 0, 2, 3), _place("a2", 0, 3, 2, 3),   # height 6
+            _place("b1", 5, 0, 2, 4), _place("b2", 5, 4, 2, 5),   # height 9
+        ]
+        chain = critical_chain(placements, "y")
+        assert chain.modules == ("b1", "b2")
+        assert chain.extent == pytest.approx(9.0)
+
+    def test_width_chain(self):
+        placements = [_place("a", 0, 0, 4, 2), _place("b", 4, 0, 5, 2),
+                      _place("c", 0, 5, 2, 2)]
+        chain = critical_chain(placements, "x")
+        assert chain.modules == ("a", "b")
+        assert chain.extent == pytest.approx(9.0)
+
+    def test_uncompacted_chain_not_tight(self):
+        placements = [_place("a", 0, 0, 3, 3), _place("b", 0, 10, 3, 3)]
+        chain = critical_chain(placements, "y")
+        assert not chain.is_tight
+        assert chain.chip_extent == pytest.approx(13.0)
+
+    def test_bad_axis_rejected(self):
+        with pytest.raises(ValueError):
+            critical_chain([_place("a", 0, 0, 1, 1)], "z")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            critical_chain([], "y")
+
+    def test_on_real_floorplan(self):
+        """A compacted floorplan's height chain reaches the chip height."""
+        nl = random_netlist(8, seed=171)
+        plan = floorplan(nl, FloorplanConfig(seed_size=4, group_size=2))
+        chain = critical_chain(list(plan.placements.values()), "y")
+        assert chain.modules  # non-empty
+        assert chain.extent <= plan.chip_height + 1e-4
+        # every chain member exists in the floorplan
+        assert all(name in plan.placements for name in chain.modules)
+
+    def test_report_format(self):
+        placements = [_place("a", 0, 0, 3, 2), _place("b", 0, 2, 3, 4)]
+        text = chain_report(placements)
+        assert "height chain" in text
+        assert "width chain" in text
+        assert "a -> b" in text

@@ -1,0 +1,207 @@
+"""Tests for the extension features: critical-net length bounds, timing
+criticalities, the greedy packer, and chip-width search."""
+
+import pytest
+
+from repro.core.config import FloorplanConfig
+from repro.core.floorplanner import floorplan
+from repro.core.formulation import (
+    AnchorLengthBound,
+    PairLengthBound,
+    SubproblemBuilder,
+)
+from repro.core.placement import Placement
+from repro.core.width_search import search_chip_width
+from repro.baselines.greedy import greedy_skyline_floorplan
+from repro.geometry.rect import Rect
+from repro.milp.solvers.registry import solve
+from repro.netlist.generators import random_netlist
+from repro.netlist.module import Module
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+from repro.routing.timing import (
+    TimingModel,
+    apply_criticalities,
+    net_length_estimate,
+    net_slacks,
+)
+
+
+class TestLengthBounds:
+    def test_net_max_length_validation(self):
+        with pytest.raises(ValueError):
+            Net("n", ("a", "b"), max_length=0.0)
+
+    def test_pair_bound_enforced(self):
+        """Two modules that would otherwise sit apart are pulled within the
+        bound."""
+        modules = [Module.rigid("a", 2, 2), Module.rigid("b", 2, 2),
+                   Module.rigid("c", 6, 2, rotatable=False)]
+        cfg = FloorplanConfig(allow_rotation=False)
+        builder = SubproblemBuilder(
+            modules, [], chip_width=10.0, config=cfg,
+            pair_length_bounds=[PairLengthBound("a", "b", 2.5)])
+        solution = solve(builder.model, time_limit=20.0)
+        assert solution.status.has_solution
+        placements = {p.name: p for p in builder.decode(solution)}
+        a, b = placements["a"].rect, placements["b"].rect
+        dist = abs(a.cx - b.cx) + abs(a.cy - b.cy)
+        assert dist <= 2.5 + 1e-6
+
+    def test_anchor_bound_enforced(self):
+        modules = [Module.rigid("m", 2, 2)]
+        cfg = FloorplanConfig(allow_rotation=False)
+        builder = SubproblemBuilder(
+            modules, [Rect(0, 0, 10, 3)], chip_width=10.0, config=cfg,
+            base_height=3.0,
+            anchor_length_bounds=[AnchorLengthBound("m", 9.0, 1.5, 4.0)])
+        solution = solve(builder.model, time_limit=20.0)
+        assert solution.status.has_solution
+        rect = builder.decode(solution)[0].rect
+        assert abs(rect.cx - 9.0) + abs(rect.cy - 1.5) <= 4.0 + 1e-6
+
+    def test_impossible_bound_infeasible(self):
+        modules = [Module.rigid("a", 4, 4), Module.rigid("b", 4, 4)]
+        cfg = FloorplanConfig(allow_rotation=False)
+        builder = SubproblemBuilder(
+            modules, [], chip_width=20.0, config=cfg,
+            pair_length_bounds=[PairLengthBound("a", "b", 0.5)])
+        # centers of two non-overlapping 4x4 modules are >= 4 apart
+        solution = solve(builder.model, time_limit=20.0)
+        assert not solution.status.has_solution
+
+    def test_end_to_end_critical_net(self):
+        modules = [Module.rigid(f"m{i}", 3, 3) for i in range(5)]
+        nets = [Net("tight", ("m0", "m4"), max_length=5.0, criticality=1.0),
+                Net("loose", ("m1", "m2"))]
+        netlist = Netlist(modules, nets)
+        plan = floorplan(netlist, FloorplanConfig(seed_size=3, group_size=1))
+        assert plan.is_legal
+        a = plan.placement("m0").rect
+        b = plan.placement("m4").rect
+        assert abs(a.cx - b.cx) + abs(a.cy - b.cy) <= 5.0 + 1e-5
+
+
+class TestTiming:
+    def _placed(self) -> dict[str, Placement]:
+        return {
+            "a": Placement(Module.rigid("a", 2, 2), Rect(0, 0, 2, 2)),
+            "b": Placement(Module.rigid("b", 2, 2), Rect(8, 0, 2, 2)),
+            "c": Placement(Module.rigid("c", 2, 2), Rect(0, 8, 2, 2)),
+        }
+
+    def _netlist(self) -> Netlist:
+        modules = [Module.rigid(n, 2, 2) for n in ("a", "b", "c")]
+        return Netlist(modules, [Net("long", ("a", "b")),
+                                 Net("short", ("a", "c"))])
+
+    def test_length_estimate(self):
+        nl = self._netlist()
+        assert net_length_estimate(nl.net("long"), self._placed()) == \
+            pytest.approx(8.0)
+
+    def test_slacks(self):
+        nl = self._netlist()
+        slacks = net_slacks(nl, self._placed(), {"long": 5.0},
+                            TimingModel(delay_per_unit=1.0, delay_per_pin=0.0))
+        assert slacks["long"] == pytest.approx(5.0 - 8.0)
+        assert slacks["short"] == float("inf")
+
+    def test_apply_criticalities_marks_violators(self):
+        nl = self._netlist()
+        timed = apply_criticalities(nl, self._placed(),
+                                    {"long": 5.0, "short": 100.0})
+        assert timed.net("long").is_critical
+        assert not timed.net("short").is_critical
+
+    def test_tightest_net_most_critical(self):
+        modules = [Module.rigid(n, 2, 2) for n in ("a", "b", "c")]
+        nl = Netlist(modules, [Net("n1", ("a", "b")), Net("n2", ("a", "c"))])
+        timed = apply_criticalities(nl, self._placed(),
+                                    {"n1": 1.0, "n2": 7.0})
+        assert timed.net("n1").criticality >= timed.net("n2").criticality
+
+    def test_netlist_structure_preserved(self):
+        nl = self._netlist()
+        timed = apply_criticalities(nl, self._placed(), {})
+        assert timed.module_names == nl.module_names
+        assert len(timed.nets) == len(nl.nets)
+
+
+class TestGreedyBaseline:
+    def test_legal_packing(self):
+        nl = random_netlist(12, seed=61)
+        result = greedy_skyline_floorplan(nl)
+        assert result.validate() == []
+        assert len(result.placements) == 12
+
+    def test_all_orientations_respected(self):
+        nl = random_netlist(8, seed=62)
+        result = greedy_skyline_floorplan(nl, allow_rotation=False)
+        for m in nl.modules:
+            r = result.placements[m.name].rect
+            assert r.w == pytest.approx(m.width)
+
+    def test_reasonable_utilization(self):
+        nl = random_netlist(15, seed=63)
+        result = greedy_skyline_floorplan(nl)
+        assert result.utilization > 0.5
+
+    def test_explicit_width(self):
+        nl = random_netlist(6, seed=64)
+        result = greedy_skyline_floorplan(nl, chip_width=100.0)
+        assert result.chip_width == 100.0
+        assert all(p.rect.x2 <= 100.0 + 1e-9
+                   for p in result.placements.values())
+
+    def test_milp_beats_or_matches_greedy(self):
+        """The analytical method should not lose to bottom-left greedy."""
+        nl = random_netlist(10, seed=65)
+        greedy = greedy_skyline_floorplan(nl)
+        plan = floorplan(nl, FloorplanConfig(seed_size=5, group_size=3,
+                                             whitespace_factor=1.10))
+        assert plan.chip_area <= greedy.chip_area * 1.10
+
+
+class TestWidthSearch:
+    def test_candidates_evaluated(self):
+        nl = random_netlist(6, seed=66)
+        cfg = FloorplanConfig(seed_size=3, group_size=2,
+                              subproblem_time_limit=10.0)
+        result = search_chip_width(nl, cfg, n_candidates=3)
+        assert len(result.candidates) == 3
+        widths = [c.chip_width for c in result.candidates]
+        assert widths == sorted(widths)
+
+    def test_best_is_min_score(self):
+        nl = random_netlist(6, seed=67)
+        cfg = FloorplanConfig(seed_size=3, group_size=2,
+                              subproblem_time_limit=10.0)
+        result = search_chip_width(nl, cfg, n_candidates=3)
+        assert min(c.score for c in result.candidates) == \
+            pytest.approx(result.best.chip_area, rel=1e-6)
+
+    def test_search_never_worse_than_single(self):
+        nl = random_netlist(6, seed=68)
+        cfg = FloorplanConfig(seed_size=3, group_size=2,
+                              subproblem_time_limit=10.0)
+        single = floorplan(nl, cfg)
+        searched = search_chip_width(nl, cfg, n_candidates=5)
+        assert searched.best.chip_area <= single.chip_area * 1.02
+
+    def test_aspect_weight_prefers_square(self):
+        nl = random_netlist(6, seed=69)
+        cfg = FloorplanConfig(seed_size=3, group_size=2,
+                              subproblem_time_limit=10.0)
+        result = search_chip_width(nl, cfg, n_candidates=5,
+                                   aspect_weight=5.0)
+        import math
+
+        best_aspect = result.best.chip_width / result.best.chip_height
+        worst = max(result.candidates, key=lambda c: abs(math.log(c.aspect)))
+        assert abs(math.log(best_aspect)) <= abs(math.log(worst.aspect)) + 1e-9
+
+    def test_bad_candidate_count_rejected(self):
+        nl = random_netlist(4, seed=70)
+        with pytest.raises(ValueError):
+            search_chip_width(nl, n_candidates=0)

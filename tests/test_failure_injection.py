@@ -1,0 +1,145 @@
+"""Failure-injection tests: solver limits, retries, and degraded inputs."""
+
+import math
+
+import pytest
+
+import repro.core.augmentation as augmentation_module
+from repro.core.augmentation import FloorplanError, _solve_with_retry
+from repro.core.config import FloorplanConfig
+from repro.core.formulation import SubproblemBuilder
+from repro.milp.model import Model
+from repro.milp.solution import Solution, SolveStatus
+from repro.netlist.generators import random_netlist
+from repro.netlist.module import Module
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+
+
+def _builder() -> SubproblemBuilder:
+    modules = [Module.rigid("a", 2, 2), Module.rigid("b", 2, 2)]
+    return SubproblemBuilder(modules, [], chip_width=10.0,
+                             config=FloorplanConfig())
+
+
+class TestSolveWithRetry:
+    def test_retry_after_limit(self, monkeypatch):
+        """First solve hits a limit with no incumbent; the retry (with a
+        doubled time limit) succeeds and its solution is returned."""
+        builder = _builder()
+        config = FloorplanConfig(subproblem_time_limit=5.0)
+        calls = []
+        real_solve = augmentation_module.solve
+
+        def flaky_solve(model, **kwargs):
+            calls.append(kwargs.get("time_limit"))
+            if len(calls) == 1:
+                return Solution(status=SolveStatus.LIMIT, backend="fake")
+            return real_solve(model, backend="highs",
+                              time_limit=kwargs.get("time_limit"))
+
+        monkeypatch.setattr(augmentation_module, "solve", flaky_solve)
+        solution = _solve_with_retry(builder, config)
+        assert solution.status.has_solution
+        assert calls == [5.0, 10.0]  # doubled limit on retry
+
+    def test_raises_after_two_failures(self, monkeypatch):
+        builder = _builder()
+        config = FloorplanConfig(subproblem_time_limit=5.0)
+        monkeypatch.setattr(
+            augmentation_module, "solve",
+            lambda model, **kwargs: Solution(status=SolveStatus.LIMIT,
+                                             backend="fake"))
+        with pytest.raises(FloorplanError):
+            _solve_with_retry(builder, config)
+
+    def test_infeasible_not_retried_successfully(self, monkeypatch):
+        builder = _builder()
+        config = FloorplanConfig(subproblem_time_limit=5.0)
+        monkeypatch.setattr(
+            augmentation_module, "solve",
+            lambda model, **kwargs: Solution(status=SolveStatus.INFEASIBLE,
+                                             backend="fake",
+                                             message="no way"))
+        with pytest.raises(FloorplanError, match="no way"):
+            _solve_with_retry(builder, config)
+
+    def test_no_time_limit_single_attempt(self, monkeypatch):
+        builder = _builder()
+        config = FloorplanConfig(subproblem_time_limit=None)
+        attempts = []
+
+        def failing_solve(model, **kwargs):
+            attempts.append(1)
+            return Solution(status=SolveStatus.INFEASIBLE, backend="fake")
+
+        monkeypatch.setattr(augmentation_module, "solve", failing_solve)
+        with pytest.raises(FloorplanError):
+            _solve_with_retry(builder, config)
+        assert len(attempts) == 1  # no retry possible without a limit
+
+
+class TestDegradedInputs:
+    def test_single_module_netlist_rejected_by_net(self):
+        with pytest.raises(ValueError):
+            Net("n", ("only",))
+
+    def test_netlist_without_nets_floorplans(self):
+        """Pure packing: no connectivity at all."""
+        from repro.core.floorplanner import floorplan
+
+        modules = [Module.rigid(f"m{i}", 2 + i, 3) for i in range(4)]
+        nl = Netlist(modules, [])
+        plan = floorplan(nl, FloorplanConfig(seed_size=2, group_size=1))
+        assert plan.is_legal
+
+    def test_two_module_netlist(self):
+        from repro.core.floorplanner import floorplan
+
+        nl = Netlist([Module.rigid("a", 3, 2), Module.rigid("b", 2, 2)],
+                     [Net("n", ("a", "b"))])
+        plan = floorplan(nl, FloorplanConfig(seed_size=2, group_size=1))
+        assert plan.is_legal
+        assert len(plan.placements) == 2
+
+    def test_identical_modules(self):
+        """Symmetric instances (all modules identical) still solve."""
+        from repro.core.floorplanner import floorplan
+
+        modules = [Module.rigid(f"m{i}", 3, 3) for i in range(6)]
+        nets = [Net(f"n{i}", (f"m{i}", f"m{(i + 1) % 6}")) for i in range(6)]
+        nl = Netlist(modules, nets)
+        plan = floorplan(nl, FloorplanConfig(seed_size=3, group_size=2))
+        assert plan.is_legal
+        assert plan.utilization > 0.5
+
+    def test_extreme_aspect_module(self):
+        from repro.core.floorplanner import floorplan
+
+        modules = [Module.rigid("sliver", 30.0, 0.5),
+                   Module.rigid("block", 4.0, 4.0)]
+        nl = Netlist(modules, [Net("n", ("sliver", "block"))])
+        plan = floorplan(nl, FloorplanConfig(seed_size=2, group_size=1))
+        assert plan.is_legal
+
+    def test_flexible_with_tight_aspect(self):
+        from repro.core.floorplanner import floorplan
+
+        modules = [Module.flexible_area("f", 9.0, aspect_low=0.99,
+                                        aspect_high=1.01),
+                   Module.rigid("r", 2, 2)]
+        nl = Netlist(modules, [Net("n", ("f", "r"))])
+        plan = floorplan(nl, FloorplanConfig(seed_size=2, group_size=1))
+        assert plan.is_legal
+        rect = plan.placement("f").rect
+        assert rect.area == pytest.approx(9.0, rel=1e-6)
+
+    def test_netlist_bigger_chip_width_than_needed(self):
+        """An over-wide chip just gives a short floorplan, never an error."""
+        from repro.core.floorplanner import floorplan
+
+        nl = random_netlist(4, seed=99)
+        plan = floorplan(nl, FloorplanConfig(chip_width=1000.0, seed_size=2,
+                                             group_size=1))
+        assert plan.is_legal
+        assert plan.chip_height <= 1000.0

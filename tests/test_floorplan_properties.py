@@ -1,0 +1,69 @@
+"""Cross-cutting property tests: every floorplan the system produces is
+legal, regardless of instance shape, ordering, objective, or solver."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FloorplanConfig, Linearization, Objective, Ordering
+from repro.core.floorplanner import floorplan
+from repro.geometry.rect import any_overlap
+from repro.netlist.generators import random_netlist
+
+
+@st.composite
+def instance_params(draw):
+    return {
+        "n": draw(st.integers(min_value=3, max_value=8)),
+        "seed": draw(st.integers(min_value=0, max_value=10_000)),
+        "flexible_fraction": draw(st.sampled_from([0.0, 0.3, 0.6])),
+    }
+
+
+@st.composite
+def config_params(draw):
+    return {
+        "seed_size": draw(st.integers(min_value=2, max_value=4)),
+        "group_size": draw(st.integers(min_value=1, max_value=3)),
+        "objective": draw(st.sampled_from(list(Objective))),
+        "ordering": draw(st.sampled_from(list(Ordering))),
+        "allow_rotation": draw(st.booleans()),
+        "linearization": draw(st.sampled_from(list(Linearization))),
+    }
+
+
+class TestFloorplanLegality:
+    @given(instance_params(), config_params())
+    @settings(max_examples=12, deadline=None)
+    def test_always_legal(self, inst, cfg_params):
+        netlist = random_netlist(inst["n"], seed=inst["seed"],
+                                 flexible_fraction=inst["flexible_fraction"])
+        cfg = FloorplanConfig(subproblem_time_limit=15.0, **cfg_params)
+        plan = floorplan(netlist, cfg)
+        assert plan.validate() == []
+
+    @given(instance_params())
+    @settings(max_examples=8, deadline=None)
+    def test_areas_preserved(self, inst):
+        netlist = random_netlist(inst["n"], seed=inst["seed"],
+                                 flexible_fraction=inst["flexible_fraction"])
+        cfg = FloorplanConfig(seed_size=3, group_size=2,
+                              subproblem_time_limit=15.0)
+        plan = floorplan(netlist, cfg)
+        assert plan.module_area == pytest.approx(netlist.total_module_area,
+                                                 rel=1e-6)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_deterministic_given_seed(self, seed):
+        netlist = random_netlist(5, seed=seed)
+        cfg = FloorplanConfig(seed_size=3, group_size=2,
+                              subproblem_time_limit=15.0)
+        plan_a = floorplan(netlist, cfg)
+        plan_b = floorplan(netlist, cfg)
+        assert plan_a.chip_area == pytest.approx(plan_b.chip_area, rel=1e-9)
+        for name in netlist.module_names:
+            assert plan_a.placement(name).rect.x == \
+                pytest.approx(plan_b.placement(name).rect.x, abs=1e-9)

@@ -1,0 +1,95 @@
+"""Unit tests for repro.geometry.interval."""
+
+import pytest
+
+from repro.geometry.interval import (
+    Interval,
+    complement_within,
+    merge_intervals,
+    total_length,
+)
+
+
+class TestInterval:
+    def test_basic(self):
+        iv = Interval(1.0, 4.0)
+        assert iv.length == 3.0
+        assert iv.mid == 2.5
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(3.0, 1.0)
+
+    def test_empty(self):
+        assert Interval(2.0, 2.0).is_empty()
+        assert not Interval(0.0, 1.0).is_empty()
+
+    def test_contains(self):
+        iv = Interval(1.0, 3.0)
+        assert iv.contains(1.0)
+        assert iv.contains(3.0)
+        assert iv.contains(2.0)
+        assert not iv.contains(3.5)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(2, 5))
+        assert not Interval(0, 10).contains_interval(Interval(5, 12))
+
+    def test_overlaps_strict(self):
+        assert Interval(0, 2).overlaps(Interval(1, 3))
+        assert not Interval(0, 2).overlaps(Interval(2, 4))  # touching
+
+    def test_touches_or_overlaps(self):
+        assert Interval(0, 2).touches_or_overlaps(Interval(2, 4))
+        assert not Interval(0, 2).touches_or_overlaps(Interval(3, 4))
+
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 8)) == Interval(3, 5)
+        assert Interval(0, 2).intersection(Interval(2, 4)) is None
+
+    def test_hull(self):
+        assert Interval(0, 1).hull(Interval(4, 5)) == Interval(0, 5)
+
+
+class TestMerge:
+    def test_merge_overlapping(self):
+        merged = merge_intervals([Interval(0, 2), Interval(1, 4), Interval(6, 7)])
+        assert merged == [Interval(0, 4), Interval(6, 7)]
+
+    def test_merge_touching(self):
+        merged = merge_intervals([Interval(0, 2), Interval(2, 3)])
+        assert merged == [Interval(0, 3)]
+
+    def test_merge_unsorted_input(self):
+        merged = merge_intervals([Interval(5, 6), Interval(0, 1), Interval(0.5, 2)])
+        assert merged == [Interval(0, 2), Interval(5, 6)]
+
+    def test_merge_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_merge_contained(self):
+        merged = merge_intervals([Interval(0, 10), Interval(2, 3)])
+        assert merged == [Interval(0, 10)]
+
+    def test_total_length_counts_overlap_once(self):
+        assert total_length([Interval(0, 3), Interval(2, 5)]) == 5.0
+
+
+class TestComplement:
+    def test_middle_gap(self):
+        gaps = complement_within([Interval(0, 2), Interval(4, 6)], Interval(0, 6))
+        assert gaps == [Interval(2, 4)]
+
+    def test_gaps_at_ends(self):
+        gaps = complement_within([Interval(2, 4)], Interval(0, 6))
+        assert gaps == [Interval(0, 2), Interval(4, 6)]
+
+    def test_full_cover_no_gap(self):
+        assert complement_within([Interval(0, 6)], Interval(1, 5)) == []
+
+    def test_no_cover_whole_span(self):
+        assert complement_within([], Interval(1, 5)) == [Interval(1, 5)]
+
+    def test_cover_outside_span_ignored(self):
+        gaps = complement_within([Interval(10, 20)], Interval(0, 5))
+        assert gaps == [Interval(0, 5)]

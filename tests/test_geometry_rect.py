@@ -1,0 +1,143 @@
+"""Unit tests for repro.geometry.rect."""
+
+import math
+
+import pytest
+
+from repro.geometry.rect import Rect, any_overlap, bounding_box, total_area
+
+
+class TestConstruction:
+    def test_basic_attributes(self):
+        r = Rect(1.0, 2.0, 3.0, 4.0)
+        assert r.x2 == 4.0
+        assert r.y2 == 6.0
+        assert r.area == 12.0
+        assert r.perimeter == 14.0
+        assert r.center == (2.5, 4.0)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, -1.0, 2.0)
+
+    def test_negative_height_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1.0, -2.0)
+
+    def test_zero_dimensions_allowed_and_degenerate(self):
+        assert Rect(0, 0, 0.0, 5.0).is_degenerate()
+        assert Rect(0, 0, 5.0, 0.0).is_degenerate()
+        assert not Rect(0, 0, 1.0, 1.0).is_degenerate()
+
+    def test_aspect(self):
+        assert Rect(0, 0, 4, 2).aspect == 2.0
+        assert Rect(0, 0, 4, 0).aspect == math.inf
+
+    def test_frozen(self):
+        r = Rect(0, 0, 1, 1)
+        with pytest.raises(AttributeError):
+            r.x = 5.0  # type: ignore[misc]
+
+
+class TestPredicates:
+    def test_overlap_interior(self):
+        assert Rect(0, 0, 4, 4).overlaps(Rect(2, 2, 4, 4))
+
+    def test_touching_edges_do_not_overlap(self):
+        assert not Rect(0, 0, 4, 4).overlaps(Rect(4, 0, 4, 4))
+        assert not Rect(0, 0, 4, 4).overlaps(Rect(0, 4, 4, 4))
+
+    def test_disjoint(self):
+        assert not Rect(0, 0, 1, 1).overlaps(Rect(5, 5, 1, 1))
+
+    def test_overlap_is_symmetric(self):
+        a, b = Rect(0, 0, 3, 3), Rect(1, 1, 5, 1)
+        assert a.overlaps(b) == b.overlaps(a)
+
+    def test_contains_point_boundary_inclusive(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point(0, 0)
+        assert r.contains_point(2, 2)
+        assert r.contains_point(1, 1)
+        assert not r.contains_point(3, 1)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 3, 3))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(8, 8, 5, 5))
+
+    def test_touches(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.touches(Rect(2, 0, 2, 2))
+        assert a.touches(Rect(2, 2, 1, 1))  # corner touch
+        assert not a.touches(Rect(1, 1, 2, 2))  # overlap
+        assert not a.touches(Rect(5, 5, 1, 1))  # disjoint
+
+
+class TestConstructive:
+    def test_intersection(self):
+        inter = Rect(0, 0, 4, 4).intersection(Rect(2, 1, 4, 4))
+        assert inter == Rect(2, 1, 2, 3)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(3, 3, 1, 1)) is None
+
+    def test_intersection_touching_is_none(self):
+        assert Rect(0, 0, 2, 2).intersection(Rect(2, 0, 2, 2)) is None
+
+    def test_overlap_area(self):
+        assert Rect(0, 0, 4, 4).overlap_area(Rect(2, 2, 4, 4)) == 4.0
+        assert Rect(0, 0, 1, 1).overlap_area(Rect(5, 5, 1, 1)) == 0.0
+
+    def test_union_bbox(self):
+        assert Rect(0, 0, 1, 1).union_bbox(Rect(3, 4, 1, 1)) == Rect(0, 0, 4, 5)
+
+    def test_translated(self):
+        assert Rect(1, 1, 2, 2).translated(3, -1) == Rect(4, 0, 2, 2)
+
+    def test_moved_to(self):
+        assert Rect(1, 1, 2, 3).moved_to(0, 0) == Rect(0, 0, 2, 3)
+
+    def test_rotated_swaps_dims_keeps_anchor(self):
+        assert Rect(1, 2, 3, 5).rotated() == Rect(1, 2, 5, 3)
+
+    def test_inflated(self):
+        assert Rect(2, 2, 2, 2).inflated(1, 0.5, 2, 1.5) == Rect(1, 1.5, 5, 4)
+
+    def test_side_midpoints(self):
+        r = Rect(0, 0, 4, 2)
+        assert r.side_midpoint("left") == (0, 1)
+        assert r.side_midpoint("right") == (4, 1)
+        assert r.side_midpoint("bottom") == (2, 0)
+        assert r.side_midpoint("top") == (2, 2)
+
+    def test_side_midpoint_unknown_side(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).side_midpoint("diagonal")
+
+
+class TestHelpers:
+    def test_bounding_box(self):
+        box = bounding_box([Rect(0, 0, 1, 1), Rect(5, -1, 1, 1), Rect(2, 3, 1, 1)])
+        assert box == Rect(0, -1, 6, 5)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    def test_total_area(self):
+        assert total_area([Rect(0, 0, 2, 2), Rect(0, 0, 3, 1)]) == 7.0
+
+    def test_any_overlap_found(self):
+        rects = [Rect(0, 0, 2, 2), Rect(5, 5, 1, 1), Rect(1, 1, 2, 2)]
+        assert any_overlap(rects) == (0, 2)
+
+    def test_any_overlap_none(self):
+        rects = [Rect(0, 0, 2, 2), Rect(2, 0, 2, 2), Rect(0, 2, 4, 1)]
+        assert any_overlap(rects) is None
+
+    def test_any_overlap_respects_eps(self):
+        # 1e-9 overlap from LP noise must not be reported
+        rects = [Rect(0, 0, 2, 2), Rect(2 - 1e-9, 0, 2, 2)]
+        assert any_overlap(rects) is None

@@ -1,0 +1,115 @@
+"""Unit tests for repro.geometry.skyline."""
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.geometry.skyline import Skyline
+
+
+class TestConstruction:
+    def test_empty_skyline_is_flat_zero(self):
+        sky = Skyline(0.0, 10.0)
+        assert sky.max_height() == 0.0
+        assert sky.height_at(5.0) == 0.0
+        assert len(sky.steps) == 1
+
+    def test_invalid_span_rejected(self):
+        with pytest.raises(ValueError):
+            Skyline(5.0, 5.0)
+
+    def test_from_rects_default_span(self):
+        sky = Skyline.from_rects([Rect(1, 0, 2, 3), Rect(3, 0, 2, 1)])
+        assert sky.x_min == 1.0
+        assert sky.x_max == 5.0
+
+    def test_from_rects_empty_without_span_rejected(self):
+        with pytest.raises(ValueError):
+            Skyline.from_rects([])
+
+
+class TestAddRect:
+    def test_single_rect(self):
+        sky = Skyline(0, 10)
+        sky.add_rect(Rect(2, 0, 3, 4))
+        assert sky.height_at(3.0) == 4.0
+        assert sky.height_at(1.0) == 0.0
+        assert sky.height_at(6.0) == 0.0
+        assert len(sky.steps) == 3
+
+    def test_stacked_rects(self):
+        sky = Skyline(0, 10)
+        sky.add_rect(Rect(0, 0, 4, 2))
+        sky.add_rect(Rect(0, 2, 4, 3))
+        assert sky.height_at(2.0) == 5.0
+
+    def test_lower_rect_does_not_reduce_height(self):
+        sky = Skyline(0, 10)
+        sky.add_rect(Rect(0, 0, 4, 5))
+        sky.add_rect(Rect(1, 0, 2, 2))
+        assert sky.height_at(2.0) == 5.0
+
+    def test_rect_outside_span_ignored(self):
+        sky = Skyline(0, 10)
+        sky.add_rect(Rect(20, 0, 3, 4))
+        assert sky.max_height() == 0.0
+
+    def test_rect_partially_outside_clipped(self):
+        sky = Skyline(0, 10)
+        sky.add_rect(Rect(8, 0, 5, 3))
+        assert sky.height_at(9.0) == 3.0
+        assert sky.steps[-1].x2 == 10.0
+
+    def test_adjacent_equal_heights_merge(self):
+        sky = Skyline(0, 10)
+        sky.add_rect(Rect(0, 0, 5, 3))
+        sky.add_rect(Rect(5, 0, 5, 3))
+        assert len(sky.steps) == 1
+        assert sky.steps[0].height == 3.0
+
+    def test_raised_copy_leaves_original(self):
+        sky = Skyline(0, 10)
+        sky.add_rect(Rect(0, 0, 5, 1))
+        raised = sky.raised_copy(Rect(0, 0, 5, 9))
+        assert sky.max_height() == 1.0
+        assert raised.max_height() == 9.0
+
+
+class TestQueries:
+    def _staircase(self) -> Skyline:
+        sky = Skyline(0, 9)
+        sky.add_rect(Rect(0, 0, 3, 6))
+        sky.add_rect(Rect(3, 0, 3, 4))
+        sky.add_rect(Rect(6, 0, 3, 2))
+        return sky
+
+    def test_distinct_heights_sorted(self):
+        assert self._staircase().distinct_heights() == [2.0, 4.0, 6.0]
+
+    def test_area_under(self):
+        assert self._staircase().area_under() == 3 * 6 + 3 * 4 + 3 * 2
+
+    def test_min_max_height(self):
+        sky = self._staircase()
+        assert sky.min_height() == 2.0
+        assert sky.max_height() == 6.0
+
+    def test_no_valley_in_staircase(self):
+        assert not self._staircase().has_valley()
+
+    def test_valley_detected(self):
+        sky = Skyline(0, 9)
+        sky.add_rect(Rect(0, 0, 3, 5))
+        sky.add_rect(Rect(3, 0, 3, 1))
+        sky.add_rect(Rect(6, 0, 3, 5))
+        assert sky.has_valley()
+
+    def test_height_at_breakpoint_is_max(self):
+        sky = self._staircase()
+        assert sky.height_at(3.0) == 6.0
+
+    def test_height_at_out_of_span_raises(self):
+        with pytest.raises(ValueError):
+            self._staircase().height_at(100.0)
+
+    def test_n_horizontal_edges(self):
+        assert self._staircase().n_horizontal_edges() == 3

@@ -1,0 +1,159 @@
+"""Tests for the GSRC parser/writer and the shape-refinement loop."""
+
+import pytest
+
+from repro.core.config import FloorplanConfig, Linearization
+from repro.core.floorplanner import floorplan
+from repro.core.placement import Placement
+from repro.core.shape_refine import refine_shapes
+from repro.geometry.rect import Rect, any_overlap
+from repro.netlist.generators import random_netlist
+from repro.netlist.gsrc import parse_gsrc, write_gsrc
+from repro.netlist.module import Module
+
+BLOCKS = """\
+UCSC blocks 1.0
+# a comment
+NumSoftRectangularBlocks : 2
+NumHardRectilinearBlocks : 2
+NumTerminals : 2
+
+sb0 softrectangular 1000 0.5 2.0
+sb1 softrectangular 400 0.3 3.0
+hb0 hardrectilinear 4 (0, 0) (0, 10) (20, 10) (20, 0)
+hb1 hardrectilinear 4 (0, 0) (0, 7) (7, 7) (7, 0)
+p0 terminal
+p1 terminal
+"""
+
+NETS = """\
+UCSC nets 1.0
+
+NumNets : 3
+NumPins : 7
+NetDegree : 3
+sb0
+hb0
+p0
+NetDegree : 2
+sb1
+hb1
+NetDegree : 2
+sb0
+sb1
+"""
+
+
+class TestParseGsrc:
+    def test_blocks(self):
+        nl = parse_gsrc(BLOCKS, NETS)
+        assert set(nl.module_names) == {"sb0", "sb1", "hb0", "hb1"}
+        assert nl.module("sb0").flexible
+        assert nl.module("sb0").area == pytest.approx(1000.0)
+        assert nl.module("sb1").aspect_high == pytest.approx(3.0)
+        assert nl.module("hb0").width == 20.0
+        assert nl.module("hb0").height == 10.0
+
+    def test_terminals_dropped_by_default(self):
+        nl = parse_gsrc(BLOCKS, NETS)
+        assert "p0" not in nl
+        # the net referencing p0 survives with its block endpoints
+        net0 = nl.nets[0]
+        assert set(net0.modules) == {"sb0", "hb0"}
+
+    def test_terminals_kept_on_request(self):
+        nl = parse_gsrc(BLOCKS, NETS, keep_terminals=True)
+        assert "p0" in nl
+        assert nl.module("p0").width == 1.0
+        net0 = nl.nets[0]
+        assert "p0" in net0.modules
+
+    def test_nets_parsed(self):
+        nl = parse_gsrc(BLOCKS, NETS)
+        assert len(nl.nets) == 3
+        assert set(nl.nets[2].modules) == {"sb0", "sb1"}
+
+    def test_blocks_only(self):
+        nl = parse_gsrc(BLOCKS)
+        assert len(nl.nets) == 0
+        assert len(nl) == 4
+
+    def test_malformed_soft_block(self):
+        with pytest.raises(ValueError):
+            parse_gsrc("sb0 softrectangular 1000 0.5")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            parse_gsrc("bk0 triangular 4")
+
+    def test_roundtrip(self):
+        original = random_netlist(8, seed=141, flexible_fraction=0.5)
+        blocks_text, nets_text = write_gsrc(original)
+        back = parse_gsrc(blocks_text, nets_text)
+        assert set(back.module_names) == set(original.module_names)
+        assert len(back.nets) == len(original.nets)
+        for m in original.modules:
+            p = back.module(m.name)
+            assert p.flexible == m.flexible
+            assert p.area == pytest.approx(m.area, rel=1e-5)
+
+    def test_parsed_instance_floorplans(self):
+        nl = parse_gsrc(BLOCKS, NETS)
+        plan = floorplan(nl, FloorplanConfig(seed_size=2, group_size=1))
+        assert plan.is_legal
+
+
+class TestShapeRefinement:
+    def _mixed_placements(self) -> list[Placement]:
+        rigid = Placement(Module.rigid("r", 2, 10), Rect(0, 0, 2, 10))
+        flex_module = Module.flexible_area("f", 36.0, aspect_low=0.25,
+                                           aspect_high=4.0)
+        # start the soft block at a poor (square) shape next to the tall one
+        flex = Placement(flex_module, Rect(2, 0, 6, 6))
+        return [rigid, flex]
+
+    def test_refinement_reduces_area(self):
+        placements = self._mixed_placements()
+        result = refine_shapes(placements)
+        initial = 8.0 * 10.0  # bbox of the input
+        assert result.chip_area < initial - 1.0
+        assert result.converged
+
+    def test_result_is_legal(self):
+        result = refine_shapes(self._mixed_placements())
+        assert any_overlap([p.rect for p in result.placements]) is None
+
+    def test_flexible_area_preserved(self):
+        result = refine_shapes(self._mixed_placements())
+        flex = next(p for p in result.placements if p.name == "f")
+        assert flex.rect.area == pytest.approx(36.0, rel=1e-6)
+
+    def test_area_history_converges(self):
+        result = refine_shapes(self._mixed_placements())
+        # convergence: the last two recorded (realized) areas agree, and the
+        # final area improves on the input
+        assert result.converged
+        assert result.area_history[-1] == \
+            pytest.approx(result.area_history[-2], rel=1e-6)
+        assert result.area_history[-1] <= result.area_history[0] + 1e-6
+
+    def test_rigid_only_converges_fast(self):
+        placements = [
+            Placement(Module.rigid("a", 3, 3), Rect(0, 0, 3, 3)),
+            Placement(Module.rigid("b", 3, 3), Rect(10, 0, 3, 3)),
+        ]
+        result = refine_shapes(placements)
+        assert result.converged
+        assert result.n_rounds == 1
+        assert result.chip_width == pytest.approx(6.0)
+
+    def test_width_cap_respected(self):
+        result = refine_shapes(self._mixed_placements(), max_chip_width=7.5)
+        assert result.chip_width <= 7.5 * (1 + 1e-5)
+
+    def test_end_to_end_after_floorplanner(self):
+        nl = random_netlist(8, seed=142, flexible_fraction=0.5)
+        plan = floorplan(nl, FloorplanConfig(seed_size=4, group_size=2))
+        refined = refine_shapes(list(plan.placements.values()))
+        assert refined.chip_area <= plan.chip_area + 1e-6
+        assert any_overlap([p.rect for p in refined.placements]) is None

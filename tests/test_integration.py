@@ -1,0 +1,107 @@
+"""Integration tests: the full pipeline across module boundaries, plus the
+experiment drivers on small instances."""
+
+import pytest
+
+from repro.core.config import FloorplanConfig, Objective, Ordering
+from repro.core.floorplanner import floorplan
+from repro.eval.experiments import run_series1, run_series2, run_series3
+from repro.geometry.rect import any_overlap
+from repro.netlist.generators import random_netlist
+from repro.netlist.yal import parse_yal, write_yal
+from repro.routing.flow import route_and_adjust
+from repro.routing.router import RouterMode
+from repro.routing.technology import Technology
+
+
+class TestFullPipeline:
+    def test_floorplan_route_adjust_roundtrip(self):
+        """netlist -> floorplan -> route -> adjust -> legal routed chip."""
+        nl = random_netlist(10, seed=42)
+        cfg = FloorplanConfig(seed_size=4, group_size=3,
+                              technology=Technology.around_the_cell())
+        plan = floorplan(nl, cfg)
+        assert plan.is_legal
+
+        routed = route_and_adjust(plan.placements, plan.chip, nl,
+                                  cfg.technology, mode=RouterMode.WEIGHTED)
+        assert routed.routing.n_routed == len(nl.nets)
+        rects = [p.rect for p in routed.placements.values()]
+        assert any_overlap(rects) is None
+        assert routed.chip_area >= plan.module_area
+
+    def test_yal_roundtrip_through_floorplanner(self, tmp_path):
+        """A netlist written to YAL, re-parsed, and floorplanned gives an
+        equivalent-quality result."""
+        nl = random_netlist(6, seed=43)
+        reparsed = parse_yal(write_yal(nl), name="reparsed")
+        cfg = FloorplanConfig(seed_size=3, group_size=2)
+        plan_a = floorplan(nl, cfg)
+        plan_b = floorplan(reparsed, cfg)
+        assert plan_b.is_legal
+        assert plan_b.module_area == pytest.approx(plan_a.module_area,
+                                                   rel=1e-4)
+
+    def test_envelopes_reserve_space_end_to_end(self):
+        nl = random_netlist(8, seed=44)
+        tech = Technology.around_the_cell(pitch_h=0.5, pitch_v=0.5)
+        cfg = FloorplanConfig(seed_size=4, group_size=2, use_envelopes=True,
+                              technology=tech)
+        plan = floorplan(nl, cfg)
+        assert plan.is_legal
+        # envelopes strictly larger than rects for pinned modules
+        has_margin = any(p.envelope.area > p.rect.area + 1e-9
+                         for p in plan.placements.values())
+        assert has_margin
+
+    def test_flexible_heavy_instance(self):
+        nl = random_netlist(8, seed=45, flexible_fraction=0.75)
+        cfg = FloorplanConfig(seed_size=4, group_size=2)
+        plan = floorplan(nl, cfg)
+        assert plan.is_legal
+        for m in nl.modules:
+            if m.flexible:
+                rect = plan.placement(m.name).rect
+                assert rect.area == pytest.approx(m.area, rel=1e-6)
+                aspect = rect.w / rect.h
+                assert m.aspect_low - 1e-6 <= aspect <= m.aspect_high + 1e-6
+
+
+class TestExperimentDrivers:
+    def test_series1_rows(self):
+        cfg = FloorplanConfig(seed_size=3, group_size=2,
+                              subproblem_time_limit=10.0)
+        rows = run_series1(sizes=(5, 7), include_ami33=False, config=cfg)
+        assert [r.n_modules for r in rows] == [5, 7]
+        assert all(r.chip_area > 0 for r in rows)
+        assert all(0 < r.utilization <= 1 for r in rows)
+        assert all(r.execution_seconds > 0 for r in rows)
+
+    def test_series1_binaries_bounded(self):
+        """The linear-time mechanism: window-bounded binary counts."""
+        cfg = FloorplanConfig(seed_size=3, group_size=2,
+                              subproblem_time_limit=10.0)
+        rows = run_series1(sizes=(6, 12), include_ami33=False, config=cfg)
+        assert rows[1].max_binaries <= rows[0].max_binaries * 3
+
+    def test_series2_grid(self, monkeypatch):
+        small = random_netlist(6, seed=46)
+        cfg = FloorplanConfig(seed_size=3, group_size=2,
+                              subproblem_time_limit=10.0)
+        rows = run_series2(netlist=small, base_config=cfg)
+        assert len(rows) == 4
+        combos = {(r.objective, r.ordering) for r in rows}
+        assert combos == {
+            ("area", "random"), ("area", "connectivity"),
+            ("area+wirelength", "random"), ("area+wirelength", "connectivity")}
+
+    def test_series3_grid(self):
+        small = random_netlist(6, seed=47)
+        cfg = FloorplanConfig(seed_size=3, group_size=2,
+                              subproblem_time_limit=10.0)
+        rows = run_series3(netlist=small, base_config=cfg)
+        assert len(rows) == 4
+        assert {(r.technique, r.router) for r in rows} == {
+            ("no_envelopes", "shortest"), ("no_envelopes", "weighted"),
+            ("envelopes", "shortest"), ("envelopes", "weighted")}
+        assert all(r.chip_area > 0 and r.wirelength > 0 for r in rows)

@@ -1,0 +1,77 @@
+"""Property-based fuzzing of the LP-format round trip: any model the
+library can build must serialize and re-solve to the same optimum."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.milp.expr import VarKind, lin_sum
+from repro.milp.lpformat import read_lp, write_lp
+from repro.milp.model import Model
+from repro.milp.solution import SolveStatus
+from repro.milp.solvers.registry import solve
+
+
+def _random_model(seed: int) -> Model:
+    """A random bounded mixed model, feasible at the origin, with awkward
+    variable names like the floorplanner produces."""
+    rng = random.Random(seed)
+    m = Model(f"fuzz{seed}")
+    variables = []
+    for i in range(rng.randint(1, 6)):
+        kind = rng.choice([VarKind.CONTINUOUS, VarKind.BINARY,
+                           VarKind.INTEGER])
+        name = rng.choice([f"x[{i}]", f"p[m{i:02d},obs{i}]", f"dw.{i}",
+                           f"v({i})"])
+        if kind is VarKind.BINARY:
+            variables.append(m.add_binary(name))
+        else:
+            variables.append(m.add_var(name, lb=0.0,
+                                       ub=rng.uniform(1.0, 9.0), kind=kind))
+    for _ in range(rng.randint(1, 5)):
+        coeffs = [rng.uniform(-3.0, 3.0) for _ in variables]
+        rhs = rng.uniform(0.0, 10.0)
+        sense = rng.choice(["le", "ge_neg"])
+        expr = lin_sum(c * v for c, v in zip(coeffs, variables))
+        if sense == "le":
+            m.add_constraint(expr <= rhs)
+        else:
+            m.add_constraint(expr >= -rhs)
+    m.set_objective(lin_sum(rng.uniform(-4.0, 4.0) * v for v in variables),
+                    rng.choice(["min", "max"]))
+    return m
+
+
+class TestLpFuzz:
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_preserves_optimum(self, seed: int):
+        model = _random_model(seed)
+        original = solve(model, time_limit=20.0)
+        parsed = solve(read_lp(write_lp(model)), time_limit=20.0)
+        assert original.status == parsed.status
+        if original.status is SolveStatus.OPTIMAL:
+            assert parsed.objective == pytest.approx(original.objective,
+                                                     rel=1e-6, abs=1e-6)
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_preserves_structure(self, seed: int):
+        model = _random_model(seed)
+        parsed = read_lp(write_lp(model))
+        assert parsed.n_variables == model.n_variables
+        assert parsed.n_constraints == model.n_constraints
+        assert parsed.n_integer_variables == model.n_integer_variables
+        assert parsed.objective_sense == model.objective_sense
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=20, deadline=None)
+    def test_double_roundtrip_stable(self, seed: int):
+        model = _random_model(seed)
+        once = write_lp(read_lp(write_lp(model)))
+        twice = write_lp(read_lp(once))
+        assert once == twice

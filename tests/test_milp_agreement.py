@@ -1,0 +1,104 @@
+"""Property-based backend agreement: random LPs and 0-1 MILPs must get the
+same optimal value from every backend (the from-scratch simplex and
+branch-and-bound against HiGHS)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.milp.expr import lin_sum
+from repro.milp.model import Model
+from repro.milp.solution import SolveStatus
+from repro.milp.solvers.registry import solve
+
+
+def _random_lp(seed: int, n_vars: int, n_cons: int) -> Model:
+    """A random bounded-feasible LP: bounds keep it bounded, and x = 0 is
+    always feasible because every constraint is a_i . x <= b_i with b_i >= 0."""
+    rng = random.Random(seed)
+    m = Model(f"lp{seed}")
+    xs = [m.add_continuous(f"x{i}", lb=0.0, ub=rng.uniform(1.0, 10.0))
+          for i in range(n_vars)]
+    for _ in range(n_cons):
+        coeffs = [rng.uniform(-2.0, 3.0) for _ in xs]
+        rhs = rng.uniform(0.0, 10.0)
+        m.add_constraint(lin_sum(c * x for c, x in zip(coeffs, xs)) <= rhs)
+    m.set_objective(lin_sum(rng.uniform(-5.0, 5.0) * x for x in xs))
+    return m
+
+
+def _random_milp(seed: int, n_bin: int, n_cont: int, n_cons: int) -> Model:
+    """A random mixed 0-1 program, feasible at the origin."""
+    rng = random.Random(seed)
+    m = Model(f"milp{seed}")
+    zs = [m.add_binary(f"z{i}") for i in range(n_bin)]
+    xs = [m.add_continuous(f"x{i}", lb=0.0, ub=rng.uniform(1.0, 5.0))
+          for i in range(n_cont)]
+    everything = zs + xs
+    for _ in range(n_cons):
+        coeffs = [rng.uniform(-2.0, 3.0) for _ in everything]
+        rhs = rng.uniform(0.5, 8.0)
+        m.add_constraint(
+            lin_sum(c * v for c, v in zip(coeffs, everything)) <= rhs)
+    m.set_objective(
+        lin_sum(rng.uniform(-5.0, 5.0) * v for v in everything))
+    return m
+
+
+class TestLpAgreement:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_simplex_matches_highs(self, seed: int):
+        model = _random_lp(seed, n_vars=4, n_cons=5)
+        ours = solve(model, backend="simplex")
+        reference = solve(model, backend="highs")
+        assert ours.status is SolveStatus.OPTIMAL
+        assert reference.status is SolveStatus.OPTIMAL
+        assert ours.objective == pytest.approx(reference.objective,
+                                               rel=1e-6, abs=1e-6)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_simplex_solution_is_feasible(self, seed: int):
+        model = _random_lp(seed, n_vars=5, n_cons=6)
+        ours = solve(model, backend="simplex")
+        assert model.check_assignment(ours.values, tol=1e-5) == []
+        for var in model.variables:
+            assert var.lb - 1e-7 <= ours[var] <= var.ub + 1e-7
+
+
+class TestMilpAgreement:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_bnb_matches_highs(self, seed: int):
+        model = _random_milp(seed, n_bin=4, n_cont=2, n_cons=4)
+        ours = solve(model, backend="bnb")
+        reference = solve(model, backend="highs")
+        assert ours.status is SolveStatus.OPTIMAL
+        assert reference.status is SolveStatus.OPTIMAL
+        assert ours.objective == pytest.approx(reference.objective,
+                                               rel=1e-5, abs=1e-5)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_bnb_solution_is_integral_and_feasible(self, seed: int):
+        model = _random_milp(seed, n_bin=5, n_cont=2, n_cons=4)
+        ours = solve(model, backend="bnb")
+        assert model.check_assignment(ours.values, tol=1e-5) == []
+        for var in model.variables:
+            if var.is_integral:
+                value = ours[var]
+                assert abs(value - round(value)) < 1e-6
+
+    @given(st.integers(min_value=0, max_value=2_000))
+    @settings(max_examples=8, deadline=None)
+    def test_bnb_simplex_engine_matches(self, seed: int):
+        model = _random_milp(seed, n_bin=3, n_cont=2, n_cons=3)
+        ours = solve(model, backend="bnb", lp_engine="simplex")
+        reference = solve(model, backend="highs")
+        assert ours.objective == pytest.approx(reference.objective,
+                                               rel=1e-5, abs=1e-5)

@@ -1,0 +1,110 @@
+"""Tests for the LP-format writer/reader."""
+
+import pytest
+
+from repro.core.config import FloorplanConfig
+from repro.core.formulation import SubproblemBuilder
+from repro.milp.expr import VarKind, lin_sum
+from repro.milp.lpformat import LpParseError, read_lp, write_lp
+from repro.milp.model import Model, ObjectiveSense
+from repro.milp.solvers.registry import solve
+from repro.netlist.generators import random_netlist
+
+
+def _sample_model() -> Model:
+    m = Model("sample")
+    x = m.add_continuous("x", lb=0.0, ub=10.0)
+    y = m.add_continuous("y", lb=1.0)
+    z = m.add_binary("z")
+    k = m.add_var("k", 0, 5, kind=VarKind.INTEGER)
+    m.add_constraint(x + 2 * y - 3 * z <= 7)
+    m.add_constraint(x - y >= -2)
+    m.add_constraint(x + k == 4)
+    m.set_objective(2 * x + y - z)
+    return m
+
+
+class TestWrite:
+    def test_sections_present(self):
+        text = write_lp(_sample_model())
+        for section in ("Minimize", "Subject To", "Bounds", "Binary",
+                        "General", "End"):
+            assert section in text
+
+    def test_maximize_direction(self):
+        m = Model()
+        x = m.add_continuous("x", ub=1)
+        m.set_objective(x, ObjectiveSense.MAX)
+        assert "Maximize" in write_lp(m)
+
+    def test_name_sanitization(self):
+        m = Model()
+        x = m.add_continuous("x[m00,obs1]", ub=2)
+        m.set_objective(x)
+        text = write_lp(m)
+        assert "[" not in text.split("Minimize")[1]
+
+    def test_duplicate_sanitized_names_disambiguated(self):
+        m = Model()
+        a = m.add_continuous("v[1]", ub=1)
+        b = m.add_continuous("v(1)", ub=1)
+        m.set_objective(a + b)
+        text = write_lp(m)
+        # both variables appear with distinct names
+        parsed = read_lp(text)
+        assert parsed.n_variables == 2
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        original = _sample_model()
+        parsed = read_lp(write_lp(original))
+        assert parsed.n_variables == original.n_variables
+        assert parsed.n_constraints == original.n_constraints
+        assert parsed.n_integer_variables == original.n_integer_variables
+
+    def test_optimum_preserved(self):
+        original = _sample_model()
+        parsed = read_lp(write_lp(original))
+        a = solve(original)
+        b = solve(parsed)
+        assert a.status.has_solution and b.status.has_solution
+        assert b.objective == pytest.approx(a.objective, rel=1e-6)
+
+    def test_floorplanning_subproblem_roundtrip(self):
+        """A real subproblem model round-trips with identical optimum."""
+        netlist = random_netlist(3, seed=88)
+        config = FloorplanConfig(subproblem_time_limit=20.0)
+        width = config.resolved_chip_width(netlist.total_module_area)
+        builder = SubproblemBuilder(list(netlist.modules), [], width, config)
+        original = solve(builder.model, time_limit=30.0)
+        parsed_model = read_lp(write_lp(builder.model))
+        parsed = solve(parsed_model, time_limit=30.0)
+        assert parsed.objective == pytest.approx(original.objective, rel=1e-5)
+
+    def test_bounds_roundtrip(self):
+        m = Model()
+        x = m.add_continuous("x", lb=2.5, ub=7.5)
+        m.set_objective(x)
+        parsed = read_lp(write_lp(m))
+        var = parsed.variables[0]
+        assert var.lb == pytest.approx(2.5)
+        assert var.ub == pytest.approx(7.5)
+
+    def test_lower_bound_only(self):
+        m = Model()
+        x = m.add_continuous("x", lb=3.0)
+        m.set_objective(x)
+        parsed = read_lp(write_lp(m))
+        assert solve(parsed).objective == pytest.approx(3.0)
+
+
+class TestReadErrors:
+    def test_constraint_without_comparator(self):
+        with pytest.raises(LpParseError):
+            read_lp("Minimize\n obj: x\nSubject To\n c0: x 3\nEnd\n")
+
+    def test_bad_bounds_row(self):
+        with pytest.raises(LpParseError):
+            read_lp("Minimize\n obj: x\nSubject To\n c0: x <= 1\n"
+                    "Bounds\n what even is this\nEnd\n")

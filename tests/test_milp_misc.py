@@ -1,0 +1,125 @@
+"""Fill-in unit tests: solution objects, backend helpers, model repr."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.milp.expr import Variable, VarKind
+from repro.milp.model import Model
+from repro.milp.solution import Solution, SolveStatus
+from repro.milp.solvers.scipy_backend import _round_sig
+from repro.milp.solvers.simplex import LpStatus, solve_lp_arrays
+
+
+class TestSolveStatus:
+    def test_has_solution(self):
+        assert SolveStatus.OPTIMAL.has_solution
+        assert SolveStatus.FEASIBLE.has_solution
+        assert not SolveStatus.INFEASIBLE.has_solution
+        assert not SolveStatus.LIMIT.has_solution
+        assert not SolveStatus.ERROR.has_solution
+
+
+class TestSolution:
+    def _var(self, name="x"):
+        return Variable(name, 0, 0.0, 10.0, VarKind.CONTINUOUS)
+
+    def test_getitem(self):
+        x = self._var()
+        s = Solution(status=SolveStatus.OPTIMAL, values={x: 3.0})
+        assert s[x] == 3.0
+
+    def test_rounded(self):
+        z = Variable("z", 0, 0.0, 1.0, VarKind.BINARY)
+        s = Solution(status=SolveStatus.OPTIMAL, values={z: 0.9999999})
+        assert s.rounded(z) == 1
+
+    def test_gap_zero_when_bound_missing(self):
+        s = Solution(status=SolveStatus.FEASIBLE, objective=10.0)
+        assert s.gap() == 0.0
+
+    def test_gap_computed(self):
+        s = Solution(status=SolveStatus.FEASIBLE, objective=10.0, bound=9.0)
+        assert s.gap() == pytest.approx(0.1)
+
+    def test_value_of_expression(self):
+        x = self._var()
+        s = Solution(status=SolveStatus.OPTIMAL, values={x: 2.0})
+        assert s.value(2 * x + 1) == pytest.approx(5.0)
+
+
+class TestRoundSig:
+    def test_rounds_to_significant_digits(self):
+        values = np.array([1.23456789012345678, 1e-20, 12345.678901234567])
+        rounded = _round_sig(values, digits=6)
+        assert rounded[0] == pytest.approx(1.23457)
+        assert rounded[2] == pytest.approx(12345.7)
+
+    def test_preserves_infinities(self):
+        values = np.array([np.inf, -np.inf, 1.5])
+        rounded = _round_sig(values)
+        assert math.isinf(rounded[0]) and rounded[0] > 0
+        assert math.isinf(rounded[1]) and rounded[1] < 0
+
+    def test_preserves_zeros(self):
+        assert _round_sig(np.array([0.0]))[0] == 0.0
+
+
+class TestModelRepr:
+    def test_repr_counts(self):
+        m = Model("demo")
+        m.add_continuous("x")
+        m.add_binary("z")
+        m.add_constraint(m.variables[0] + m.variables[1] <= 1)
+        text = repr(m)
+        assert "demo" in text
+        assert "2 vars" in text
+        assert "1 integer" in text
+        assert "1 constraints" in text
+
+
+class TestSimplexArrays:
+    def test_direct_array_interface(self):
+        # min -x - y st x + y <= 4, x <= 3; bounds x,y in [0, 10]
+        c = np.array([-1.0, -1.0])
+        a = np.array([[1.0, 1.0], [1.0, 0.0]])
+        row_lb = np.array([-np.inf, -np.inf])
+        row_ub = np.array([4.0, 3.0])
+        lb = np.zeros(2)
+        ub = np.full(2, 10.0)
+        result = solve_lp_arrays(c, a, row_lb, row_ub, lb, ub)
+        assert result.status is LpStatus.OPTIMAL
+        assert result.objective == pytest.approx(-4.0)
+
+    def test_shifted_lower_bounds(self):
+        # min x with x >= 2.5 encoded purely in bounds
+        c = np.array([1.0])
+        a = np.zeros((0, 1))
+        result = solve_lp_arrays(c, a, np.array([]), np.array([]),
+                                 np.array([2.5]), np.array([np.inf]))
+        assert result.status is LpStatus.OPTIMAL
+        assert result.objective == pytest.approx(2.5)
+
+    def test_infinite_lower_bound_rejected(self):
+        c = np.array([1.0])
+        a = np.zeros((0, 1))
+        with pytest.raises(ValueError):
+            solve_lp_arrays(c, a, np.array([]), np.array([]),
+                            np.array([-np.inf]), np.array([np.inf]))
+
+    def test_crossed_bounds_infeasible(self):
+        c = np.array([1.0])
+        a = np.zeros((0, 1))
+        result = solve_lp_arrays(c, a, np.array([]), np.array([]),
+                                 np.array([5.0]), np.array([2.0]))
+        assert result.status is LpStatus.INFEASIBLE
+
+    def test_two_sided_row(self):
+        # 1 <= x + y <= 2, min x + 2y -> x=1, y=0
+        c = np.array([1.0, 2.0])
+        a = np.array([[1.0, 1.0]])
+        result = solve_lp_arrays(c, a, np.array([1.0]), np.array([2.0]),
+                                 np.zeros(2), np.full(2, 10.0))
+        assert result.status is LpStatus.OPTIMAL
+        assert result.objective == pytest.approx(1.0)

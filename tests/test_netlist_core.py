@@ -1,0 +1,116 @@
+"""Unit tests for nets and the netlist container."""
+
+import pytest
+
+from repro.netlist.module import Module
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+
+
+class TestNet:
+    def test_basic(self):
+        n = Net("n", ("a", "b", "c"))
+        assert n.degree == 3
+        assert n.connects("a")
+        assert not n.connects("z")
+
+    def test_duplicates_collapsed(self):
+        n = Net("n", ("a", "b", "a"))
+        assert n.degree == 2
+
+    def test_single_module_rejected(self):
+        with pytest.raises(ValueError):
+            Net("n", ("a",))
+        with pytest.raises(ValueError):
+            Net("n", ("a", "a"))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Net("n", ("a", "b"), weight=-1.0)
+
+    def test_pairs_clique(self):
+        n = Net("n", ("c", "a", "b"))
+        assert n.pairs() == [("a", "b"), ("a", "c"), ("b", "c")]
+
+    def test_criticality(self):
+        assert Net("n", ("a", "b"), criticality=0.5).is_critical
+        assert not Net("n", ("a", "b")).is_critical
+
+
+def _simple_netlist() -> Netlist:
+    modules = [Module.rigid(n, 2.0, 2.0) for n in ("a", "b", "c", "d")]
+    nets = [
+        Net("n1", ("a", "b")),
+        Net("n2", ("a", "b", "c")),
+        Net("n3", ("c", "d")),
+    ]
+    return Netlist(modules, nets, name="simple")
+
+
+class TestNetlist:
+    def test_lookup(self):
+        nl = _simple_netlist()
+        assert nl.module("a").name == "a"
+        assert nl.net("n1").degree == 2
+        assert len(nl) == 4
+        assert "a" in nl and "z" not in nl
+
+    def test_duplicate_module_rejected(self):
+        modules = [Module.rigid("a", 1, 1), Module.rigid("a", 2, 2)]
+        with pytest.raises(ValueError):
+            Netlist(modules)
+
+    def test_duplicate_net_rejected(self):
+        modules = [Module.rigid("a", 1, 1), Module.rigid("b", 1, 1)]
+        nets = [Net("n", ("a", "b")), Net("n", ("a", "b"))]
+        with pytest.raises(ValueError):
+            Netlist(modules, nets)
+
+    def test_unknown_endpoint_rejected(self):
+        modules = [Module.rigid("a", 1, 1), Module.rigid("b", 1, 1)]
+        with pytest.raises(ValueError):
+            Netlist(modules, [Net("n", ("a", "zzz"))])
+
+    def test_common_net_counts(self):
+        nl = _simple_netlist()
+        assert nl.common_nets("a", "b") == 2
+        assert nl.common_nets("b", "a") == 2  # symmetric
+        assert nl.common_nets("a", "c") == 1
+        assert nl.common_nets("a", "d") == 0
+
+    def test_connectivity_to_set(self):
+        nl = _simple_netlist()
+        assert nl.connectivity_to_set("c", ["a", "b"]) == 2
+        assert nl.connectivity_to_set("d", ["a", "b"]) == 0
+
+    def test_degree_and_nets_of(self):
+        nl = _simple_netlist()
+        assert nl.degree("a") == 2
+        assert {n.name for n in nl.nets_of("c")} == {"n2", "n3"}
+
+    def test_total_module_area(self):
+        assert _simple_netlist().total_module_area == 16.0
+
+    def test_stats(self):
+        stats = _simple_netlist().stats()
+        assert stats.n_modules == 4
+        assert stats.n_nets == 3
+        assert stats.max_net_degree == 3
+        assert stats.n_flexible == 0
+
+    def test_restricted_to(self):
+        nl = _simple_netlist()
+        sub = nl.restricted_to(["a", "b", "c"])
+        assert len(sub) == 3
+        # n3 loses one endpoint -> dropped; n1, n2 survive
+        assert {n.name for n in sub.nets} == {"n1", "n2"}
+
+    def test_restricted_to_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            _simple_netlist().restricted_to(["a", "nope"])
+
+    def test_flexible_counted(self):
+        modules = [Module.rigid("r", 1, 1), Module.flexible_area("f", 4.0)]
+        nl = Netlist(modules, [Net("n", ("r", "f"))])
+        assert nl.n_flexible == 1
+        assert nl.n_rigid == 1

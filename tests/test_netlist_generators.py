@@ -1,0 +1,113 @@
+"""Unit + property tests for benchmark generators and MCNC substitutes."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.generators import random_netlist, series1_instance
+from repro.netlist.mcnc import (
+    AMI33_TOTAL_AREA,
+    ami33_like,
+    apte_like,
+    hp_like,
+    xerox_like,
+)
+
+
+class TestRandomNetlist:
+    def test_determinism(self):
+        a = random_netlist(12, seed=5)
+        b = random_netlist(12, seed=5)
+        assert a.module_names == b.module_names
+        for ma, mb in zip(a.modules, b.modules):
+            assert ma.width == mb.width and ma.height == mb.height
+        assert [n.modules for n in a.nets] == [n.modules for n in b.nets]
+
+    def test_different_seeds_differ(self):
+        a = random_netlist(12, seed=5)
+        b = random_netlist(12, seed=6)
+        assert any(ma.width != mb.width for ma, mb in zip(a.modules, b.modules))
+
+    def test_total_area_exact(self):
+        nl = random_netlist(10, seed=1, total_area=1000.0)
+        assert nl.total_module_area == pytest.approx(1000.0)
+
+    def test_all_modules_connected(self):
+        nl = random_netlist(15, seed=2)
+        for name in nl.module_names:
+            assert nl.degree(name) >= 1
+
+    def test_pins_match_net_incidence(self):
+        """Pin counts are net endpoints, not independent randomness."""
+        nl = random_netlist(10, seed=3)
+        for name in nl.module_names:
+            incidences = sum(1 for n in nl.nets if n.connects(name))
+            assert nl.module(name).pins.total == max(1, incidences)
+
+    def test_flexible_fraction(self):
+        nl = random_netlist(10, seed=4, flexible_fraction=0.5)
+        assert nl.n_flexible == 5
+
+    def test_critical_fraction(self):
+        nl = random_netlist(20, seed=5, critical_fraction=0.2)
+        n_crit = sum(1 for n in nl.nets if n.is_critical)
+        assert n_crit == round(0.2 * len(nl.nets))
+
+    def test_too_few_modules_rejected(self):
+        with pytest.raises(ValueError):
+            random_netlist(1, seed=0)
+
+    @given(st.integers(min_value=2, max_value=30),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25)
+    def test_generator_properties(self, n: int, seed: int):
+        nl = random_netlist(n, seed=seed)
+        assert len(nl) == n
+        assert all(m.width > 0 and m.height > 0 for m in nl.modules)
+        assert all(2 <= net.degree <= 5 for net in nl.nets)
+        # connectivity matrix symmetric
+        names = nl.module_names
+        assert nl.common_nets(names[0], names[-1]) == \
+            nl.common_nets(names[-1], names[0])
+
+
+class TestSeries1:
+    def test_sizes(self):
+        for n in (15, 20, 25):
+            nl = series1_instance(n)
+            assert len(nl) == n
+            assert nl.n_flexible == 0
+
+    def test_deterministic(self):
+        a = series1_instance(15)
+        b = series1_instance(15)
+        assert [m.width for m in a.modules] == [m.width for m in b.modules]
+
+
+class TestMcncSubstitutes:
+    def test_ami33_characteristics(self):
+        nl = ami33_like()
+        assert len(nl) == 33
+        assert len(nl.nets) == 123
+        assert nl.total_module_area == pytest.approx(AMI33_TOTAL_AREA)
+        assert nl.n_flexible == 0
+
+    def test_ami33_deterministic(self):
+        assert [m.width for m in ami33_like().modules] == \
+            [m.width for m in ami33_like().modules]
+
+    def test_ami33_size_spread(self):
+        """Lognormal sizing: largest block much bigger than smallest."""
+        areas = sorted(m.area for m in ami33_like().modules)
+        assert areas[-1] / areas[0] > 5.0
+
+    def test_other_substitutes(self):
+        assert len(apte_like()) == 9
+        assert len(xerox_like()) == 10
+        assert len(hp_like()) == 11
+
+    def test_substitute_names(self):
+        assert ami33_like().name == "ami33_like"
+        assert apte_like().name == "apte_like"

@@ -1,0 +1,114 @@
+"""Unit tests for repro.netlist.module."""
+
+import math
+
+import pytest
+
+from repro.netlist.module import Module, PinCounts, Side
+
+
+class TestPinCounts:
+    def test_total(self):
+        assert PinCounts(1, 2, 3, 4).total == 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PinCounts(left=-1)
+
+    def test_on_side(self):
+        pins = PinCounts(left=1, right=2, bottom=3, top=4)
+        assert pins.on(Side.LEFT) == 1
+        assert pins.on(Side.TOP) == 4
+
+    def test_rotation_permutes_sides(self):
+        pins = PinCounts(left=1, right=2, bottom=3, top=4)
+        rot = pins.rotated()
+        assert rot == PinCounts(left=4, right=3, bottom=1, top=2)
+        assert rot.total == pins.total
+
+    def test_four_rotations_identity(self):
+        pins = PinCounts(1, 2, 3, 4)
+        assert pins.rotated().rotated().rotated().rotated() == pins
+
+
+class TestRigidModule:
+    def test_basic(self):
+        m = Module.rigid("m", 4.0, 2.0)
+        assert m.area == 8.0
+        assert not m.flexible
+        assert m.width_min == m.width_max == 4.0
+
+    def test_nonpositive_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Module.rigid("m", 0.0, 2.0)
+        with pytest.raises(ValueError):
+            Module.rigid("m", 2.0, -1.0)
+
+    def test_placed(self):
+        m = Module.rigid("m", 4.0, 2.0)
+        assert m.placed(1.0, 2.0).w == 4.0
+        assert m.placed(1.0, 2.0, rotated=True).w == 2.0
+        assert m.placed(1.0, 2.0, rotated=True).h == 4.0
+
+    def test_height_for_width_fixed(self):
+        m = Module.rigid("m", 4.0, 2.0)
+        assert m.height_for_width(4.0) == 2.0
+        with pytest.raises(ValueError):
+            m.height_for_width(3.0)
+
+    def test_width_override_rejected(self):
+        m = Module.rigid("m", 4.0, 2.0)
+        with pytest.raises(ValueError):
+            m.placed(0, 0, width=3.0)
+
+    def test_max_extent_rotatable(self):
+        assert Module.rigid("m", 4.0, 2.0).max_extent() == 4.0
+
+    def test_frozen(self):
+        m = Module.rigid("m", 1, 1)
+        with pytest.raises(AttributeError):
+            m.width = 5.0  # type: ignore[misc]
+
+
+class TestFlexibleModule:
+    def test_area_invariant(self):
+        m = Module.flexible_area("f", 12.0, aspect_low=0.5, aspect_high=2.0)
+        assert m.flexible
+        assert m.area == pytest.approx(12.0)
+
+    def test_width_bounds_follow_aspect(self):
+        m = Module.flexible_area("f", 16.0, aspect_low=0.25, aspect_high=4.0)
+        assert m.width_min == pytest.approx(math.sqrt(16 * 0.25))
+        assert m.width_max == pytest.approx(math.sqrt(16 * 4.0))
+
+    def test_height_for_width_hyperbola(self):
+        m = Module.flexible_area("f", 12.0, aspect_low=0.5, aspect_high=2.0)
+        w = m.width_min
+        assert m.height_for_width(w) == pytest.approx(12.0 / w)
+
+    def test_height_outside_range_rejected(self):
+        m = Module.flexible_area("f", 12.0)
+        with pytest.raises(ValueError):
+            m.height_for_width(m.width_max * 2)
+
+    def test_placed_with_width(self):
+        m = Module.flexible_area("f", 12.0, aspect_low=0.5, aspect_high=2.0)
+        w = (m.width_min + m.width_max) / 2
+        r = m.placed(0, 0, width=w)
+        assert r.area == pytest.approx(12.0)
+
+    def test_aspect_bounds_validation(self):
+        with pytest.raises(ValueError):
+            Module.flexible_area("f", 10.0, aspect_low=2.0, aspect_high=1.0)
+        with pytest.raises(ValueError):
+            Module.flexible_area("f", -3.0)
+
+    def test_nominal_shape_respects_area(self):
+        m = Module.flexible_area("f", 25.0, aspect_low=1.0, aspect_high=1.0)
+        assert m.width == pytest.approx(5.0)
+        assert m.height == pytest.approx(5.0)
+
+    def test_max_extent_covers_extremes(self):
+        m = Module.flexible_area("f", 16.0, aspect_low=0.25, aspect_high=4.0)
+        tallest = m.area / m.width_min
+        assert m.max_extent() == pytest.approx(max(m.width_max, tallest))

@@ -1,0 +1,120 @@
+"""Unit tests for the YAL parser/writer."""
+
+import pytest
+
+from repro.netlist.yal import GLOBAL_SIGNALS, parse_yal, write_yal
+from repro.netlist.mcnc import ami33_like
+
+SAMPLE = """
+/* a tiny two-block parent netlist */
+MODULE blockA;
+TYPE GENERAL;
+DIMENSIONS 0 0 10 0 10 4 0 4;
+IOLIST;
+pA1 L 1;
+pA2 R 2;
+pA3 T 5;
+ENDIOLIST;
+ENDMODULE;
+
+MODULE blockB;
+TYPE GENERAL;
+DIMENSIONS 0 0 6 0 6 6 0 6;
+IOLIST;
+pB1 B 3;
+pB2 B 4 1.0 PDIFF;
+ENDIOLIST;
+ENDMODULE;
+
+MODULE chip;
+TYPE PARENT;
+NETWORK;
+u1 blockA sigX sigY VDD;
+u2 blockB sigX GND;
+u3 blockA sigY sigX;
+ENDNETWORK;
+ENDMODULE;
+"""
+
+
+class TestParse:
+    def test_instances_become_modules(self):
+        nl = parse_yal(SAMPLE, name="sample")
+        assert set(nl.module_names) == {"u1", "u2", "u3"}
+
+    def test_dimensions_bbox(self):
+        nl = parse_yal(SAMPLE)
+        assert nl.module("u1").width == 10.0
+        assert nl.module("u1").height == 4.0
+        assert nl.module("u2").width == 6.0
+
+    def test_pin_sides_counted(self):
+        nl = parse_yal(SAMPLE)
+        pins = nl.module("u1").pins  # from blockA definition
+        assert pins.left == 1
+        assert pins.right == 1
+        assert pins.top == 1
+        assert pins.bottom == 0
+        assert nl.module("u2").pins.bottom == 2
+
+    def test_shared_signals_become_nets(self):
+        nl = parse_yal(SAMPLE)
+        names = {n.name for n in nl.nets}
+        assert names == {"sigX", "sigY"}
+        assert set(nl.net("sigX").modules) == {"u1", "u2", "u3"}
+        assert set(nl.net("sigY").modules) == {"u1", "u3"}
+
+    def test_global_signals_dropped(self):
+        nl = parse_yal(SAMPLE)
+        assert all(n.name.upper() not in GLOBAL_SIGNALS for n in nl.nets)
+
+    def test_global_signals_kept_when_requested(self):
+        nl = parse_yal(SAMPLE, drop_globals=False)
+        # VDD touches only one instance -> still no net; GND likewise
+        assert {n.name for n in nl.nets} == {"sigX", "sigY"}
+
+    def test_leaf_only_file(self):
+        text = ("MODULE solo; TYPE GENERAL; "
+                "DIMENSIONS 0 0 2 0 2 3 0 3; ENDMODULE;")
+        nl = parse_yal(text)
+        assert nl.module_names == ("solo",)
+        assert nl.module("solo").height == 3.0
+
+    def test_missing_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            parse_yal("MODULE bad; TYPE GENERAL; ENDMODULE;")
+
+    def test_statement_outside_module_rejected(self):
+        with pytest.raises(ValueError):
+            parse_yal("TYPE GENERAL;")
+
+    def test_unknown_instance_reference_rejected(self):
+        text = ("MODULE p; TYPE PARENT; NETWORK; "
+                "u1 ghost sigA sigB; ENDNETWORK; ENDMODULE;")
+        with pytest.raises(ValueError):
+            parse_yal(text)
+
+    def test_comments_ignored(self):
+        text = ("/* multi\nline */ MODULE a; TYPE GENERAL;\n"
+                "# line comment\nDIMENSIONS 0 0 1 0 1 1 0 1; ENDMODULE;")
+        assert parse_yal(text).module("a").width == 1.0
+
+
+class TestRoundTrip:
+    def test_write_then_parse_preserves_structure(self):
+        original = ami33_like()
+        text = write_yal(original)
+        parsed = parse_yal(text, name="roundtrip")
+        assert set(parsed.module_names) == set(original.module_names)
+        assert len(parsed.nets) == len(original.nets)
+        for m in original.modules:
+            p = parsed.module(m.name)
+            assert p.width == pytest.approx(m.width, rel=1e-4)
+            assert p.height == pytest.approx(m.height, rel=1e-4)
+            assert p.pins.total == m.pins.total
+
+    def test_net_endpoints_preserved(self):
+        original = ami33_like()
+        parsed = parse_yal(write_yal(original))
+        for net in original.nets:
+            assert set(parsed.net(net.name).modules) == set(net.modules)

@@ -1,0 +1,154 @@
+"""Unit tests for channel-width adjustment and the Series-3 flow."""
+
+import pytest
+
+from repro.core.config import FloorplanConfig
+from repro.core.floorplanner import floorplan
+from repro.core.placement import Placement
+from repro.geometry.rect import Rect, any_overlap
+from repro.netlist.generators import random_netlist
+from repro.netlist.module import Module, PinCounts
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+from repro.routing.adjust import adjust_floorplan
+from repro.routing.flow import provide_routing_space, route_and_adjust
+from repro.routing.graph import build_channel_graph
+from repro.routing.router import GlobalRouter, RouterMode
+from repro.routing.technology import Technology
+
+
+def _abutting_placements() -> dict[str, Placement]:
+    """Two modules touching: no channel between them."""
+    return {
+        "a": Placement(Module.rigid("a", 4, 4, pins=PinCounts(0, 2, 0, 0)),
+                       Rect(0, 0, 4, 4)),
+        "b": Placement(Module.rigid("b", 4, 4, pins=PinCounts(2, 0, 0, 0)),
+                       Rect(4, 0, 4, 4)),
+    }
+
+
+class TestProvideRoutingSpace:
+    def test_opens_channel_between_abutting_modules(self):
+        placements = _abutting_placements()
+        tech = Technology.around_the_cell(pitch_h=0.5, pitch_v=0.5)
+        spread = provide_routing_space(placements, tech, tracks=4.0)
+        a, b = spread["a"].rect, spread["b"].rect
+        assert b.x - a.x2 >= 4.0 * 0.5 - 1e-6
+
+    def test_no_gap_for_non_corridor_pairs(self):
+        """Diagonal neighbors share no corridor; no spreading needed."""
+        placements = {
+            "a": Placement(Module.rigid("a", 2, 2), Rect(0, 0, 2, 2)),
+            "b": Placement(Module.rigid("b", 2, 2), Rect(5, 5, 2, 2)),
+        }
+        tech = Technology.around_the_cell()
+        spread = provide_routing_space(placements, tech, tracks=4.0)
+        # compaction may pull them together but never forces a channel
+        assert any_overlap([p.rect for p in spread.values()]) is None
+
+    def test_envelope_margins_count_toward_channel(self):
+        placements = {
+            "a": Placement(Module.rigid("a", 4, 4), Rect(0, 0, 4, 4),
+                           envelope=Rect(0, 0, 5, 4)),
+            "b": Placement(Module.rigid("b", 4, 4), Rect(5, 0, 4, 4),
+                           envelope=Rect(5, 0, 4, 4)),
+        }
+        tech = Technology.around_the_cell(pitch_h=0.5, pitch_v=0.5)
+        spread = provide_routing_space(placements, tech, tracks=2.0)
+        a, b = spread["a"], spread["b"]
+        # 2 tracks * 0.5 = 1.0 needed; envelope already reserves 1.0
+        assert b.envelope.x - a.envelope.x2 <= 0.5
+
+
+class TestAdjustFloorplan:
+    def _routed_setup(self):
+        placements = _abutting_placements()
+        tech = Technology.around_the_cell(pitch_h=0.5, pitch_v=0.5)
+        spread = provide_routing_space(placements, tech, tracks=4.0)
+        chip = Rect(0, 0,
+                    max(p.rect.x2 for p in spread.values()),
+                    max(p.rect.y2 for p in spread.values()))
+        graph = build_channel_graph(list(spread.values()), chip, tech,
+                                    ring_width=1.0)
+        nets = [Net(f"n{i}", ("a", "b")) for i in range(8)]
+        routing = GlobalRouter(graph, mode=RouterMode.WEIGHTED).route(
+            nets, spread)
+        return spread, graph, routing, tech
+
+    def test_adjusted_floorplan_is_legal(self):
+        spread, graph, routing, tech = self._routed_setup()
+        adjusted = adjust_floorplan(spread, graph, routing, tech)
+        rects = [p.rect for p in adjusted.placements.values()]
+        assert any_overlap(rects) is None
+        for r in rects:
+            assert adjusted.chip.contains_rect(r, eps=1e-5)
+
+    def test_demand_recorded_for_used_channel(self):
+        spread, graph, routing, tech = self._routed_setup()
+        adjusted = adjust_floorplan(spread, graph, routing, tech)
+        assert any(d > 0 for d in adjusted.channel_demands.values())
+
+    def test_over_the_cell_no_adjustment(self):
+        placements = _abutting_placements()
+        tech = Technology.over_the_cell()
+        chip = Rect(0, 0, 8, 4)
+        graph = build_channel_graph(list(placements.values()), chip, tech,
+                                    ring_width=0.0)
+        routing = GlobalRouter(graph).route([Net("n", ("a", "b"))], placements)
+        adjusted = adjust_floorplan(placements, graph, routing, tech)
+        assert adjusted.chip_area == pytest.approx(8 * 4)
+        assert adjusted.gaps_added == {}
+
+    def test_unused_channels_compact_away(self):
+        """Channels with zero routed demand shrink at adjustment."""
+        placements = _abutting_placements()
+        tech = Technology.around_the_cell(pitch_h=0.5, pitch_v=0.5)
+        spread = provide_routing_space(placements, tech, tracks=8.0)
+        chip = Rect(0, 0, max(p.rect.x2 for p in spread.values()),
+                    max(p.rect.y2 for p in spread.values()))
+        graph = build_channel_graph(list(spread.values()), chip, tech)
+        empty_routing = GlobalRouter(graph).route([], spread)
+        adjusted = adjust_floorplan(spread, graph, empty_routing, tech)
+        assert adjusted.chip_area <= chip.area - 1.0
+
+
+class TestRouteAndAdjust:
+    def test_full_flow_on_random_instance(self):
+        nl = random_netlist(8, seed=21)
+        cfg = FloorplanConfig(seed_size=4, group_size=2,
+                              technology=Technology.around_the_cell())
+        plan = floorplan(nl, cfg)
+        routed = route_and_adjust(plan.placements, plan.chip, nl,
+                                  cfg.technology)
+        assert routed.routing.n_routed == len(nl.nets)
+        assert routed.chip_area > 0
+        assert any_overlap([p.rect for p in routed.placements.values()]) is None
+
+    def test_over_the_cell_flow_keeps_chip(self):
+        nl = random_netlist(6, seed=22)
+        cfg = FloorplanConfig(seed_size=3, group_size=2)
+        plan = floorplan(nl, cfg)
+        tech = Technology.over_the_cell()
+        routed = route_and_adjust(plan.placements, plan.chip, nl, tech)
+        assert routed.chip_area == pytest.approx(plan.chip_area)
+        assert routed.adjustment is None
+
+    def test_spread_auto_detection(self):
+        """Without envelope margins the flow spreads first; the preliminary
+        routing must then succeed for all nets."""
+        nl = random_netlist(6, seed=23)
+        cfg = FloorplanConfig(seed_size=3, group_size=2)
+        plan = floorplan(nl, cfg)
+        tech = Technology.around_the_cell()
+        routed = route_and_adjust(plan.placements, plan.chip, nl, tech)
+        assert not routed.preliminary_routing.failed_nets
+        assert not routed.routing.failed_nets
+
+    def test_wirelength_positive(self):
+        nl = random_netlist(6, seed=24)
+        cfg = FloorplanConfig(seed_size=3, group_size=2)
+        plan = floorplan(nl, cfg)
+        routed = route_and_adjust(plan.placements, plan.chip, nl,
+                                  Technology.around_the_cell())
+        assert routed.wirelength > 0
+        assert 0 < routed.utilization() <= 1.0

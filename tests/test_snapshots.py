@@ -1,0 +1,51 @@
+"""Tests for augmentation snapshots and Figure-2 frame rendering."""
+
+from repro.core.config import FloorplanConfig
+from repro.core.floorplanner import Floorplanner
+from repro.geometry.rect import Rect
+from repro.netlist.generators import random_netlist
+from repro.plotting import render_augmentation_frames
+
+
+class TestSnapshots:
+    def test_disabled_by_default(self):
+        nl = random_netlist(5, seed=151)
+        plan = Floorplanner(nl, FloorplanConfig(seed_size=3,
+                                                group_size=1)).run()
+        assert all(s.snapshot is None for s in plan.trace.steps)
+
+    def test_recorded_when_enabled(self):
+        nl = random_netlist(5, seed=151)
+        cfg = FloorplanConfig(seed_size=3, group_size=1,
+                              record_snapshots=True)
+        plan = Floorplanner(nl, cfg).run()
+        steps = plan.trace.steps
+        assert all(s.snapshot is not None for s in steps)
+        # snapshot sizes grow by the group size each step
+        assert len(steps[0].snapshot) == 3
+        assert len(steps[-1].snapshot) == 5
+        # seed step has no obstacles; later steps do
+        assert steps[0].snapshot_obstacles == ()
+        assert len(steps[1].snapshot_obstacles) >= 1
+
+    def test_frames_rendered(self):
+        nl = random_netlist(5, seed=152)
+        cfg = FloorplanConfig(seed_size=3, group_size=1,
+                              record_snapshots=True)
+        plan = Floorplanner(nl, cfg).run()
+        chip = Rect(0, 0, plan.chip_width,
+                    max(s.chip_height_after for s in plan.trace.steps))
+        frames = render_augmentation_frames(plan.trace, chip)
+        assert len(frames) == plan.trace.n_steps
+        for name, svg in frames:
+            assert name.startswith("step")
+            assert svg.startswith("<svg")
+            assert svg.endswith("</svg>")
+
+    def test_no_frames_without_snapshots(self):
+        nl = random_netlist(4, seed=153)
+        plan = Floorplanner(nl, FloorplanConfig(seed_size=2,
+                                                group_size=1)).run()
+        frames = render_augmentation_frames(plan.trace,
+                                            Rect(0, 0, 10, 10))
+        assert frames == []
