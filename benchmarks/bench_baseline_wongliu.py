@@ -14,7 +14,6 @@ from repro.baselines.annealing import AnnealingSchedule
 from repro.baselines.wong_liu import WongLiuFloorplanner
 from repro.core.config import FloorplanConfig
 from repro.core.floorplanner import Floorplanner
-from repro.eval.metrics import hpwl
 from repro.eval.report import format_table
 from repro.netlist.generators import random_netlist
 from repro.netlist.mcnc import ami33_like

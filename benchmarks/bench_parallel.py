@@ -1,0 +1,62 @@
+"""Parallel width-search benchmark: serial vs multi-process sweep.
+
+The chip-width sweep solves one independent MILP chain per candidate, so it
+should scale with cores.  This bench runs the same >= 8-candidate sweep
+serially and through :func:`repro.parallel.parallel_map`, asserts the two
+modes pick the identical best floorplan (determinism is part of the
+contract), and records the wall-clock speedup.  The speedup assertion only
+applies on multi-core hosts — a single-core container legitimately shows
+none.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import emit
+from repro.core.config import FloorplanConfig
+from repro.core.width_search import search_chip_width
+from repro.eval.report import format_table
+from repro.netlist.mcnc import apte_like
+
+#: Candidate widths swept (acceptance: >= 8).
+N_CANDIDATES = 8
+
+
+def _sweep(workers: int | None) -> tuple[float, object]:
+    netlist = apte_like()
+    config = FloorplanConfig(subproblem_time_limit=10.0)
+    start = time.perf_counter()
+    result = search_chip_width(netlist, config, n_candidates=N_CANDIDATES,
+                               workers=workers)
+    return time.perf_counter() - start, result
+
+
+def _compare() -> dict:
+    serial_seconds, serial = _sweep(workers=1)
+    parallel_seconds, parallel = _sweep(workers=None)
+    return {
+        "candidates": N_CANDIDATES,
+        "cores": os.cpu_count() or 1,
+        "serial_seconds": round(serial_seconds, 2),
+        "parallel_seconds": round(parallel_seconds, 2),
+        "speedup": round(serial_seconds / max(parallel_seconds, 1e-9), 2),
+        "same_best_width": serial.best_width == parallel.best_width,
+        "same_scores": [c.score for c in serial.candidates]
+        == [c.score for c in parallel.candidates],
+        "best_area": round(serial.best.chip_area, 1),
+    }
+
+
+def test_parallel_width_search(benchmark, results_dir):
+    row = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    emit(results_dir, "parallel_width_search.txt",
+         format_table([row], title="Width sweep: serial vs process-parallel "
+                                   f"({row['cores']} cores)"))
+
+    assert row["same_best_width"], "parallel sweep changed the winner"
+    assert row["same_scores"], "parallel sweep changed candidate scores"
+    if row["cores"] >= 2:
+        assert row["speedup"] > 1.0, (
+            f"no speedup on {row['cores']} cores: {row}")

@@ -4,15 +4,27 @@ The release-style results table: floorplan + route + adjust for each
 embedded MCNC-like instance, recording area, utilization, wirelength, and
 runtime.  Guards against quality regressions across the whole pipeline, the
 way an open-source floorplanner's CI would.
+
+Instances are independent, so they fan out over
+:func:`repro.parallel.parallel_map` (worker count from ``REPRO_WORKERS``,
+defaulting to the CPU count).  Setting ``REPRO_BENCH_QUICK=1`` switches to
+a small-instance quick mode with tighter time limits — the CI smoke job —
+and either mode writes the per-solve telemetry of every instance to
+``results/suite_telemetry.json`` as a machine-readable perf artifact.
 """
 
 from __future__ import annotations
 
+import functools
+import json
+import os
+
 from benchmarks.conftest import emit
 from repro.core.config import FloorplanConfig
 from repro.core.floorplanner import Floorplanner
-from repro.eval.report import format_table
+from repro.eval.report import format_table, telemetry_report
 from repro.netlist.mcnc import ami33_like, apte_like, hp_like, xerox_like
+from repro.parallel import parallel_map
 from repro.routing.flow import route_and_adjust
 from repro.routing.router import RouterMode
 from repro.routing.technology import Technology
@@ -23,19 +35,28 @@ from repro.routing.technology import Technology
 #: sit well below bare-packing utilizations.
 UTILIZATION_FLOOR = 0.45
 
+#: Environment variable selecting the CI smoke configuration.
+QUICK_ENV = "REPRO_BENCH_QUICK"
 
-def _run_suite():
+
+def quick_mode() -> bool:
+    """True when the suite runs in CI-smoke quick mode."""
+    return os.environ.get(QUICK_ENV, "").strip() not in ("", "0")
+
+
+def _run_one(make, time_limit: float) -> dict:
+    """Full pipeline on one instance (module-level so it pickles for
+    process workers); returns the table row plus the telemetry document."""
     technology = Technology.around_the_cell()
-    rows = []
-    for make in (apte_like, xerox_like, hp_like, ami33_like):
-        netlist = make()
-        config = FloorplanConfig(seed_size=6, group_size=4,
-                                 use_envelopes=True, technology=technology,
-                                 subproblem_time_limit=20.0)
-        plan = Floorplanner(netlist, config).run()
-        routed = route_and_adjust(plan.placements, plan.chip, netlist,
-                                  technology, mode=RouterMode.WEIGHTED)
-        rows.append({
+    netlist = make()
+    config = FloorplanConfig(seed_size=6, group_size=4,
+                             use_envelopes=True, technology=technology,
+                             subproblem_time_limit=time_limit)
+    plan = Floorplanner(netlist, config).run()
+    routed = route_and_adjust(plan.placements, plan.chip, netlist,
+                              technology, mode=RouterMode.WEIGHTED)
+    return {
+        "row": {
             "instance": netlist.name,
             "modules": len(netlist),
             "nets": len(netlist.nets),
@@ -46,15 +67,36 @@ def _run_suite():
             "routed_nets": routed.routing.n_routed,
             "fp_seconds": round(plan.elapsed_seconds, 2),
             "legal": plan.is_legal,
-        })
-    return rows
+        },
+        "telemetry": telemetry_report(plan),
+    }
+
+
+def _run_suite() -> list[dict]:
+    if quick_mode():
+        makes = (apte_like, hp_like)
+        time_limit = 10.0
+    else:
+        makes = (apte_like, xerox_like, hp_like, ami33_like)
+        time_limit = 20.0
+    runner = functools.partial(_run_one, time_limit=time_limit)
+    return parallel_map(runner, makes, workers=None)
 
 
 def test_full_suite(benchmark, results_dir):
-    rows = benchmark.pedantic(_run_suite, rounds=1, iterations=1)
+    results = benchmark.pedantic(_run_suite, rounds=1, iterations=1)
+    rows = [r["row"] for r in results]
+    mode = "quick" if quick_mode() else "full"
     emit(results_dir, "suite.txt",
-         format_table(rows, title="Full-pipeline suite: all embedded "
-                                  "benchmarks (envelopes + weighted router)"))
+         format_table(rows, title=f"Full-pipeline suite ({mode} mode): "
+                                  "envelopes + weighted router"))
+    artifact = {
+        "version": 1,
+        "mode": mode,
+        "instances": [r["telemetry"] for r in results],
+    }
+    (results_dir / "suite_telemetry.json").write_text(
+        json.dumps(artifact, indent=1) + "\n")
 
     assert all(r["legal"] for r in rows)
     assert all(r["routed_nets"] == r["nets"] for r in rows)

@@ -13,7 +13,6 @@ max-binaries column are the shape checks.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import emit

@@ -10,7 +10,6 @@ Run:
 
 from repro import FloorplanConfig, floorplan, random_netlist
 from repro.baselines import AnnealingSchedule, WongLiuFloorplanner
-from repro.eval.metrics import hpwl
 
 
 def main() -> None:

@@ -10,7 +10,7 @@ experiments.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.placement import Placement
 from repro.geometry.rect import GEOM_EPS, Rect, any_overlap

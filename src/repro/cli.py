@@ -11,6 +11,7 @@ shell::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -80,7 +81,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--time-limit", type=float, default=30.0,
                         help="per-subproblem MILP time limit (seconds)")
     parser.add_argument("--backend", default="highs",
-                        choices=["highs", "bnb"], help="MILP backend")
+                        choices=["highs", "bnb", "portfolio"],
+                        help="MILP backend (portfolio races highs vs the "
+                             "self-contained branch-and-bound)")
 
 
 def _cmd_floorplan(args: argparse.Namespace) -> int:
@@ -146,6 +149,20 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.eval.report import telemetry_report
+
+    netlist = _load_netlist(args)
+    plan = Floorplanner(netlist, _config_from(args)).run()
+    text = json.dumps(telemetry_report(plan), indent=1)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     config = FloorplanConfig(subproblem_time_limit=args.time_limit)
     if "1" in args.series:
@@ -194,6 +211,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_bl.add_argument("--method", default="all",
                       choices=["wong-liu", "greedy", "all"])
     p_bl.set_defaults(fn=_cmd_baseline)
+
+    p_tm = sub.add_parser(
+        "telemetry",
+        help="floorplan a benchmark and emit per-solve telemetry JSON")
+    _add_common(p_tm)
+    p_tm.add_argument("--envelopes", action="store_true",
+                      help="place with routing envelopes")
+    p_tm.add_argument("--out", help="write the JSON here (default: stdout)")
+    p_tm.set_defaults(fn=_cmd_telemetry)
 
     p_ex = sub.add_parser("experiments", help="run the paper's series")
     p_ex.add_argument("--series", nargs="+", default=["1", "2", "3"],

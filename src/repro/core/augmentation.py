@@ -10,7 +10,6 @@ module count (Series 1).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -29,6 +28,7 @@ from repro.geometry.polygon import CoveringPolygon
 from repro.geometry.rect import Rect
 from repro.milp.solution import Solution
 from repro.milp.solvers.registry import solve
+from repro.milp.telemetry import SolveTelemetry
 from repro.netlist.netlist import Netlist
 
 
@@ -60,6 +60,7 @@ class AugmentationStep:
     theorem2_holds: bool
     snapshot: tuple[Placement, ...] | None = None
     snapshot_obstacles: tuple[Rect, ...] | None = None
+    telemetry: SolveTelemetry | None = None
 
 
 @dataclass
@@ -83,6 +84,16 @@ class AugmentationTrace:
     def n_steps(self) -> int:
         """Number of MILP subproblems solved."""
         return len(self.steps)
+
+    @property
+    def total_nodes(self) -> int:
+        """Total branch-and-bound nodes across all recorded solves."""
+        return sum(s.telemetry.nodes for s in self.steps if s.telemetry)
+
+    @property
+    def total_lp_calls(self) -> int:
+        """Total LP relaxations across all recorded solves."""
+        return sum(s.telemetry.lp_calls for s in self.steps if s.telemetry)
 
 
 @dataclass
@@ -239,6 +250,7 @@ def _solve_step(netlist: Netlist, config: FloorplanConfig, chip_width: float,
         if config.record_snapshots else None,
         snapshot_obstacles=tuple(obstacles)
         if config.record_snapshots else None,
+        telemetry=solution.telemetry,
     ))
     return new_placements
 
@@ -347,14 +359,14 @@ def _solve_with_retry(builder: SubproblemBuilder,
                       config: FloorplanConfig) -> Solution:
     """Solve the subproblem, retrying once with a doubled time limit."""
     solution = solve(builder.model, backend=config.backend,
-                     time_limit=config.subproblem_time_limit,
-                     mip_rel_gap=config.mip_rel_gap)
+                     **config.solver_options())
     if solution.status.has_solution:
         return solution
     if config.subproblem_time_limit is not None:
-        solution = solve(builder.model, backend=config.backend,
-                         time_limit=config.subproblem_time_limit * 2,
-                         mip_rel_gap=config.mip_rel_gap)
+        solution = solve(
+            builder.model, backend=config.backend,
+            **config.solver_options(
+                time_limit=config.subproblem_time_limit * 2))
         if solution.status.has_solution:
             return solution
     raise FloorplanError(

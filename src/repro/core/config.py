@@ -97,9 +97,17 @@ class FloorplanConfig:
         record_snapshots: store each augmentation step's partial floorplan
             (placements + covering rectangles) in the trace, enabling
             Figure-2-style step visualizations.
-        backend: MILP solver backend (``highs`` / ``bnb``).
+        backend: MILP solver backend (``highs`` / ``bnb`` / ``portfolio``).
         subproblem_time_limit: per-MILP wall-clock limit in seconds.
         mip_rel_gap: per-MILP relative gap tolerance.
+        int_tol: integrality tolerance of the own branch-and-bound
+            (``bnb`` / ``portfolio`` backends).
+        node_limit: branch-and-bound node limit; None keeps each backend's
+            default.
+        lp_engine: LP-relaxation engine of the own branch-and-bound
+            (``"highs"`` or ``"simplex"``); None keeps each backend's
+            default (``bnb`` → highs, ``portfolio`` → simplex so the racer
+            stays self-contained).
     """
 
     chip_width: float | None = None
@@ -124,6 +132,9 @@ class FloorplanConfig:
     backend: str = "highs"
     subproblem_time_limit: float | None = 30.0
     mip_rel_gap: float = 1e-4
+    int_tol: float = 1e-6
+    node_limit: int | None = None
+    lp_engine: str | None = None
 
     def __post_init__(self) -> None:
         if self.seed_size < 1:
@@ -136,9 +147,36 @@ class FloorplanConfig:
             raise ValueError("chip_width must be positive")
         if self.relinearization_rounds < 0:
             raise ValueError("relinearization_rounds must be >= 0")
+        if self.int_tol <= 0:
+            raise ValueError("int_tol must be positive")
+        if self.node_limit is not None and self.node_limit < 1:
+            raise ValueError("node_limit must be >= 1")
         self.objective = Objective(self.objective)
         self.ordering = Ordering(self.ordering)
         self.linearization = Linearization(self.linearization)
+
+    def solver_options(self, *, time_limit: float | None = None) -> dict:
+        """Keyword options for :func:`repro.milp.solvers.registry.solve`,
+        restricted to what :attr:`backend` accepts.
+
+        Args:
+            time_limit: overrides :attr:`subproblem_time_limit` (used by the
+                doubled-limit retry).
+        """
+        options: dict = {
+            "time_limit": self.subproblem_time_limit
+            if time_limit is None else time_limit,
+            "mip_rel_gap": self.mip_rel_gap,
+        }
+        if self.backend in ("bnb", "portfolio"):
+            options["int_tol"] = self.int_tol
+            if self.node_limit is not None:
+                options["node_limit"] = self.node_limit
+            if self.lp_engine is not None:
+                options["lp_engine"] = self.lp_engine
+        elif self.backend == "highs" and self.node_limit is not None:
+            options["node_limit"] = self.node_limit
+        return options
 
     def resolved_chip_width(self, total_module_area: float,
                             widest_module: float = 0.0) -> float:

@@ -22,7 +22,7 @@ Constraint systems implemented:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.core.config import FloorplanConfig, Objective

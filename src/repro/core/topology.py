@@ -21,12 +21,12 @@ engine three ways:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Sequence
 
 from repro.core.config import Linearization
 from repro.core.flexible import linearize
 from repro.core.placement import Placement
-from repro.geometry.rect import GEOM_EPS, Rect
+from repro.geometry.rect import Rect
 from repro.milp.expr import LinExpr
 from repro.milp.model import Model
 from repro.milp.solvers.registry import solve

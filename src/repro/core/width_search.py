@@ -12,12 +12,14 @@ designer.
 from __future__ import annotations
 
 import copy
+import functools
 import math
 from dataclasses import dataclass
 
 from repro.core.config import FloorplanConfig
 from repro.core.floorplanner import Floorplan, Floorplanner
 from repro.netlist.netlist import Netlist
+from repro.parallel import parallel_map
 
 
 @dataclass(frozen=True)
@@ -44,14 +46,34 @@ class WidthSearchResult:
         return self.best.chip_width
 
 
+def _evaluate_width(netlist: Netlist, base_config: FloorplanConfig,
+                    aspect_weight: float, chip_width: float
+                    ) -> tuple[WidthCandidate, Floorplan]:
+    """Floorplan one candidate width (module-level so it pickles for
+    :func:`repro.parallel.parallel_map` workers)."""
+    cfg = copy.deepcopy(base_config)
+    cfg.chip_width = chip_width
+    plan = Floorplanner(netlist, cfg).run()
+    aspect = plan.chip_width / max(plan.chip_height, 1e-9)
+    score = plan.chip_area * (1.0 + aspect_weight * abs(math.log(aspect)))
+    candidate = WidthCandidate(
+        chip_width=cfg.chip_width, chip_area=plan.chip_area,
+        aspect=aspect, utilization=plan.utilization, score=score)
+    return candidate, plan
+
+
 def search_chip_width(netlist: Netlist, config: FloorplanConfig | None = None,
                       *, n_candidates: int = 5, spread: float = 0.35,
-                      aspect_weight: float = 0.0) -> WidthSearchResult:
+                      aspect_weight: float = 0.0,
+                      workers: int | None = 1) -> WidthSearchResult:
     """Floorplan at several chip widths and keep the best.
 
     Candidates are geometrically spaced in
     ``[default * (1 - spread), default * (1 + spread)]`` around the
-    area-derived default width.
+    area-derived default width.  Each candidate solves an independent MILP
+    chain, so the sweep fans out across processes when ``workers`` allows;
+    serial and parallel runs return identical results (candidates keep sweep
+    order, ties break toward the smaller width index).
 
     Args:
         netlist: the circuit.
@@ -61,6 +83,9 @@ def search_chip_width(netlist: Netlist, config: FloorplanConfig | None = None,
         spread: half-width of the sweep, as a fraction of the default.
         aspect_weight: score = area * (1 + aspect_weight * |log(W/H)|);
             0 ranks purely by area, larger values prefer square chips.
+        workers: process count for the sweep — 1 (default) runs serially,
+            None/0 uses every core (see
+            :func:`repro.parallel.resolve_workers`).
 
     Returns:
         The best floorplan and the per-candidate record.
@@ -79,21 +104,12 @@ def search_chip_width(netlist: Netlist, config: FloorplanConfig | None = None,
         ratio = (high / low) ** (1.0 / (n_candidates - 1))
         factors = [low * ratio ** k for k in range(n_candidates)]
 
-    candidates: list[WidthCandidate] = []
-    best_plan: Floorplan | None = None
-    best_score = math.inf
-    for factor in factors:
-        cfg = copy.deepcopy(base_config)
-        cfg.chip_width = default * factor
-        plan = Floorplanner(netlist, cfg).run()
-        aspect = plan.chip_width / max(plan.chip_height, 1e-9)
-        score = plan.chip_area * (1.0 + aspect_weight * abs(math.log(aspect)))
-        candidates.append(WidthCandidate(
-            chip_width=cfg.chip_width, chip_area=plan.chip_area,
-            aspect=aspect, utilization=plan.utilization, score=score))
-        if score < best_score:
-            best_score = score
-            best_plan = plan
-
-    assert best_plan is not None
-    return WidthSearchResult(best=best_plan, candidates=candidates)
+    evaluate = functools.partial(_evaluate_width, netlist, base_config,
+                                 aspect_weight)
+    results = parallel_map(evaluate, [default * f for f in factors],
+                           workers=workers)
+    candidates = [candidate for candidate, _plan in results]
+    best_index = min(range(len(results)),
+                     key=lambda i: (candidates[i].score, i))
+    return WidthSearchResult(best=results[best_index][1],
+                             candidates=candidates)

@@ -14,13 +14,12 @@ purely from geometry — no solver duals needed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Sequence
 
 import networkx as nx
 
 from repro.core.placement import Placement
 from repro.core.topology import Relation, derive_relations
-from repro.geometry.rect import GEOM_EPS
 
 #: Slack below which a relation counts as binding.
 BINDING_EPS = 1e-6

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.config import FloorplanConfig, Objective, Ordering
-from repro.core.floorplanner import Floorplan, Floorplanner
+from repro.core.floorplanner import Floorplanner
 from repro.eval.metrics import hpwl
 from repro.netlist.generators import series1_instance
 from repro.netlist.mcnc import ami33_like

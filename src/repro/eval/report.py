@@ -1,13 +1,22 @@
-"""ASCII table rendering for experiment rows.
+"""Experiment reporting: ASCII tables and solve-telemetry JSON.
 
-Renders dataclass rows (or any mapping sequence) in the paper's plain
-table style so bench output reads like Tables 1-3.
+:func:`format_table` renders dataclass rows (or any mapping sequence) in
+the paper's plain table style so bench output reads like Tables 1-3.
+:func:`telemetry_report` flattens a floorplan's per-step
+:class:`~repro.milp.telemetry.SolveTelemetry` records into one JSON-safe
+document — the machine-readable perf artifact the CI benchmark jobs upload
+and ``repro-floorplan telemetry`` emits.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import asdict, is_dataclass
-from typing import Any, Mapping, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+if TYPE_CHECKING:
+    from repro.core.floorplanner import Floorplan
 
 
 def format_table(rows: Sequence[Any], title: str = "",
@@ -46,3 +55,40 @@ def format_table(rows: Sequence[Any], title: str = "",
     for row in table:
         lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def telemetry_report(plan: "Floorplan") -> dict[str, Any]:
+    """A JSON-safe per-step solve-telemetry document for ``plan``.
+
+    The document carries the run-level outcome (instance, chip geometry,
+    utilization, wall time, backend) plus one entry per augmentation step
+    with the subproblem shape and, when the backend recorded it, the
+    structured :class:`~repro.milp.telemetry.SolveTelemetry` (LP calls,
+    nodes, incumbent trace, gap).
+    """
+    from repro.serialize import trace_to_dict
+
+    trace = trace_to_dict(plan.trace)
+    return {
+        "version": 1,
+        "instance": plan.netlist.name,
+        "n_modules": len(plan.placements),
+        "n_nets": len(plan.netlist.nets),
+        "backend": plan.config.backend,
+        "chip_width": plan.chip_width,
+        "chip_height": plan.chip_height,
+        "chip_area": plan.chip_area,
+        "utilization": plan.utilization,
+        "elapsed_seconds": plan.elapsed_seconds,
+        "n_steps": plan.trace.n_steps,
+        "max_binaries": plan.trace.max_binaries,
+        "total_solve_seconds": plan.trace.total_solve_seconds,
+        "total_nodes": plan.trace.total_nodes,
+        "total_lp_calls": plan.trace.total_lp_calls,
+        "steps": trace["steps"],
+    }
+
+
+def write_telemetry_json(plan: "Floorplan", path: str | Path) -> None:
+    """Write :func:`telemetry_report` output to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(telemetry_report(plan), indent=1) + "\n")

@@ -4,9 +4,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Mapping
 
 from repro.milp.expr import LinExpr, Variable
+from repro.milp.telemetry import SolveTelemetry
 
 
 class SolveStatus(str, Enum):
@@ -14,6 +14,7 @@ class SolveStatus(str, Enum):
 
     OPTIMAL = "optimal"
     FEASIBLE = "feasible"          # stopped at a limit with an incumbent
+    TIMEOUT = "timeout"            # wall-clock limit hit, incumbent available
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     LIMIT = "limit"                # stopped at a limit with no incumbent
@@ -22,7 +23,8 @@ class SolveStatus(str, Enum):
     @property
     def has_solution(self) -> bool:
         """True when variable values are available."""
-        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE,
+                        SolveStatus.TIMEOUT)
 
 
 @dataclass
@@ -40,6 +42,8 @@ class Solution:
         solve_seconds: wall-clock time in the backend.
         backend: name of the backend that produced this solution.
         message: backend diagnostic text.
+        telemetry: structured per-solve statistics (None when the backend
+            does not record them).
     """
 
     status: SolveStatus
@@ -50,6 +54,7 @@ class Solution:
     solve_seconds: float = 0.0
     backend: str = ""
     message: str = ""
+    telemetry: SolveTelemetry | None = None
 
     def __getitem__(self, var: Variable) -> float:
         """Value of ``var`` in this solution."""

@@ -7,7 +7,13 @@ plus branching.  Features:
   ties, bounding memory while finding incumbents early;
 * most-fractional branching variable selection;
 * a rounding heuristic at every node to tighten the incumbent;
-* relative-gap, node-count, and wall-clock limits.
+* relative-gap, node-count, and wall-clock limits — a wall-clock stop is
+  reported as the distinct :attr:`~repro.milp.solution.SolveStatus.TIMEOUT`
+  status carrying the best incumbent and the proven gap;
+* cooperative cancellation via a :class:`threading.Event`, so a portfolio
+  race can stop the losing solve;
+* a :class:`~repro.milp.telemetry.SolveTelemetry` record (LP calls, nodes,
+  incumbent trace, final gap) attached to every solution.
 
 The LP relaxations are solved with HiGHS (:func:`scipy.optimize.linprog`) by
 default for speed; ``lp_engine="simplex"`` switches to the repository's own
@@ -20,6 +26,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -29,8 +36,10 @@ from scipy import optimize
 from repro.milp.model import Model, StandardForm
 from repro.milp.solution import Solution, SolveStatus
 from repro.milp.solvers.simplex import LpStatus, solve_lp_arrays
+from repro.milp.telemetry import SolveTelemetry
 
-#: A variable value within this distance of an integer counts as integral.
+#: Default integrality tolerance: a variable value within this distance of
+#: an integer counts as integral.  Overridable per solve via ``int_tol``.
 INT_TOL = 1e-6
 
 
@@ -51,6 +60,7 @@ class _LpEngine:
     def __init__(self, form: StandardForm, engine: str) -> None:
         self.form = form
         self.engine = engine
+        self.n_calls = 0
         if engine == "highs":
             self._linprog_kwargs = _rows_for_linprog(form)
         elif engine == "simplex":
@@ -61,6 +71,7 @@ class _LpEngine:
     def solve(self, lb: np.ndarray, ub: np.ndarray) -> tuple[str, np.ndarray | None, float]:
         """Returns (status in {'optimal','infeasible','unbounded','limit'},
         x, objective)."""
+        self.n_calls += 1
         if self.engine == "highs":
             result = optimize.linprog(
                 self.form.c, bounds=np.column_stack([lb, ub]),
@@ -105,34 +116,48 @@ def _rows_for_linprog(form: StandardForm) -> dict:
 
 def solve_bnb(model: Model, *, time_limit: float | None = None,
               mip_rel_gap: float = 1e-6, node_limit: int = 200_000,
-              lp_engine: str = "highs") -> Solution:
+              lp_engine: str = "highs", int_tol: float = INT_TOL,
+              stop: threading.Event | None = None,
+              form: StandardForm | None = None) -> Solution:
     """Solve ``model`` with the from-scratch branch-and-bound.
 
     Args:
         model: the MILP (pure LPs are solved by a single relaxation).
-        time_limit: wall-clock limit in seconds.
+        time_limit: wall-clock limit in seconds.  Hitting it with an
+            incumbent yields status ``TIMEOUT`` (values + gap available);
+            without an incumbent, status ``LIMIT``.
         mip_rel_gap: stop when ``(incumbent - best_bound)`` falls within this
             relative gap.
         node_limit: maximum number of explored nodes.
         lp_engine: ``"highs"`` (default) or ``"simplex"`` for the
             pure-NumPy relaxation solver.
+        int_tol: integrality tolerance for rounding/branching decisions.
+        stop: optional cancellation event checked once per node — set by a
+            racing portfolio when another engine already won.
+        form: a precomputed standard form of ``model`` (shared by portfolio
+            racers); derived from ``model`` when omitted.
     """
-    form = model.to_standard_form()
+    form = form if form is not None else model.to_standard_form()
     engine = _LpEngine(form, lp_engine)
     start = time.perf_counter()
     int_cols = np.flatnonzero(form.integrality == 1)
+    telemetry = SolveTelemetry(
+        backend=f"bnb[{lp_engine}]",
+        n_variables=len(form.variables),
+        n_integer=int(int_cols.size),
+        n_constraints=form.a_matrix.shape[0])
 
     counter = itertools.count()
     status, x, objective = engine.solve(form.lb, form.ub)
     if status == "infeasible":
         return _finish(model, form, SolveStatus.INFEASIBLE, None, math.nan,
-                       math.nan, 1, start, lp_engine)
+                       math.nan, 1, start, engine, telemetry)
     if status == "unbounded":
         return _finish(model, form, SolveStatus.UNBOUNDED, None, math.nan,
-                       math.nan, 1, start, lp_engine)
+                       math.nan, 1, start, engine, telemetry)
     if status == "limit" or x is None:
         return _finish(model, form, SolveStatus.ERROR, None, math.nan,
-                       math.nan, 1, start, lp_engine)
+                       math.nan, 1, start, engine, telemetry)
 
     incumbent_x: np.ndarray | None = None
     incumbent_obj = math.inf
@@ -143,12 +168,14 @@ def solve_bnb(model: Model, *, time_limit: float | None = None,
         if obj < incumbent_obj - 1e-12:
             incumbent_obj = obj
             incumbent_x = x_candidate.copy()
+            telemetry.record_incumbent(time.perf_counter() - start, obj)
 
-    frac = _fractional_columns(x, int_cols)
+    frac = _fractional_columns(x, int_cols, int_tol)
     if not frac.size:
         try_incumbent(x)
         return _finish(model, form, SolveStatus.OPTIMAL, incumbent_x,
-                       incumbent_obj, incumbent_obj, 1, start, lp_engine)
+                       incumbent_obj, incumbent_obj, 1, start, engine,
+                       telemetry)
 
     rounded = _rounding_heuristic(engine, form, x, int_cols)
     if rounded is not None:
@@ -158,9 +185,15 @@ def solve_bnb(model: Model, *, time_limit: float | None = None,
         _Node(objective, next(counter), 0, form.lb.copy(), form.ub.copy())]
     n_nodes = 1
     best_bound = objective
+    timed_out = False
+    cancelled = False
 
     while heap:
         if time_limit is not None and time.perf_counter() - start > time_limit:
+            timed_out = True
+            break
+        if stop is not None and stop.is_set():
+            cancelled = True
             break
         if n_nodes >= node_limit:
             break
@@ -180,7 +213,7 @@ def solve_bnb(model: Model, *, time_limit: float | None = None,
             continue
         if objective >= incumbent_obj - 1e-12:
             continue
-        frac = _fractional_columns(x, int_cols)
+        frac = _fractional_columns(x, int_cols, int_tol)
         if not frac.size:
             try_incumbent(x)
             continue
@@ -207,18 +240,24 @@ def solve_bnb(model: Model, *, time_limit: float | None = None,
     if incumbent_x is None:
         final = SolveStatus.LIMIT if hit_limit else SolveStatus.INFEASIBLE
         return _finish(model, form, final, None, math.nan, best_bound,
-                       n_nodes, start, lp_engine)
-    final = SolveStatus.FEASIBLE if hit_limit else SolveStatus.OPTIMAL
+                       n_nodes, start, engine, telemetry,
+                       message="cancelled" if cancelled else "")
+    if hit_limit:
+        final = SolveStatus.TIMEOUT if timed_out else SolveStatus.FEASIBLE
+    else:
+        final = SolveStatus.OPTIMAL
     return _finish(model, form, final, incumbent_x, incumbent_obj, best_bound,
-                   n_nodes, start, lp_engine)
+                   n_nodes, start, engine, telemetry,
+                   message="cancelled" if cancelled else "")
 
 
-def _fractional_columns(x: np.ndarray, int_cols: np.ndarray) -> np.ndarray:
+def _fractional_columns(x: np.ndarray, int_cols: np.ndarray,
+                        int_tol: float = INT_TOL) -> np.ndarray:
     """Integer columns whose LP value is fractional."""
     if not int_cols.size:
         return int_cols
     values = x[int_cols]
-    return int_cols[np.abs(values - np.round(values)) > INT_TOL]
+    return int_cols[np.abs(values - np.round(values)) > int_tol]
 
 
 def _most_fractional(x: np.ndarray, frac_cols: np.ndarray) -> int:
@@ -245,7 +284,8 @@ def _rounding_heuristic(engine: _LpEngine, form: StandardForm, x: np.ndarray,
 
 def _finish(model: Model, form: StandardForm, status: SolveStatus,
             x: np.ndarray | None, objective: float, bound: float,
-            n_nodes: int, start: float, lp_engine: str) -> Solution:
+            n_nodes: int, start: float, engine: _LpEngine,
+            telemetry: SolveTelemetry, message: str = "") -> Solution:
     elapsed = time.perf_counter() - start
     values: dict = {}
     reported_obj = math.nan
@@ -257,6 +297,23 @@ def _finish(model: Model, form: StandardForm, status: SolveStatus,
         if form.maximize:
             reported_obj = -reported_obj
             reported_bound = -reported_bound
+    # Incumbents were recorded in the internal minimize sense; report them
+    # in the model's own sense, constant term included.
+    sense = -1.0 if form.maximize else 1.0
+    telemetry.incumbents = [
+        type(e)(e.seconds, sense * (e.objective + form.c0))
+        for e in telemetry.incumbents]
+    telemetry.status = status.value
+    telemetry.lp_calls = engine.n_calls
+    telemetry.nodes = n_nodes
+    telemetry.wall_seconds = elapsed
+    if status is SolveStatus.OPTIMAL:
+        telemetry.gap = 0.0
+    elif not math.isnan(objective) and not math.isnan(bound):
+        telemetry.gap = abs(objective - bound) / max(1.0, abs(objective))
+    else:
+        telemetry.gap = math.inf
     return Solution(status=status, objective=reported_obj, values=values,
                     bound=reported_bound, n_nodes=n_nodes,
-                    solve_seconds=elapsed, backend=f"bnb[{lp_engine}]")
+                    solve_seconds=elapsed, backend=f"bnb[{engine.engine}]",
+                    message=message, telemetry=telemetry)

@@ -26,10 +26,17 @@ def _solve_simplex(model: Model, **options) -> Solution:
     return solve_simplex(model, **options)
 
 
+def _solve_portfolio(model: Model, **options) -> Solution:
+    from repro.milp.solvers.portfolio import solve_portfolio
+
+    return solve_portfolio(model, **options)
+
+
 _BACKENDS: dict[str, Callable[..., Solution]] = {
     "highs": _solve_highs,
     "bnb": _solve_bnb,
     "simplex": _solve_simplex,
+    "portfolio": _solve_portfolio,
 }
 
 
@@ -45,9 +52,11 @@ def solve(model: Model, backend: str = "highs", **options) -> Solution:
         model: the model to solve.
         backend: one of :func:`available_backends` — ``"highs"`` (HiGHS via
             SciPy; the default), ``"bnb"`` (from-scratch branch-and-bound),
-            or ``"simplex"`` (pure-NumPy simplex; LPs only).
+            ``"simplex"`` (pure-NumPy simplex; LPs only), or ``"portfolio"``
+            (race HiGHS against the self-contained branch-and-bound and
+            keep the first proven-optimal result).
         **options: backend-specific options such as ``time_limit``,
-            ``mip_rel_gap``, ``node_limit``, ``lp_engine``.
+            ``mip_rel_gap``, ``node_limit``, ``lp_engine``, ``int_tol``.
 
     Returns:
         The backend's :class:`~repro.milp.solution.Solution`.

@@ -12,13 +12,15 @@ import time
 import numpy as np
 from scipy import optimize
 
-from repro.milp.model import Model
+from repro.milp.model import Model, StandardForm
 from repro.milp.solution import Solution, SolveStatus
+from repro.milp.telemetry import SolveTelemetry
 
 
 def solve_highs(model: Model, *, time_limit: float | None = None,
                 mip_rel_gap: float = 1e-6,
-                node_limit: int | None = None) -> Solution:
+                node_limit: int | None = None,
+                form: StandardForm | None = None) -> Solution:
     """Solve ``model`` with HiGHS.
 
     Args:
@@ -26,12 +28,14 @@ def solve_highs(model: Model, *, time_limit: float | None = None,
         time_limit: wall-clock limit in seconds (None = unlimited).
         mip_rel_gap: relative MIP gap at which to stop.
         node_limit: branch-and-bound node limit (None = unlimited).
+        form: a precomputed standard form of ``model`` (shared by portfolio
+            racers); derived from ``model`` when omitted.
 
     Returns:
         A :class:`~repro.milp.solution.Solution`; objective values are
         reported in the model's own sense (max objectives are un-negated).
     """
-    form = model.to_standard_form()
+    form = form if form is not None else model.to_standard_form()
     start = time.perf_counter()
 
     if model.is_pure_lp():
@@ -145,13 +149,32 @@ def _from_scipy(result, form, model: Model, elapsed: float,
             bound = -bound
     elif status is SolveStatus.OPTIMAL:
         bound = objective
+    n_nodes = int(getattr(result, "mip_node_count", 0) or 0)
+    telemetry = SolveTelemetry(
+        backend=backend,
+        status=status.value,
+        lp_calls=1 if backend == "highs-lp" else 0,
+        nodes=n_nodes,
+        wall_seconds=elapsed,
+        n_variables=len(form.variables),
+        n_integer=int(np.count_nonzero(form.integrality)),
+        n_constraints=form.a_matrix.shape[0])
+    if status is SolveStatus.OPTIMAL:
+        telemetry.gap = 0.0
+    elif status.has_solution and not np.isnan(bound):
+        telemetry.gap = abs(objective - bound) / max(1.0, abs(objective))
+    else:
+        telemetry.gap = float("inf")
+    if status.has_solution:
+        telemetry.record_incumbent(elapsed, objective)
     return Solution(
         status=status,
         objective=objective,
         values=values,
         bound=bound,
-        n_nodes=int(getattr(result, "mip_node_count", 0) or 0),
+        n_nodes=n_nodes,
         solve_seconds=elapsed,
         backend=backend,
         message=str(getattr(result, "message", "")),
+        telemetry=telemetry,
     )

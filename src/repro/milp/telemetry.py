@@ -1,0 +1,95 @@
+"""Structured per-solve statistics.
+
+Solver choice and instance structure interact unpredictably (strong
+formulations, mixed-variable solvers, and racing portfolios all behave
+differently per instance), so instead of guessing, every backend records a
+:class:`SolveTelemetry` on its :class:`~repro.milp.solution.Solution`.  The
+augmentation loop threads these records through the floorplan trace, and
+``repro-floorplan telemetry`` / the CI benchmark jobs emit them as JSON so
+perf regressions are machine-diffable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class IncumbentEvent:
+    """One improvement of the incumbent during a solve."""
+
+    seconds: float
+    objective: float
+
+
+@dataclass
+class SolveTelemetry:
+    """Machine-readable statistics of a single solve call.
+
+    Attributes:
+        backend: name of the backend that produced the solve
+            (``"highs"``, ``"bnb[simplex]"``, ``"portfolio[highs]"``, ...).
+        status: final :class:`~repro.milp.solution.SolveStatus` value.
+        lp_calls: LP relaxations solved (1 for a pure LP; HiGHS does not
+            report its internal count, so the MILP path records 0).
+        nodes: branch-and-bound nodes explored.
+        incumbents: incumbent improvements in solve order, each stamped
+            with the wall-clock offset from solve start.
+        gap: final relative optimality gap (0.0 when proven optimal,
+            ``inf`` when no incumbent bounds it).
+        wall_seconds: wall-clock time of the solve call.
+        n_variables: columns of the standard form.
+        n_integer: integral columns of the standard form.
+        n_constraints: rows of the standard form.
+    """
+
+    backend: str = ""
+    status: str = ""
+    lp_calls: int = 0
+    nodes: int = 0
+    incumbents: list[IncumbentEvent] = field(default_factory=list)
+    gap: float = 0.0
+    wall_seconds: float = 0.0
+    n_variables: int = 0
+    n_integer: int = 0
+    n_constraints: int = 0
+
+    def record_incumbent(self, seconds: float, objective: float) -> None:
+        """Append one incumbent improvement."""
+        self.incumbents.append(IncumbentEvent(seconds, objective))
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-safe representation (``inf`` gaps become ``None``)."""
+        import math
+
+        return {
+            "backend": self.backend,
+            "status": self.status,
+            "lp_calls": self.lp_calls,
+            "nodes": self.nodes,
+            "incumbents": [[e.seconds, e.objective] for e in self.incumbents],
+            "gap": None if not math.isfinite(self.gap) else self.gap,
+            "wall_seconds": self.wall_seconds,
+            "n_variables": self.n_variables,
+            "n_integer": self.n_integer,
+            "n_constraints": self.n_constraints,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SolveTelemetry":
+        """Rebuild a record from :meth:`to_dict` output."""
+        gap = data.get("gap")
+        return cls(
+            backend=data.get("backend", ""),
+            status=data.get("status", ""),
+            lp_calls=data.get("lp_calls", 0),
+            nodes=data.get("nodes", 0),
+            incumbents=[IncumbentEvent(float(s), float(obj))
+                        for s, obj in data.get("incumbents", [])],
+            gap=float("inf") if gap is None else float(gap),
+            wall_seconds=data.get("wall_seconds", 0.0),
+            n_variables=data.get("n_variables", 0),
+            n_integer=data.get("n_integer", 0),
+            n_constraints=data.get("n_constraints", 0),
+        )

@@ -8,7 +8,7 @@ criticalities (timing-critical nets are routed first, following [YOU89]).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -8,7 +8,7 @@ module-selection strategies (section 3, step 5) rely on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from repro.netlist.module import Module

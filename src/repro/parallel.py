@@ -1,0 +1,89 @@
+"""Process-parallel execution of independent work items.
+
+The paper's outer loops — sweeping candidate chip widths, benchmarking
+independent instances — are embarrassingly parallel: each item is a full
+MILP chain with no shared state.  :func:`parallel_map` fans such items out
+over a :class:`~concurrent.futures.ProcessPoolExecutor` while keeping the
+semantics of the serial path:
+
+* **deterministic ordering** — results always come back in item order,
+  regardless of which worker finished first;
+* **serial fallback** — one worker (or one item) bypasses the pool
+  entirely, and a pool that cannot start (restricted containers without
+  POSIX semaphores, for example) degrades to the serial path instead of
+  crashing;
+* **worker-count config** — an explicit argument wins, then the
+  ``REPRO_WORKERS`` environment variable, then the CPU count.
+
+Functions and items must be picklable: pass module-level callables (or
+:func:`functools.partial` of them) and plain-data arguments.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """The effective worker count.
+
+    Args:
+        workers: explicit request; ``None``/``0`` defer to the
+            ``REPRO_WORKERS`` environment variable, then the CPU count.
+            Negative values raise.
+
+    Returns:
+        An integer >= 1.
+    """
+    if workers is not None and workers < 0:
+        raise ValueError("workers must be >= 0")
+    if workers:
+        return workers
+    env = os.environ.get(WORKERS_ENV, "").strip()
+    if env:
+        try:
+            parsed = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer, got {env!r}") from None
+        if parsed >= 1:
+            return parsed
+    return os.cpu_count() or 1
+
+
+def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
+                 workers: int | None = None) -> list[R]:
+    """Apply ``fn`` to every item, possibly across processes.
+
+    Args:
+        fn: a picklable callable (module-level function or a
+            :func:`functools.partial` of one).
+        items: the work items, consumed eagerly.
+        workers: worker count (see :func:`resolve_workers`); 1 runs serially
+            in-process.
+
+    Returns:
+        ``[fn(item) for item in items]`` — results in item order.  The first
+        worker exception is re-raised.
+    """
+    work: Sequence[T] = list(items)
+    n_workers = min(resolve_workers(workers), len(work))
+    if n_workers <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    chunksize = max(1, len(work) // (n_workers * 4))
+    try:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            return list(pool.map(fn, work, chunksize=chunksize))
+    except (BrokenProcessPool, PermissionError, OSError):
+        # A pool that cannot start or dies wholesale (sandboxed containers,
+        # fork restrictions) must not take the computation with it.
+        return [fn(item) for item in work]

@@ -9,7 +9,7 @@ final floorplan with routing space).
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from repro.core.placement import Placement
 from repro.geometry.rect import Rect

@@ -22,7 +22,7 @@ from typing import Mapping
 
 from repro.core.config import Linearization
 from repro.core.placement import Placement
-from repro.core.topology import Relation, derive_relations, optimize_topology
+from repro.core.topology import derive_relations, optimize_topology
 from repro.geometry.rect import GEOM_EPS, Rect
 from repro.routing.graph import ChannelGraph
 from repro.routing.result import RoutingResult

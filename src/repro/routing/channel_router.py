@@ -17,7 +17,7 @@ reported) at track precision.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Sequence
 
 from repro.geometry.rect import GEOM_EPS
 from repro.routing.channels import Channel

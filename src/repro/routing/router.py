@@ -183,7 +183,6 @@ class GlobalRouter:
         tree_nodes: set[Node] = set(terminals[0])
         remaining = list(range(1, len(terminals)))
         edges: list[tuple[Node, Node]] = []
-        length = 0.0
 
         while remaining:
             target_of: dict[Node, int] = {}
@@ -198,7 +197,6 @@ class GlobalRouter:
             remaining.remove(connected)
             for a, b in zip(path, path[1:]):
                 edges.append(canonical_edge(a, b))
-                length += self.channel_graph.graph.edges[a, b]["length"]
             tree_nodes.update(path)
             tree_nodes.update(terminals[connected])
 

@@ -11,10 +11,12 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from repro.core.augmentation import AugmentationStep, AugmentationTrace
 from repro.core.config import FloorplanConfig
 from repro.core.floorplanner import Floorplan
 from repro.core.placement import Placement
 from repro.geometry.rect import Rect
+from repro.milp.telemetry import SolveTelemetry
 from repro.netlist.module import Module, PinCounts
 from repro.netlist.net import Net
 from repro.netlist.netlist import Netlist
@@ -78,6 +80,71 @@ def netlist_from_dict(data: dict[str, Any]) -> Netlist:
 
 
 # ---------------------------------------------------------------------------
+# solve telemetry and augmentation traces
+# ---------------------------------------------------------------------------
+
+def telemetry_to_dict(telemetry: SolveTelemetry) -> dict[str, Any]:
+    """A JSON-safe representation of one solve's telemetry."""
+    return telemetry.to_dict()
+
+
+def telemetry_from_dict(data: dict[str, Any]) -> SolveTelemetry:
+    """Rebuild telemetry from :func:`telemetry_to_dict` output."""
+    return SolveTelemetry.from_dict(data)
+
+
+def _step_to_dict(step: AugmentationStep) -> dict[str, Any]:
+    """One augmentation step without its (optional, heavy) snapshots."""
+    return {
+        "index": step.index,
+        "group": list(step.group),
+        "n_placed_before": step.n_placed_before,
+        "n_obstacles": step.n_obstacles,
+        "n_binaries": step.n_binaries,
+        "n_constraints": step.n_constraints,
+        "solve_seconds": step.solve_seconds,
+        "status": step.status,
+        "objective": step.objective,
+        "chip_height_after": step.chip_height_after,
+        "n_polygon_edges": step.n_polygon_edges,
+        "theorem2_holds": step.theorem2_holds,
+        "telemetry": telemetry_to_dict(step.telemetry)
+        if step.telemetry else None,
+    }
+
+
+def _step_from_dict(data: dict[str, Any]) -> AugmentationStep:
+    telemetry = data.get("telemetry")
+    return AugmentationStep(
+        index=data["index"],
+        group=tuple(data["group"]),
+        n_placed_before=data["n_placed_before"],
+        n_obstacles=data["n_obstacles"],
+        n_binaries=data["n_binaries"],
+        n_constraints=data["n_constraints"],
+        solve_seconds=data["solve_seconds"],
+        status=data["status"],
+        objective=data["objective"],
+        chip_height_after=data["chip_height_after"],
+        n_polygon_edges=data["n_polygon_edges"],
+        theorem2_holds=data["theorem2_holds"],
+        telemetry=telemetry_from_dict(telemetry) if telemetry else None,
+    )
+
+
+def trace_to_dict(trace: AugmentationTrace) -> dict[str, Any]:
+    """A JSON-safe representation of an augmentation trace."""
+    return {"steps": [_step_to_dict(s) for s in trace.steps]}
+
+
+def trace_from_dict(data: dict[str, Any]) -> AugmentationTrace:
+    """Rebuild a trace from :func:`trace_to_dict` output (snapshots are not
+    persisted and come back as None)."""
+    return AugmentationTrace(
+        steps=[_step_from_dict(s) for s in data.get("steps", [])])
+
+
+# ---------------------------------------------------------------------------
 # floorplans
 # ---------------------------------------------------------------------------
 
@@ -137,6 +204,7 @@ def floorplan_to_dict(plan: Floorplan) -> dict[str, Any]:
         "chip_width": plan.chip_width,
         "chip_height": plan.chip_height,
         "elapsed_seconds": plan.elapsed_seconds,
+        "trace": trace_to_dict(plan.trace),
         "placements": {
             name: {
                 "rect": _rect_to_list(p.rect),
@@ -166,6 +234,7 @@ def floorplan_from_dict(data: dict[str, Any]) -> Floorplan:
         placements=placements,
         chip_width=data["chip_width"],
         chip_height=data["chip_height"],
+        trace=trace_from_dict(data.get("trace", {})),
         elapsed_seconds=data.get("elapsed_seconds", 0.0),
     )
 

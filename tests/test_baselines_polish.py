@@ -7,7 +7,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines.polish import (
-    OPERATORS,
     PolishExpression,
     random_polish,
     validate_tokens,

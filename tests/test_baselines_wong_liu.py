@@ -9,7 +9,6 @@ from repro.baselines.annealing import (
     calibrate_t0,
     simulated_annealing,
 )
-from repro.baselines.polish import PolishExpression
 from repro.baselines.shapes import ShapeCurve, ShapePoint, prune_dominated
 from repro.baselines.wong_liu import WongLiuFloorplanner
 from repro.netlist.generators import random_netlist

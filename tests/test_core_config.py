@@ -1,6 +1,5 @@
 """Unit tests for FloorplanConfig and the flexible-module linearization."""
 
-import math
 
 import pytest
 

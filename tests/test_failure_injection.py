@@ -1,6 +1,5 @@
 """Failure-injection tests: solver limits, retries, and degraded inputs."""
 
-import math
 
 import pytest
 
@@ -8,7 +7,6 @@ import repro.core.augmentation as augmentation_module
 from repro.core.augmentation import FloorplanError, _solve_with_retry
 from repro.core.config import FloorplanConfig
 from repro.core.formulation import SubproblemBuilder
-from repro.milp.model import Model
 from repro.milp.solution import Solution, SolveStatus
 from repro.netlist.generators import random_netlist
 from repro.netlist.module import Module

@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 
 from repro.core.config import FloorplanConfig, Linearization, Objective, Ordering
 from repro.core.floorplanner import floorplan
-from repro.geometry.rect import any_overlap
 from repro.netlist.generators import random_netlist
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.config import FloorplanConfig, Linearization
+from repro.core.config import FloorplanConfig
 from repro.core.floorplanner import floorplan
 from repro.core.placement import Placement
 from repro.core.shape_refine import refine_shapes

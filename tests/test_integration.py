@@ -3,7 +3,7 @@ experiment drivers on small instances."""
 
 import pytest
 
-from repro.core.config import FloorplanConfig, Objective, Ordering
+from repro.core.config import FloorplanConfig
 from repro.core.floorplanner import floorplan
 from repro.eval.experiments import run_series1, run_series2, run_series3
 from repro.geometry.rect import any_overlap

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.milp.expr import LinExpr, VarKind, lin_sum
+from repro.milp.expr import lin_sum
 from repro.milp.model import Model, Sense
 
 

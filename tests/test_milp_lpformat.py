@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.config import FloorplanConfig
 from repro.core.formulation import SubproblemBuilder
-from repro.milp.expr import VarKind, lin_sum
+from repro.milp.expr import VarKind
 from repro.milp.lpformat import LpParseError, read_lp, write_lp
 from repro.milp.model import Model, ObjectiveSense
 from repro.milp.solvers.registry import solve

@@ -1,6 +1,5 @@
 """Unit + property tests for benchmark generators and MCNC substitutes."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -1,0 +1,87 @@
+"""Unit tests for :mod:`repro.parallel` and the parallel width search."""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.core.config import FloorplanConfig
+from repro.core.width_search import search_chip_width
+from repro.netlist.generators import random_netlist
+from repro.parallel import WORKERS_ENV, parallel_map, resolve_workers
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _scale(factor: int, x: int) -> int:
+    return factor * x
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self):
+        assert resolve_workers(3) == 3
+
+    def test_default_is_positive(self):
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) >= 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers(None) == 7
+        assert resolve_workers(2) == 2  # explicit still wins
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "lots")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [3, 1, 2], workers=1) == [9, 1, 4]
+
+    def test_parallel_preserves_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, workers=4) == [x * x for x in items]
+
+    def test_partial_is_picklable(self):
+        fn = functools.partial(_scale, 10)
+        assert parallel_map(fn, [1, 2, 3], workers=2) == [10, 20, 30]
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+    def test_exception_propagates_serially(self):
+        with pytest.raises(ZeroDivisionError):
+            parallel_map(lambda x: 1 // x, [1, 0], workers=1)
+
+
+class TestParallelWidthSearch:
+    def test_parallel_matches_serial(self):
+        netlist = random_netlist(6, seed=3)
+        config = FloorplanConfig(subproblem_time_limit=10.0)
+        serial = search_chip_width(netlist, config, n_candidates=3,
+                                   workers=1)
+        parallel = search_chip_width(netlist, config, n_candidates=3,
+                                     workers=3)
+        assert parallel.best_width == serial.best_width
+        assert [c.score for c in parallel.candidates] \
+            == [c.score for c in serial.candidates]
+        assert parallel.best.chip_area == serial.best.chip_area
+        assert {n: p.rect for n, p in parallel.best.placements.items()} \
+            == {n: p.rect for n, p in serial.best.placements.items()}
+
+    def test_best_floorplan_carries_telemetry(self):
+        netlist = random_netlist(6, seed=3)
+        result = search_chip_width(netlist, FloorplanConfig(
+            subproblem_time_limit=10.0), n_candidates=2, workers=2)
+        steps = result.best.trace.steps
+        assert steps, "trace survived the process boundary"
+        assert any(s.telemetry is not None for s in steps)

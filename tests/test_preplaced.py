@@ -7,7 +7,6 @@ from repro.core.floorplanner import Floorplanner
 from repro.core.placement import Placement
 from repro.core.topology import optimize_topology
 from repro.geometry.rect import Rect, any_overlap
-from repro.netlist.generators import random_netlist
 from repro.netlist.module import Module
 from repro.netlist.net import Net
 from repro.netlist.netlist import Netlist

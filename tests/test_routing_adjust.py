@@ -9,7 +9,6 @@ from repro.geometry.rect import Rect, any_overlap
 from repro.netlist.generators import random_netlist
 from repro.netlist.module import Module, PinCounts
 from repro.netlist.net import Net
-from repro.netlist.netlist import Netlist
 from repro.routing.adjust import adjust_floorplan
 from repro.routing.flow import provide_routing_space, route_and_adjust
 from repro.routing.graph import build_channel_graph

@@ -1,7 +1,6 @@
 """Tests for JSON persistence, channel extraction, scaling analysis, and
 the re-linearization loop."""
 
-import math
 
 import pytest
 
