@@ -1,0 +1,120 @@
+"""Per-step and whole-floorplan certification (the ``certify`` flag).
+
+Glue between the independent checkers and the floorplanning flow: when
+:attr:`~repro.core.config.FloorplanConfig.certify` is on, every augmentation
+subproblem's solution is re-certified against its raw standard form AND the
+decoded geometry is re-validated, with the combined outcome recorded on the
+:class:`~repro.core.augmentation.AugmentationStep` next to its telemetry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.check.certificate import (
+    CertificateReport,
+    Violation,
+    check_certificate,
+)
+from repro.check.geometry import (
+    CHECK_EPS,
+    GeometryReport,
+    check_cover,
+    check_floorplan,
+    check_placements,
+)
+from repro.geometry.rect import Rect
+
+if TYPE_CHECKING:
+    from repro.core.config import FloorplanConfig
+    from repro.core.floorplanner import Floorplan
+    from repro.core.formulation import SubproblemBuilder
+    from repro.core.placement import Placement
+    from repro.milp.solution import Solution
+
+
+@dataclass
+class StepCertification:
+    """Combined certification of one augmentation step.
+
+    Attributes:
+        certificate: the MILP certificate check of the step's solution.
+        geometry: the geometric validation of the decoded placements
+            against the chip, each other, and the covering rectangles.
+    """
+
+    certificate: CertificateReport
+    geometry: GeometryReport
+
+    @property
+    def ok(self) -> bool:
+        """True when both the certificate and the geometry check pass."""
+        return self.certificate.ok and self.geometry.ok
+
+    @property
+    def violations(self) -> list[Violation]:
+        """All violations from both checkers."""
+        return list(self.certificate.violations) + list(self.geometry.violations)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-safe representation."""
+        return {"ok": self.ok,
+                "certificate": self.certificate.to_dict(),
+                "geometry": self.geometry.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "StepCertification":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(certificate=CertificateReport.from_dict(data["certificate"]),
+                   geometry=GeometryReport.from_dict(data["geometry"]))
+
+
+def certify_subproblem(builder: "SubproblemBuilder", solution: "Solution",
+                       new_placements: Sequence["Placement"],
+                       prior_placements: Sequence["Placement"],
+                       obstacles: Sequence[Rect], chip_width: float,
+                       config: "FloorplanConfig") -> StepCertification:
+    """Independently certify one augmentation step.
+
+    Certificate side: the solution versus ``builder.model``'s standard form.
+    Geometry side: the decoded window placements (pairwise disjoint, inside
+    the chip width — the height is still open mid-augmentation), the window
+    against the fixed covering rectangles, and the covering rectangles
+    against the prior placements they replace (cover exactness plus the
+    Theorem 1-2 bounds).
+    """
+    certificate = check_certificate(
+        builder.model, solution,
+        int_tol=config.int_tol,
+        mip_rel_gap=config.mip_rel_gap,
+    )
+
+    chip = Rect(0.0, 0.0, chip_width, math.inf)
+    geometry = check_placements(list(new_placements), chip,
+                                check_chip_height=False)
+
+    for p in new_placements:
+        for k, obs in enumerate(obstacles):
+            overlap = p.envelope.overlap_area(obs)
+            if overlap > CHECK_EPS * max(1.0, min(p.envelope.area, obs.area)):
+                geometry.violations.append(Violation(
+                    "geometry", f"{p.name}|obstacle[{k}]", overlap,
+                    f"module {p.name} overlaps covering rectangle {k} "
+                    f"(area {overlap:.4g})"))
+
+    prior_envelopes = [p.envelope for p in prior_placements]
+    if prior_envelopes or obstacles:
+        cover = check_cover(prior_envelopes, list(obstacles),
+                            x_min=0.0, x_max=chip_width)
+        geometry.n_cover_rects = cover.n_cover_rects
+        geometry.violations.extend(cover.violations)
+
+    return StepCertification(certificate=certificate, geometry=geometry)
+
+
+def certify_floorplan(plan: "Floorplan") -> GeometryReport:
+    """Independent whole-floorplan validation (final geometry only — the
+    per-step MILP certificates live on the trace steps)."""
+    return check_floorplan(plan)

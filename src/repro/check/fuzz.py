@@ -1,0 +1,479 @@
+"""Cross-backend differential fuzzing of the MILP solver stack.
+
+With three independent solving paths (HiGHS via SciPy, the from-scratch
+branch-and-bound, the pure-NumPy simplex) plus a racing portfolio, subtle
+disagreements are the expected failure mode — exactly what Huchette et al.
+observe across floor-layout formulation variants.  This harness generates
+seeded random instances (pure LPs, boxed random MILPs, and floorplan-shaped
+subproblems straight from :class:`SubproblemBuilder`), runs every applicable
+backend on the identical model, cross-checks the claims, and greedily
+shrinks any disagreement to a minimal JSON reproducer.
+
+Comparison semantics (all instances have finite variable boxes, so
+``UNBOUNDED`` is never legitimate):
+
+* a raised exception is a ``crash`` finding for that backend;
+* any returned incumbent must pass the independent certificate checker
+  (``bad-certificate`` otherwise);
+* ``INFEASIBLE`` contradicts any *certified* feasible incumbent elsewhere;
+* two ``OPTIMAL`` claims must agree on the objective within tolerance;
+* a certified feasible incumbent may never beat a proven optimum.
+
+``LIMIT``/``TIMEOUT``/``ERROR`` results are inconclusive: counted, but not
+disagreements.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.check.certificate import check_certificate
+from repro.milp.expr import VarKind, lin_sum
+from repro.milp.model import Model, ObjectiveSense
+from repro.milp.solution import Solution, SolveStatus
+from repro.milp.solvers.registry import available_backends, solve
+from repro.serialize import model_from_dict, model_to_dict
+
+#: Relative tolerance when comparing objective claims across backends.
+CROSS_OBJ_TOL = 1e-5
+#: mip_rel_gap passed to every backend so OPTIMAL claims are tight.
+FUZZ_GAP = 1e-6
+
+
+# ---------------------------------------------------------------------------
+# instance generation
+# ---------------------------------------------------------------------------
+
+def generate_model(rng: random.Random) -> Model:
+    """One seeded random instance: ~40% pure LP, ~40% boxed MILP, ~20%
+    floorplan-shaped subproblem."""
+    roll = rng.random()
+    if roll < 0.4:
+        return _random_boxed(rng, integers=False)
+    if roll < 0.8:
+        return _random_boxed(rng, integers=True)
+    return _floorplan_shaped(rng)
+
+
+def _random_boxed(rng: random.Random, *, integers: bool) -> Model:
+    """A random model over finite variable boxes with small integer data.
+
+    Most constraints are anchored to a random interior point so feasible
+    instances dominate, with a minority of free-rhs rows to also exercise
+    INFEASIBLE paths.  Finite boxes rule out unboundedness by construction.
+    """
+    model = Model("fuzz")
+    n = rng.randint(2, 6)
+    variables = []
+    for j in range(n):
+        if integers and rng.random() < 0.5:
+            if rng.random() < 0.5:
+                var = model.add_binary(f"b{j}")
+            else:
+                var = model.add_var(f"i{j}", 0.0, rng.randint(1, 6),
+                                    VarKind.INTEGER)
+        else:
+            var = model.add_continuous(f"x{j}", 0.0, float(rng.randint(1, 10)))
+        variables.append(var)
+
+    anchor = [rng.uniform(v.lb, v.ub) for v in variables]
+    for i in range(rng.randint(1, 2 * n)):
+        coeffs = [rng.randint(-5, 5) for _ in variables]
+        if not any(coeffs):
+            coeffs[rng.randrange(n)] = 1
+        expr = lin_sum(c * v for c, v in zip(coeffs, variables) if c)
+        at_anchor = sum(c * a for c, a in zip(coeffs, anchor))
+        sense_le = rng.random() < 0.5
+        if rng.random() < 0.8:                        # feasible at anchor
+            slack = rng.uniform(0.0, 5.0)
+            rhs = at_anchor + slack if sense_le else at_anchor - slack
+        else:
+            rhs = float(rng.randint(-20, 20))         # may cut everything off
+        model.add_constraint(expr <= rhs if sense_le else expr >= rhs,
+                             name=f"c{i}")
+
+    obj_coeffs = [rng.randint(-4, 4) for _ in variables]
+    if not any(obj_coeffs):
+        obj_coeffs[0] = 1
+    objective = lin_sum(c * v for c, v in zip(obj_coeffs, variables) if c)
+    sense = ObjectiveSense.MAX if rng.random() < 0.5 else ObjectiveSense.MIN
+    model.set_objective(objective + rng.randint(-3, 3), sense)
+    return model
+
+
+def _floorplan_shaped(rng: random.Random) -> Model:
+    """A small real subproblem from :class:`SubproblemBuilder`: 1-2 window
+    modules over 0-2 covering rectangles on a chip wide enough to be
+    feasible."""
+    from repro.core.config import FloorplanConfig
+    from repro.core.formulation import SubproblemBuilder
+    from repro.geometry.rect import Rect
+    from repro.netlist.module import Module
+
+    n_window = rng.randint(1, 2)
+    window = []
+    for k in range(n_window):
+        if rng.random() < 0.3:
+            window.append(Module.flexible_area(
+                f"f{k}", area=float(rng.randint(2, 8)),
+                aspect_low=0.5, aspect_high=2.0))
+        else:
+            window.append(Module.rigid(
+                f"m{k}", float(rng.randint(1, 4)), float(rng.randint(1, 4)),
+                rotatable=True))
+
+    chip_width = 10.0
+    obstacles = []
+    x = 0.0
+    for _ in range(rng.randint(0, 2)):
+        w = float(rng.randint(1, 3))
+        h = float(rng.randint(1, 3))
+        if x + w > chip_width:
+            break
+        obstacles.append(Rect(x, 0.0, w, h))
+        x += w + 1.0
+
+    config = FloorplanConfig(
+        chip_width=chip_width,
+        allow_rotation=rng.random() < 0.5,
+        use_envelopes=False,
+        record_snapshots=False,
+    )
+    builder = SubproblemBuilder(window, obstacles, chip_width, config)
+    return builder.model
+
+
+# ---------------------------------------------------------------------------
+# differential comparison
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One cross-backend inconsistency on a single model.
+
+    Attributes:
+        kind: ``"crash"``, ``"bad-certificate"``, ``"status"``,
+            ``"objective"``, or ``"beats-proven-optimum"``.
+        detail: human-readable description.
+        backends: the backends implicated.
+    """
+
+    kind: str
+    detail: str
+    backends: tuple[str, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-safe representation."""
+        return {"kind": self.kind, "detail": self.detail,
+                "backends": list(self.backends)}
+
+
+def backends_for(model: Model,
+                 backends: Sequence[str] | None = None) -> tuple[str, ...]:
+    """The registered backends applicable to ``model`` (the pure-LP-only
+    simplex is excluded for integer models)."""
+    names = tuple(backends) if backends else available_backends()
+    return tuple(b for b in names
+                 if b != "simplex" or model.is_pure_lp())
+
+
+def run_differential(model: Model, *, backends: Sequence[str] | None = None,
+                     time_limit: float = 10.0,
+                     obj_tol: float = CROSS_OBJ_TOL
+                     ) -> tuple[dict[str, Solution], list[Disagreement]]:
+    """Run every applicable backend on ``model`` and cross-check the claims.
+
+    Returns the per-backend solutions (crashes become synthetic ERROR
+    solutions) and the list of disagreements (empty = all consistent).
+    """
+    results: dict[str, Solution] = {}
+    disagreements: list[Disagreement] = []
+    for name in backends_for(model, backends):
+        try:
+            results[name] = solve(model, backend=name,
+                                  time_limit=time_limit,
+                                  mip_rel_gap=FUZZ_GAP)
+        except Exception as exc:  # noqa: BLE001 — a crash IS the finding
+            results[name] = Solution(
+                status=SolveStatus.ERROR, backend=name,
+                message=f"raised {type(exc).__name__}: {exc}")
+            disagreements.append(Disagreement(
+                "crash", f"{name} raised {type(exc).__name__}: {exc}",
+                (name,)))
+    disagreements.extend(compare_results(model, results, obj_tol=obj_tol))
+    return results, disagreements
+
+
+def compare_results(model: Model, results: dict[str, Solution], *,
+                    obj_tol: float = CROSS_OBJ_TOL) -> list[Disagreement]:
+    """Cross-check backend claims on the same model (see module docstring
+    for the semantics)."""
+    form = model.to_standard_form()
+    disagreements: list[Disagreement] = []
+
+    certified: dict[str, float] = {}  # backend -> recomputed objective
+    optimal: dict[str, float] = {}
+    infeasible: list[str] = []
+    unbounded: list[str] = []
+    for name, sol in results.items():
+        if sol.status.has_solution:
+            report = check_certificate(model, sol, form=form,
+                                       mip_rel_gap=FUZZ_GAP * 10)
+            if not report.ok:
+                worst = report.violations[0]
+                disagreements.append(Disagreement(
+                    "bad-certificate",
+                    f"{name} returned a {sol.status.value} solution that "
+                    f"fails certification: {worst.detail} "
+                    f"(+{len(report.violations) - 1} more)"
+                    if len(report.violations) > 1 else
+                    f"{name} returned a {sol.status.value} solution that "
+                    f"fails certification: {worst.detail}", (name,)))
+                continue
+            certified[name] = report.recomputed_objective
+            if sol.status is SolveStatus.OPTIMAL:
+                optimal[name] = report.recomputed_objective
+        elif sol.status is SolveStatus.INFEASIBLE:
+            infeasible.append(name)
+        elif sol.status is SolveStatus.UNBOUNDED:
+            unbounded.append(name)
+        # LIMIT / ERROR: inconclusive, nothing to compare.
+
+    if infeasible and certified:
+        feasible_names = sorted(certified)
+        disagreements.append(Disagreement(
+            "status",
+            f"{', '.join(infeasible)} claim INFEASIBLE but "
+            f"{', '.join(feasible_names)} produced certified feasible "
+            f"solutions", tuple(infeasible) + tuple(feasible_names)))
+    if unbounded and (certified or infeasible):
+        others = sorted(set(results) - set(unbounded))
+        disagreements.append(Disagreement(
+            "status",
+            f"{', '.join(unbounded)} claim UNBOUNDED on a finite-box model "
+            f"contradicted by {', '.join(others)}",
+            tuple(unbounded) + tuple(others)))
+
+    if len(optimal) >= 2:
+        names = sorted(optimal)
+        lo_name = min(names, key=lambda n: optimal[n])
+        hi_name = max(names, key=lambda n: optimal[n])
+        spread = optimal[hi_name] - optimal[lo_name]
+        scale = max(1.0, abs(optimal[lo_name]), abs(optimal[hi_name]))
+        if spread > obj_tol * scale:
+            disagreements.append(Disagreement(
+                "objective",
+                f"OPTIMAL objectives disagree: {lo_name} = "
+                f"{optimal[lo_name]:.9g} vs {hi_name} = "
+                f"{optimal[hi_name]:.9g}", (lo_name, hi_name)))
+
+    if optimal:
+        maximize = model.objective_sense is ObjectiveSense.MAX
+        best_proven = max(optimal.values()) if maximize else min(optimal.values())
+        for name, value in certified.items():
+            if name in optimal:
+                continue
+            margin = (value - best_proven) if maximize \
+                else (best_proven - value)
+            if margin > obj_tol * max(1.0, abs(best_proven)):
+                disagreements.append(Disagreement(
+                    "beats-proven-optimum",
+                    f"{name}'s certified feasible objective {value:.9g} "
+                    f"beats the proven optimum {best_proven:.9g}",
+                    (name,) + tuple(sorted(optimal))))
+    return disagreements
+
+
+# ---------------------------------------------------------------------------
+# shrinking
+# ---------------------------------------------------------------------------
+
+def shrink_model(data: dict[str, Any],
+                 still_fails: Callable[[dict[str, Any]], bool], *,
+                 max_evals: int = 200) -> tuple[dict[str, Any], int]:
+    """Greedily minimize a serialized model while the failure reproduces.
+
+    Tries, to a fixpoint: dropping each constraint, relaxing each integer
+    variable to continuous, and collapsing each variable's box to its lower
+    bound.  Each candidate is accepted only when ``still_fails`` holds, so
+    the result still exhibits the original disagreement.
+
+    Returns the minimized model dict and the number of evaluations used.
+    """
+    evals = 0
+
+    def candidates(current: dict[str, Any]):
+        for i in range(len(current["constraints"])):
+            trimmed = dict(current)
+            trimmed["constraints"] = (current["constraints"][:i]
+                                      + current["constraints"][i + 1:])
+            yield trimmed
+        for j, var in enumerate(current["variables"]):
+            if var["kind"] != VarKind.CONTINUOUS.value:
+                relaxed = json.loads(json.dumps(current))
+                relaxed["variables"][j]["kind"] = VarKind.CONTINUOUS.value
+                yield relaxed
+        for j, var in enumerate(current["variables"]):
+            if var["lb"] is not None and var["ub"] != var["lb"]:
+                fixed = json.loads(json.dumps(current))
+                fixed["variables"][j]["ub"] = var["lb"]
+                yield fixed
+
+    current = data
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for candidate in candidates(current):
+            if evals >= max_evals:
+                break
+            evals += 1
+            if still_fails(candidate):
+                current = candidate
+                improved = True
+                break
+    return current, evals
+
+
+# ---------------------------------------------------------------------------
+# the fuzzing driver
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FuzzCase:
+    """One disagreeing instance, with its minimized reproducer."""
+
+    index: int
+    case_seed: int
+    disagreements: list[Disagreement]
+    results: dict[str, dict[str, Any]]
+    model: dict[str, Any]
+    minimized: dict[str, Any]
+    shrink_evals: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-safe representation — this is the reproducer artifact."""
+        return {
+            "index": self.index,
+            "case_seed": self.case_seed,
+            "disagreements": [d.to_dict() for d in self.disagreements],
+            "results": self.results,
+            "model": self.model,
+            "minimized": self.minimized,
+            "shrink_evals": self.shrink_evals,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing campaign."""
+
+    seed: int
+    n_cases: int
+    backends: tuple[str, ...]
+    n_inconclusive: int = 0
+    failures: list[FuzzCase] = field(default_factory=list)
+    artifacts: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every case ran all backends to agreement."""
+        return not self.failures
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-safe summary (failures embed their reproducers)."""
+        return {
+            "seed": self.seed,
+            "n_cases": self.n_cases,
+            "backends": list(self.backends),
+            "n_inconclusive": self.n_inconclusive,
+            "n_failures": len(self.failures),
+            "ok": self.ok,
+            "artifacts": list(self.artifacts),
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+
+def _solution_summary(sol: Solution) -> dict[str, Any]:
+    def safe(value: float) -> float | None:
+        return None if not math.isfinite(value) else value
+
+    return {"status": sol.status.value, "objective": safe(sol.objective),
+            "bound": safe(sol.bound), "backend": sol.backend,
+            "message": sol.message}
+
+
+def fuzz(n: int = 25, seed: int = 0, *,
+         backends: Sequence[str] | None = None, time_limit: float = 10.0,
+         obj_tol: float = CROSS_OBJ_TOL, shrink_budget: int = 200,
+         artifact_dir: str | Path | None = None) -> FuzzReport:
+    """Run a differential-fuzzing campaign of ``n`` seeded cases.
+
+    Every disagreement is shrunk to a minimal reproducer; with
+    ``artifact_dir`` set, each reproducer is also written to
+    ``fuzz_repro_seed<seed>_case<i>.json`` there.
+    """
+    report = FuzzReport(seed=seed, n_cases=n,
+                        backends=tuple(backends) if backends
+                        else available_backends())
+    inconclusive = {SolveStatus.LIMIT, SolveStatus.TIMEOUT, SolveStatus.ERROR}
+    for i in range(n):
+        case_seed = seed * 1_000_003 + i
+        model = generate_model(random.Random(case_seed))
+        results, disagreements = run_differential(
+            model, backends=backends, time_limit=time_limit, obj_tol=obj_tol)
+        report.n_inconclusive += sum(
+            1 for s in results.values() if s.status in inconclusive)
+        if not disagreements:
+            continue
+
+        data = model_to_dict(model)
+
+        def still_fails(candidate: dict[str, Any]) -> bool:
+            try:
+                rebuilt = model_from_dict(candidate)
+                _, found = run_differential(rebuilt, backends=backends,
+                                            time_limit=time_limit,
+                                            obj_tol=obj_tol)
+            except Exception:  # noqa: BLE001 — malformed shrink candidate
+                return False
+            return bool(found)
+
+        minimized, evals = shrink_model(data, still_fails,
+                                        max_evals=shrink_budget)
+        case = FuzzCase(
+            index=i, case_seed=case_seed, disagreements=disagreements,
+            results={b: _solution_summary(s) for b, s in results.items()},
+            model=data, minimized=minimized, shrink_evals=evals)
+        report.failures.append(case)
+        if artifact_dir is not None:
+            path = Path(artifact_dir)
+            path.mkdir(parents=True, exist_ok=True)
+            out = path / f"fuzz_repro_seed{seed}_case{i}.json"
+            with open(out, "w") as f:
+                json.dump(case.to_dict(), f, indent=1)
+            report.artifacts.append(str(out))
+    return report
+
+
+def replay_reproducer(data: dict[str, Any], *, minimized: bool = True,
+                      time_limit: float = 10.0
+                      ) -> tuple[dict[str, Solution], list[Disagreement]]:
+    """Re-run the backends on a saved reproducer artifact.
+
+    Args:
+        data: a loaded :meth:`FuzzCase.to_dict` document (or a bare
+            :func:`~repro.serialize.model_to_dict` document).
+        minimized: replay the minimized model rather than the original.
+        time_limit: per-backend time limit.
+    """
+    if "variables" in data:       # bare model document
+        model_data = data
+    else:
+        model_data = data["minimized"] if minimized else data["model"]
+    model = model_from_dict(model_data)
+    return run_differential(model, time_limit=time_limit)

@@ -1,0 +1,293 @@
+"""Independent geometric floorplan validation.
+
+The MILP says a floorplan is legal; this module re-derives legality from the
+realized rectangles alone, with no shared code path through the formulation:
+
+* every module placed exactly once, pairwise interior-disjoint, inside the
+  chip;
+* each placement's envelope contains its module rectangle;
+* rigid dimensions consistent with the recorded rotation flag (eq. (4));
+* flexible modules conserve their area invariant ``w h = S`` and respect
+  their aspect-ratio bounds (eq. (6)-(8));
+* covering rectangles (section 3.1 / Figure 4) actually cover every placed
+  rectangle, stay inside the covering polygon, and respect the Theorem 1-2
+  counting bounds.
+
+All checks report :class:`~repro.check.certificate.Violation` records of
+kind ``"geometry"`` and never raise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.check.certificate import Violation
+from repro.geometry.polygon import CoveringPolygon
+from repro.geometry.rect import Rect
+
+if TYPE_CHECKING:
+    from repro.core.floorplanner import Floorplan
+    from repro.core.placement import Placement
+
+#: Default geometric tolerance for the validator: looser than GEOM_EPS
+#: because realized coordinates pass through an LP and a decode step.
+CHECK_EPS = 1e-6
+
+
+@dataclass
+class GeometryReport:
+    """Outcome of the geometric validation of one floorplan (or one
+    augmentation step's cover)."""
+
+    n_placements: int = 0
+    n_pairs_checked: int = 0
+    n_cover_rects: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no violations were found."""
+        return not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-safe representation."""
+        return {
+            "n_placements": self.n_placements,
+            "n_pairs_checked": self.n_pairs_checked,
+            "n_cover_rects": self.n_cover_rects,
+            "ok": self.ok,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "GeometryReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return cls(
+            n_placements=data.get("n_placements", 0),
+            n_pairs_checked=data.get("n_pairs_checked", 0),
+            n_cover_rects=data.get("n_cover_rects", 0),
+            violations=[Violation.from_dict(v)
+                        for v in data.get("violations", [])],
+        )
+
+
+# ---------------------------------------------------------------------------
+# rectangle-cover arithmetic
+# ---------------------------------------------------------------------------
+
+def uncovered_area(target: Rect, cover: Sequence[Rect],
+                   eps: float = CHECK_EPS) -> float:
+    """Area of ``target`` not covered by the union of ``cover``.
+
+    Exact for axis-aligned rectangles via coordinate compression: the target
+    is cut into the grid induced by all rectangle edges and each cell is
+    covered iff its center lies in some cover rectangle.
+    """
+    if target.area <= eps:
+        return 0.0
+    xs = {target.x, target.x2}
+    ys = {target.y, target.y2}
+    for r in cover:
+        for x in (r.x, r.x2):
+            if target.x < x < target.x2:
+                xs.add(x)
+        for y in (r.y, r.y2):
+            if target.y < y < target.y2:
+                ys.add(y)
+    xs_sorted = sorted(xs)
+    ys_sorted = sorted(ys)
+    missing = 0.0
+    for x1, x2 in zip(xs_sorted, xs_sorted[1:]):
+        cx = (x1 + x2) / 2.0
+        for y1, y2 in zip(ys_sorted, ys_sorted[1:]):
+            cy = (y1 + y2) / 2.0
+            if not any(r.x - eps <= cx <= r.x2 + eps
+                       and r.y - eps <= cy <= r.y2 + eps for r in cover):
+                missing += (x2 - x1) * (y2 - y1)
+    return missing
+
+
+def check_cover(placed: Sequence[Rect], obstacles: Sequence[Rect], *,
+                x_min: float, x_max: float,
+                eps: float = CHECK_EPS) -> GeometryReport:
+    """Validate a covering-rectangle set against the rectangles it replaces.
+
+    Checks (section 3.1, Figure 4, Theorems 1-2):
+
+    * every placed rectangle is fully covered by the union of the covering
+      rectangles (nothing the MILP must avoid is forgotten);
+    * every covering rectangle stays inside the covering polygon (nothing
+      is blocked that the polygon leaves open);
+    * for staircase polygons (no valleys), the Theorem-2 count bound
+      ``d <= n - 1`` and the corollary ``d <= N``.
+    """
+    report = GeometryReport(n_placements=len(placed),
+                            n_cover_rects=len(obstacles))
+    if not placed:
+        if obstacles:
+            report.violations.append(Violation(
+                "geometry", "cover", float(len(obstacles)),
+                "covering rectangles present with nothing placed"))
+        return report
+    polygon = CoveringPolygon.from_rects(placed, x_min=x_min, x_max=x_max)
+
+    for i, rect in enumerate(placed):
+        missing = uncovered_area(rect, obstacles, eps)
+        if missing > eps * max(1.0, rect.area):
+            report.violations.append(Violation(
+                "geometry", f"cover[{i}]", missing,
+                f"placed rect {i} at ({rect.x:.6g}, {rect.y:.6g}) "
+                f"{rect.w:.6g}x{rect.h:.6g} has {missing:.3g} area "
+                f"uncovered by the covering rectangles"))
+
+    for k, obs in enumerate(obstacles):
+        if not polygon.covers(obs, eps):
+            report.violations.append(Violation(
+                "geometry", f"obstacle[{k}]", obs.area,
+                f"covering rect {k} at ({obs.x:.6g}, {obs.y:.6g}) "
+                f"{obs.w:.6g}x{obs.h:.6g} pokes outside the covering "
+                f"polygon"))
+
+    if not polygon.skyline.has_valley():
+        bound = max(1, polygon.n_horizontal_edges() - 1)
+        if len(obstacles) > bound:
+            report.violations.append(Violation(
+                "geometry", "theorem2", float(len(obstacles) - bound),
+                f"{len(obstacles)} covering rectangles exceed the "
+                f"Theorem-2 bound n - 1 = {bound}"))
+        if polygon.satisfies_theorem1() and len(obstacles) > max(1, len(placed)):
+            report.violations.append(Violation(
+                "geometry", "corollary", float(len(obstacles) - len(placed)),
+                f"{len(obstacles)} covering rectangles exceed the placed "
+                f"module count {len(placed)}"))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# placement validation
+# ---------------------------------------------------------------------------
+
+def check_placements(placements: Sequence["Placement"], chip: Rect, *,
+                     eps: float = CHECK_EPS,
+                     check_chip_height: bool = True) -> GeometryReport:
+    """Validate realized placements independently of the formulation.
+
+    Args:
+        placements: the placements to validate.
+        chip: the chip rectangle; module rects must lie inside it.
+        eps: geometric tolerance (scaled by feature size where sensible).
+        check_chip_height: also require each rect below the chip top (off
+            for mid-augmentation windows, where the final height is not yet
+            known).
+    """
+    report = GeometryReport(n_placements=len(placements))
+    rects = [p.rect for p in placements]
+    names = [p.name for p in placements]
+
+    for i in range(len(rects)):
+        for j in range(i + 1, len(rects)):
+            report.n_pairs_checked += 1
+            overlap = rects[i].overlap_area(rects[j])
+            scale = eps * max(1.0, min(rects[i].area, rects[j].area))
+            if overlap > scale:
+                report.violations.append(Violation(
+                    "geometry", f"{names[i]}|{names[j]}", overlap,
+                    f"modules {names[i]} and {names[j]} overlap "
+                    f"(area {overlap:.4g})"))
+
+    for p in placements:
+        _check_one_placement(p, chip, eps, check_chip_height, report)
+    return report
+
+
+def _check_one_placement(p: "Placement", chip: Rect, eps: float,
+                         check_chip_height: bool,
+                         report: GeometryReport) -> None:
+    rect = p.rect
+    span = max(1.0, chip.w, chip.h)
+    out_x = max(chip.x - rect.x, rect.x2 - chip.x2)
+    out_y = rect.y2 - chip.y2 if check_chip_height else 0.0
+    out_y = max(out_y, chip.y - rect.y)
+    worst = max(out_x, out_y)
+    if worst > eps * span:
+        report.violations.append(Violation(
+            "geometry", p.name, worst,
+            f"module {p.name} extends {worst:.4g} outside the chip"))
+
+    if not p.envelope.contains_rect(rect, eps * span):
+        report.violations.append(Violation(
+            "geometry", p.name, 0.0,
+            f"module {p.name}'s envelope does not contain its rectangle"))
+
+    module = p.module
+    if module.flexible:
+        area_drift = abs(rect.area - module.area)
+        if area_drift > eps * max(1.0, module.area):
+            report.violations.append(Violation(
+                "geometry", p.name, area_drift,
+                f"flexible module {p.name} realizes area {rect.area:.6g} "
+                f"but the invariant is {module.area:.6g}"))
+        if rect.h > eps:
+            aspect = rect.w / rect.h
+            rel = eps * max(1.0, module.aspect_high)
+            if aspect < module.aspect_low - rel or \
+                    aspect > module.aspect_high + rel:
+                report.violations.append(Violation(
+                    "geometry", p.name, aspect,
+                    f"flexible module {p.name} aspect {aspect:.4g} outside "
+                    f"[{module.aspect_low:.4g}, {module.aspect_high:.4g}]"))
+    else:
+        want_w, want_h = (module.height, module.width) if p.rotated \
+            else (module.width, module.height)
+        drift = max(abs(rect.w - want_w), abs(rect.h - want_h))
+        if drift > eps * max(1.0, want_w, want_h):
+            report.violations.append(Violation(
+                "geometry", p.name, drift,
+                f"rigid module {p.name} realizes {rect.w:.6g}x{rect.h:.6g} "
+                f"but rotated={p.rotated} implies "
+                f"{want_w:.6g}x{want_h:.6g}"))
+
+
+def check_floorplan(plan: "Floorplan", eps: float = CHECK_EPS) -> GeometryReport:
+    """Full independent validation of a completed floorplan.
+
+    Combines :func:`check_placements` over the final geometry with the
+    completeness check (every netlist module placed) and, when the trace
+    recorded snapshots, a per-step :func:`check_cover` of the covering
+    rectangles each subproblem was solved against.
+    """
+    report = check_placements(list(plan.placements.values()), plan.chip,
+                              eps=eps)
+    missing = set(plan.netlist.module_names) - set(plan.placements)
+    for name in sorted(missing):
+        report.violations.append(Violation(
+            "completeness", name, math.inf,
+            f"module {name} was never placed"))
+    extra = set(plan.placements) - set(plan.netlist.module_names)
+    for name in sorted(extra):
+        report.violations.append(Violation(
+            "completeness", name, math.inf,
+            f"placement {name} does not correspond to a netlist module"))
+
+    for step in plan.trace.steps:
+        if step.snapshot is None or step.snapshot_obstacles is None:
+            continue
+        placed_before = [p.envelope for p in step.snapshot
+                         if p.name not in step.group]
+        if not placed_before:
+            continue
+        # The snapshot may come from a width-search candidate run at a
+        # different chip width than the final plan reports, so derive the
+        # covering-polygon span from the snapshot's own extent.
+        x_min = min(0.0, *(r.x for r in placed_before))
+        x_max = max(plan.chip_width, *(r.x2 for r in placed_before))
+        cover = check_cover(placed_before, list(step.snapshot_obstacles),
+                            x_min=x_min, x_max=x_max, eps=eps)
+        report.n_cover_rects += cover.n_cover_rects
+        for v in cover.violations:
+            report.violations.append(Violation(
+                v.kind, f"step{step.index}:{v.name}", v.magnitude,
+                f"step {step.index}: {v.detail}"))
+    return report

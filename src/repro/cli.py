@@ -163,6 +163,68 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    netlist = _load_netlist(args)
+    config = _config_from(args)
+    config.certify = True
+    plan = Floorplanner(netlist, config).run()
+
+    steps = []
+    n_violations = 0
+    for step in plan.trace.steps:
+        cert = step.certification
+        if cert is None:
+            continue
+        n_violations += len(cert.violations)
+        steps.append({"index": step.index, "group": list(step.group),
+                      **cert.to_dict()})
+    final = plan.certification
+    if final is not None:
+        n_violations += len(final.violations)
+    ok = n_violations == 0
+    doc = {
+        "netlist": netlist.name,
+        "backend": config.backend,
+        "ok": ok,
+        "n_violations": n_violations,
+        "chip_width": plan.chip_width,
+        "chip_height": plan.chip_height,
+        "steps": steps,
+        "floorplan": final.to_dict() if final is not None else None,
+    }
+    text = json.dumps(doc, indent=1)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    print(f"{netlist.name}: {'CERTIFIED' if ok else 'VIOLATIONS'} "
+          f"({len(steps)} steps checked, {n_violations} violations)",
+          file=sys.stderr)
+    return 0 if ok else 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.check.fuzz import fuzz
+
+    report = fuzz(n=args.n, seed=args.seed, time_limit=args.time_limit,
+                  shrink_budget=args.shrink_budget,
+                  artifact_dir=args.artifact_dir)
+    text = json.dumps(report.to_dict(), indent=1)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    verdict = "agree" if report.ok else "DISAGREE"
+    print(f"fuzz seed={report.seed}: {report.n_cases} cases, backends "
+          f"{verdict} ({len(report.failures)} failures, "
+          f"{report.n_inconclusive} inconclusive)", file=sys.stderr)
+    if report.artifacts:
+        print("reproducers:", *report.artifacts, sep="\n  ", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     config = FloorplanConfig(subproblem_time_limit=args.time_limit)
     if "1" in args.series:
@@ -220,6 +282,34 @@ def build_parser() -> argparse.ArgumentParser:
                       help="place with routing envelopes")
     p_tm.add_argument("--out", help="write the JSON here (default: stdout)")
     p_tm.set_defaults(fn=_cmd_telemetry)
+
+    p_ck = sub.add_parser(
+        "check",
+        help="floorplan a benchmark with independent per-step certification "
+             "and emit the certification report JSON (exit 1 on violations)")
+    _add_common(p_ck)
+    p_ck.add_argument("--envelopes", action="store_true",
+                      help="place with routing envelopes")
+    p_ck.add_argument("--out", help="write the JSON here (default: stdout)")
+    p_ck.set_defaults(fn=_cmd_check)
+
+    p_fz = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz the MILP backends against each other "
+             "(exit 1 and write minimized reproducers on disagreement)")
+    p_fz.add_argument("--n", type=int, default=25,
+                      help="number of random instances")
+    p_fz.add_argument("--seed", type=int, default=0, help="fuzz RNG seed")
+    p_fz.add_argument("--time-limit", type=float, default=10.0,
+                      help="per-solve time limit (seconds)")
+    p_fz.add_argument("--shrink-budget", type=int, default=200,
+                      help="max solver evaluations spent minimizing a "
+                           "failing case")
+    p_fz.add_argument("--artifact-dir", default=".",
+                      help="directory for minimized reproducer JSON files")
+    p_fz.add_argument("--out", help="write the report JSON here "
+                                    "(default: stdout)")
+    p_fz.set_defaults(fn=_cmd_fuzz)
 
     p_ex = sub.add_parser("experiments", help="run the paper's series")
     p_ex.add_argument("--series", nargs="+", default=["1", "2", "3"],

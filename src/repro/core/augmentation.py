@@ -11,7 +11,7 @@ module count (Series 1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.config import FloorplanConfig, Objective
 from repro.core.envelopes import margins_for
@@ -30,6 +30,9 @@ from repro.milp.solution import Solution
 from repro.milp.solvers.registry import solve
 from repro.milp.telemetry import SolveTelemetry
 from repro.netlist.netlist import Netlist
+
+if TYPE_CHECKING:
+    from repro.check.certify import StepCertification
 
 
 class FloorplanError(RuntimeError):
@@ -61,6 +64,7 @@ class AugmentationStep:
     snapshot: tuple[Placement, ...] | None = None
     snapshot_obstacles: tuple[Rect, ...] | None = None
     telemetry: SolveTelemetry | None = None
+    certification: "StepCertification | None" = None
 
 
 @dataclass
@@ -231,6 +235,14 @@ def _solve_step(netlist: Netlist, config: FloorplanConfig, chip_width: float,
         builder, solution, new_placements = _relinearize(
             build, config, new_placements, solution, builder)
 
+    certification = None
+    if config.certify:
+        from repro.check.certify import certify_subproblem
+
+        certification = certify_subproblem(
+            builder, solution, new_placements, placed, obstacles,
+            chip_width, config)
+
     chip_height_after = max(
         [p.envelope.y2 for p in placed + new_placements], default=0.0)
     trace.steps.append(AugmentationStep(
@@ -251,6 +263,7 @@ def _solve_step(netlist: Netlist, config: FloorplanConfig, chip_width: float,
         snapshot_obstacles=tuple(obstacles)
         if config.record_snapshots else None,
         telemetry=solution.telemetry,
+        certification=certification,
     ))
     return new_placements
 

@@ -108,6 +108,11 @@ class FloorplanConfig:
             (``"highs"`` or ``"simplex"``); None keeps each backend's
             default (``bnb`` → highs, ``portfolio`` → simplex so the racer
             stays self-contained).
+        certify: independently re-certify every subproblem solution
+            (MILP certificate + geometric validation, recorded on each
+            :class:`~repro.core.augmentation.AugmentationStep`) and attach
+            a whole-floorplan geometry report to the result.  Off by
+            default; adds checker time per step.
     """
 
     chip_width: float | None = None
@@ -135,6 +140,7 @@ class FloorplanConfig:
     int_tol: float = 1e-6
     node_limit: int | None = None
     lp_engine: str | None = None
+    certify: bool = False
 
     def __post_init__(self) -> None:
         if self.seed_size < 1:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.core.augmentation import AugmentationTrace, run_augmentation
 from repro.core.config import FloorplanConfig, Linearization
@@ -17,6 +17,9 @@ from repro.core.placement import Placement
 from repro.core.topology import derive_relations, optimize_topology
 from repro.geometry.rect import GEOM_EPS, Rect, any_overlap
 from repro.netlist.netlist import Netlist
+
+if TYPE_CHECKING:
+    from repro.check.geometry import GeometryReport
 
 
 @dataclass
@@ -31,6 +34,9 @@ class Floorplan:
         chip_height: the reached chip height ``y``.
         trace: per-step augmentation records.
         elapsed_seconds: total wall-clock floorplanning time.
+        certification: independent whole-floorplan geometry report
+            (populated only when the config's ``certify`` flag is on;
+            per-step MILP certificates live on the trace steps).
     """
 
     netlist: Netlist
@@ -40,6 +46,7 @@ class Floorplan:
     chip_height: float
     trace: AugmentationTrace = field(default_factory=AugmentationTrace)
     elapsed_seconds: float = 0.0
+    certification: "GeometryReport | None" = None
 
     # -- geometry ------------------------------------------------------------------
 
@@ -197,7 +204,7 @@ class Floorplanner:
             chip_height = topo.chip_height
 
         elapsed = time.perf_counter() - start
-        return Floorplan(
+        plan = Floorplan(
             netlist=self.netlist,
             config=self.config,
             placements={p.name: p for p in placements},
@@ -206,6 +213,11 @@ class Floorplanner:
             trace=result.trace,
             elapsed_seconds=elapsed,
         )
+        if self.config.certify:
+            from repro.check.certify import certify_floorplan
+
+            plan.certification = certify_floorplan(plan)
+        return plan
 
 
 def floorplan(netlist: Netlist, config: FloorplanConfig | None = None) -> Floorplan:

@@ -89,6 +89,30 @@ def telemetry_report(plan: "Floorplan") -> dict[str, Any]:
     }
 
 
+def canonicalize_telemetry(doc: dict[str, Any]) -> dict[str, Any]:
+    """A copy of a :func:`telemetry_report` document with all wall-clock
+    fields zeroed.
+
+    Runtime varies between machines and runs, but everything else in a
+    telemetry document (step shapes, statuses, objectives, node and LP-call
+    counts) is deterministic for a fixed seed and backend.  Zeroing the
+    timings makes two runs of the same configuration byte-identical, so CI
+    can diff the artifact to catch behavioral changes.
+    """
+    out = json.loads(json.dumps(doc))
+    out["elapsed_seconds"] = 0.0
+    out["total_solve_seconds"] = 0.0
+    for step in out.get("steps", []):
+        step["solve_seconds"] = 0.0
+        telemetry = step.get("telemetry")
+        if telemetry:
+            telemetry["wall_seconds"] = 0.0
+            telemetry["incumbents"] = [
+                [0.0, objective]
+                for _seconds, objective in telemetry.get("incumbents", [])]
+    return out
+
+
 def write_telemetry_json(plan: "Floorplan", path: str | Path) -> None:
     """Write :func:`telemetry_report` output to ``path`` as JSON."""
     Path(path).write_text(json.dumps(telemetry_report(plan), indent=1) + "\n")

@@ -293,9 +293,13 @@ def _finish(model: Model, form: StandardForm, status: SolveStatus,
     if x is not None and status.has_solution:
         values = {var: float(x[j]) for j, var in enumerate(form.variables)}
         reported_obj = objective + form.c0
-        reported_bound = bound + form.c0 if not math.isnan(bound) else math.nan
         if form.maximize:
             reported_obj = -reported_obj
+    # The dual bound is valid whether or not an incumbent exists (a LIMIT
+    # stop with no incumbent still proved a bound).
+    if math.isfinite(bound):
+        reported_bound = bound + form.c0
+        if form.maximize:
             reported_bound = -reported_bound
     # Incumbents were recorded in the internal minimize sense; report them
     # in the model's own sense, constant term included.

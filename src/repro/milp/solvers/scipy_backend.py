@@ -71,6 +71,23 @@ def solve_highs(model: Model, *, time_limit: float | None = None,
                 _round_sig(form.row_lb), _round_sig(form.row_ub)),
             bounds=optimize.Bounds(_round_sig(form.lb), _round_sig(form.ub)),
             integrality=form.integrality, options=options)
+    if result.status == 4:
+        # Some HiGHS builds keep failing even on the rounded data, on models
+        # the from-scratch branch-and-bound solves cleanly; fall back to it
+        # rather than surfacing an ERROR for a perfectly solvable model.
+        from repro.milp.solvers.branch_and_bound import solve_bnb
+
+        fallback = solve_bnb(model, time_limit=time_limit,
+                             mip_rel_gap=mip_rel_gap,
+                             **({"node_limit": node_limit}
+                                if node_limit is not None else {}),
+                             form=form)
+        if fallback.status is not SolveStatus.ERROR:
+            fallback.message = ("highs reported a solve error; "
+                                "bnb fallback used"
+                                + (f" ({fallback.message})"
+                                   if fallback.message else ""))
+            return fallback
     elapsed = time.perf_counter() - start
     return _from_scipy(result, form, model, elapsed, backend="highs")
 
@@ -143,7 +160,11 @@ def _from_scipy(result, form, model: Model, elapsed: float,
             objective = -objective
     bound = float("nan")
     mip_bound = getattr(result, "mip_dual_bound", None)
-    if mip_bound is not None:
+    # linprog results carry a vestigial mip_dual_bound of 0.0 that has
+    # nothing to do with the LP's dual value — only trust the field when
+    # the model actually has integer columns.
+    is_mip = bool(np.count_nonzero(form.integrality))
+    if is_mip and mip_bound is not None and np.isfinite(mip_bound):
         bound = float(mip_bound) + form.c0
         if form.maximize:
             bound = -bound

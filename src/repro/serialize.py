@@ -9,6 +9,7 @@ configuration that produced it).
 from __future__ import annotations
 
 import json
+import math
 from typing import Any
 
 from repro.core.augmentation import AugmentationStep, AugmentationTrace
@@ -16,6 +17,8 @@ from repro.core.config import FloorplanConfig
 from repro.core.floorplanner import Floorplan
 from repro.core.placement import Placement
 from repro.geometry.rect import Rect
+from repro.milp.expr import LinExpr, VarKind
+from repro.milp.model import Constraint, Model, Sense
 from repro.milp.telemetry import SolveTelemetry
 from repro.netlist.module import Module, PinCounts
 from repro.netlist.net import Net
@@ -110,11 +113,16 @@ def _step_to_dict(step: AugmentationStep) -> dict[str, Any]:
         "theorem2_holds": step.theorem2_holds,
         "telemetry": telemetry_to_dict(step.telemetry)
         if step.telemetry else None,
+        "certification": step.certification.to_dict()
+        if step.certification else None,
     }
 
 
 def _step_from_dict(data: dict[str, Any]) -> AugmentationStep:
+    from repro.check.certify import StepCertification
+
     telemetry = data.get("telemetry")
+    certification = data.get("certification")
     return AugmentationStep(
         index=data["index"],
         group=tuple(data["group"]),
@@ -129,6 +137,8 @@ def _step_from_dict(data: dict[str, Any]) -> AugmentationStep:
         n_polygon_edges=data["n_polygon_edges"],
         theorem2_holds=data["theorem2_holds"],
         telemetry=telemetry_from_dict(telemetry) if telemetry else None,
+        certification=StepCertification.from_dict(certification)
+        if certification else None,
     )
 
 
@@ -142,6 +152,75 @@ def trace_from_dict(data: dict[str, Any]) -> AugmentationTrace:
     persisted and come back as None)."""
     return AugmentationTrace(
         steps=[_step_from_dict(s) for s in data.get("steps", [])])
+
+
+# ---------------------------------------------------------------------------
+# MILP models (differential-fuzzing reproducers)
+# ---------------------------------------------------------------------------
+
+def _bound_to_json(value: float) -> float | None:
+    """Infinite bounds become None (JSON has no inf)."""
+    return None if math.isinf(value) else value
+
+
+def _bound_from_json(value: float | None, sign: float) -> float:
+    return sign * math.inf if value is None else float(value)
+
+
+def _expr_to_dict(expr: LinExpr) -> dict[str, Any]:
+    """Terms as ``[column index, coefficient]`` pairs plus the constant."""
+    return {
+        "terms": sorted([v.index, c] for v, c in expr.terms.items()),
+        "constant": expr.constant,
+    }
+
+
+def model_to_dict(model: Model) -> dict[str, Any]:
+    """A JSON-safe, fully self-contained representation of a MILP model.
+
+    Used by the differential fuzzer to persist minimized disagreement
+    reproducers; :func:`model_from_dict` rebuilds an equivalent model whose
+    standard form matches the original's arrays exactly.
+    """
+    return {
+        "version": FORMAT_VERSION,
+        "name": model.name,
+        "variables": [
+            {"name": v.name, "lb": _bound_to_json(v.lb),
+             "ub": _bound_to_json(v.ub), "kind": v.kind.value}
+            for v in model.variables
+        ],
+        "constraints": [
+            {"name": con.name, "sense": con.sense.value,
+             **_expr_to_dict(con.expr)}
+            for con in model.constraints
+        ],
+        "objective": _expr_to_dict(model.objective),
+        "objective_sense": model.objective_sense.value,
+    }
+
+
+def model_from_dict(data: dict[str, Any]) -> Model:
+    """Rebuild a MILP model from :func:`model_to_dict` output."""
+    model = Model(name=data.get("name", "model"))
+    variables = [
+        model.add_var(v["name"], lb=_bound_from_json(v["lb"], -1.0),
+                      ub=_bound_from_json(v["ub"], 1.0),
+                      kind=VarKind(v["kind"]))
+        for v in data["variables"]
+    ]
+
+    def expr_from(entry: dict[str, Any]) -> LinExpr:
+        return LinExpr({variables[int(j)]: float(c)
+                        for j, c in entry["terms"]}, entry["constant"])
+
+    for con in data["constraints"]:
+        model.add_constraint(
+            Constraint(expr_from(con), Sense(con["sense"])),
+            name=con["name"])
+    model.set_objective(expr_from(data["objective"]),
+                        sense=data["objective_sense"])
+    return model
 
 
 # ---------------------------------------------------------------------------
@@ -183,6 +262,7 @@ def _config_to_dict(config: FloorplanConfig) -> dict[str, Any]:
         "backend": config.backend,
         "subproblem_time_limit": config.subproblem_time_limit,
         "mip_rel_gap": config.mip_rel_gap,
+        "certify": config.certify,
     }
 
 
@@ -204,6 +284,8 @@ def floorplan_to_dict(plan: Floorplan) -> dict[str, Any]:
         "chip_width": plan.chip_width,
         "chip_height": plan.chip_height,
         "elapsed_seconds": plan.elapsed_seconds,
+        "certification": plan.certification.to_dict()
+        if plan.certification else None,
         "trace": trace_to_dict(plan.trace),
         "placements": {
             name: {
@@ -218,6 +300,8 @@ def floorplan_to_dict(plan: Floorplan) -> dict[str, Any]:
 
 def floorplan_from_dict(data: dict[str, Any]) -> Floorplan:
     """Rebuild a floorplan from :func:`floorplan_to_dict` output."""
+    from repro.check.geometry import GeometryReport
+
     netlist = netlist_from_dict(data["netlist"])
     placements = {
         name: Placement(
@@ -236,6 +320,8 @@ def floorplan_from_dict(data: dict[str, Any]) -> Floorplan:
         chip_height=data["chip_height"],
         trace=trace_from_dict(data.get("trace", {})),
         elapsed_seconds=data.get("elapsed_seconds", 0.0),
+        certification=GeometryReport.from_dict(data["certification"])
+        if data.get("certification") else None,
     )
 
 

@@ -1,0 +1,193 @@
+"""Tests for the cross-backend differential fuzzing harness."""
+
+from __future__ import annotations
+
+import importlib
+import json
+import random
+
+import pytest
+
+from repro.check import (
+    compare_results,
+    fuzz,
+    generate_model,
+    replay_reproducer,
+    run_differential,
+    shrink_model,
+)
+from repro.milp.model import Model
+from repro.milp.solution import Solution, SolveStatus
+from repro.serialize import model_from_dict, model_to_dict
+
+
+def tiny_milp() -> Model:
+    m = Model("tiny")
+    a = m.add_binary("a")
+    b = m.add_binary("b")
+    m.add_constraint(a + b <= 1, name="excl")
+    m.set_objective(2 * a + 3 * b, sense="max")
+    return m
+
+
+class TestGenerateModel:
+    def test_deterministic_for_seed(self):
+        first = model_to_dict(generate_model(random.Random(7)))
+        second = model_to_dict(generate_model(random.Random(7)))
+        assert first == second
+
+    def test_variables_have_finite_boxes(self):
+        for seed in range(20):
+            model = generate_model(random.Random(seed))
+            for v in model.variables:
+                assert v.lb > float("-inf")
+                assert v.ub < float("inf")
+
+    def test_round_trips_through_serializer(self):
+        model = generate_model(random.Random(3))
+        back = model_from_dict(model_to_dict(model))
+        assert model_to_dict(back) == model_to_dict(model)
+
+
+class TestRunDifferential:
+    def test_backends_agree_on_tiny_milp(self):
+        results, disagreements = run_differential(tiny_milp(),
+                                                  time_limit=10.0)
+        assert not disagreements
+        assert len(results) >= 2
+        for sol in results.values():
+            assert sol.status is SolveStatus.OPTIMAL
+
+    def test_crash_becomes_disagreement(self, monkeypatch):
+        fuzz_mod = importlib.import_module("repro.check.fuzz")
+
+        def explode(model, backend, **kwargs):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr(fuzz_mod, "solve", explode)
+        results, disagreements = run_differential(tiny_milp())
+        assert all(s.status is SolveStatus.ERROR for s in results.values())
+        assert any(d.kind == "crash" for d in disagreements)
+
+
+class TestCompareResults:
+    def test_objective_lie_detected(self):
+        model = tiny_milp()
+        results, _ = run_differential(model, time_limit=10.0)
+        # Replace one backend's answer with a certified-feasible but
+        # non-optimal point still claimed OPTIMAL.
+        a, b = model.variables
+        name = sorted(results)[0]
+        results[name] = Solution(status=SolveStatus.OPTIMAL, objective=2.0,
+                                 bound=2.0, values={a: 1.0, b: 0.0},
+                                 backend=name)
+        disagreements = compare_results(model, results)
+        assert any(d.kind == "objective" for d in disagreements)
+
+    def test_false_infeasible_detected(self):
+        model = tiny_milp()
+        results, _ = run_differential(model, time_limit=10.0)
+        name = sorted(results)[0]
+        results[name] = Solution(status=SolveStatus.INFEASIBLE, backend=name)
+        disagreements = compare_results(model, results)
+        assert any(d.kind == "status" for d in disagreements)
+
+    def test_uncertified_claim_detected(self):
+        model = tiny_milp()
+        results, _ = run_differential(model, time_limit=10.0)
+        a, b = model.variables
+        name = sorted(results)[0]
+        results[name] = Solution(status=SolveStatus.OPTIMAL, objective=5.0,
+                                 bound=5.0, values={a: 1.0, b: 1.0},
+                                 backend=name)
+        disagreements = compare_results(model, results)
+        assert any(d.kind == "bad-certificate" for d in disagreements)
+
+    def test_limit_status_is_inconclusive(self):
+        model = tiny_milp()
+        results, _ = run_differential(model, time_limit=10.0)
+        name = sorted(results)[0]
+        results[name] = Solution(status=SolveStatus.LIMIT, backend=name)
+        assert not compare_results(model, results)
+
+
+class TestShrinkModel:
+    def test_shrinks_to_single_constraint(self):
+        model = Model("shrink")
+        x = model.add_var("x", lb=0, ub=10)
+        y = model.add_var("y", lb=0, ub=10)
+        model.add_constraint(x + y <= 7, name="keep")
+        model.add_constraint(x - y <= 100, name="slack1")
+        model.add_constraint(x + 2 * y <= 100, name="slack2")
+        model.set_objective(x + y, sense="max")
+        data = model_to_dict(model)
+
+        def still_fails(candidate):
+            # The "failure" depends only on the `keep` constraint.
+            return any(c["name"] == "keep"
+                       for c in candidate["constraints"])
+
+        shrunk, evals = shrink_model(data, still_fails)
+        assert evals > 0
+        assert len(shrunk["constraints"]) == 1
+        assert shrunk["constraints"][0]["name"] == "keep"
+        # The shrunk document must still be loadable.
+        model_from_dict(shrunk)
+
+    def test_respects_eval_budget(self):
+        data = model_to_dict(generate_model(random.Random(1)))
+        _, evals = shrink_model(data, lambda d: True, max_evals=5)
+        assert evals <= 5
+
+
+class TestFuzzHarness:
+    def test_small_run_is_clean(self, tmp_path):
+        report = fuzz(n=4, seed=0, time_limit=10.0,
+                      artifact_dir=tmp_path)
+        assert report.ok, report.to_dict()
+        assert report.n_cases == 4
+        assert not list(tmp_path.iterdir())  # no reproducers written
+
+    def test_report_is_json_safe(self):
+        report = fuzz(n=2, seed=1, time_limit=10.0)
+        json.dumps(report.to_dict())
+
+    def test_disagreement_writes_reproducer(self, tmp_path, monkeypatch):
+        fuzz_mod = importlib.import_module("repro.check.fuzz")
+
+        real_solve = fuzz_mod.solve
+
+        def lying_solve(model, backend, **kwargs):
+            sol = real_solve(model, backend=backend, **kwargs)
+            if backend == "bnb" and sol.status is SolveStatus.OPTIMAL:
+                return Solution(status=SolveStatus.INFEASIBLE,
+                                backend=backend)
+            return sol
+
+        monkeypatch.setattr(fuzz_mod, "solve", lying_solve)
+        report = fuzz(n=2, seed=0, time_limit=10.0, shrink_budget=20,
+                      artifact_dir=tmp_path)
+        assert not report.ok
+        assert report.failures
+        artifacts = list(tmp_path.glob("fuzz_repro_*.json"))
+        assert artifacts
+        # The reproducer replays: same disagreement kind from the minimized
+        # model under the honest solvers... a lie injected at solve time is
+        # gone on replay, so only check the document structure loads.
+        doc = json.loads(artifacts[0].read_text())
+        assert "model" in doc and "disagreements" in doc
+
+    def test_replay_clean_model(self):
+        model = tiny_milp()
+        doc = {"model": model_to_dict(model),
+               "minimized": model_to_dict(model)}
+        results, disagreements = replay_reproducer(doc, time_limit=10.0)
+        assert not disagreements
+        assert results
+
+
+@pytest.mark.fuzz
+class TestFuzzAcceptance:
+    def test_25_cases_seed_0(self, tmp_path):
+        report = fuzz(n=25, seed=0, time_limit=10.0, artifact_dir=tmp_path)
+        assert report.ok, json.dumps(report.to_dict(), indent=1)

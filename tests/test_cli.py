@@ -91,3 +91,84 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "wong-liu" in out and "greedy" in out
+
+
+class TestCheckCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["check"])
+        assert args.benchmark == "ami33"
+        assert args.out is None
+
+    def test_check_passes_on_clean_run(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "check.json"
+        rc = main(["check", "--random", "5", "--seed", "3", "--seed-size",
+                   "3", "--group-size", "2", "--time-limit", "10",
+                   "--out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["ok"] is True
+        assert doc["n_violations"] == 0
+        assert doc["steps"]
+        for step in doc["steps"]:
+            assert step["ok"] is True
+            assert "certificate" in step and "geometry" in step
+        assert doc["floorplan"]["ok"] is True
+
+    def test_check_stdout_is_json(self, capsys):
+        import json
+
+        rc = main(["check", "--random", "4", "--seed", "1", "--seed-size",
+                   "2", "--group-size", "2", "--time-limit", "10"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+
+
+class TestFuzzCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.n == 25
+        assert args.seed == 0
+        assert args.artifact_dir == "."
+
+    def test_fuzz_clean_campaign(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "fuzz.json"
+        rc = main(["fuzz", "--n", "3", "--seed", "0", "--time-limit", "10",
+                   "--artifact-dir", str(tmp_path), "--out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["ok"] is True
+        assert doc["n_cases"] == 3
+        assert doc["n_failures"] == 0
+        assert not list(tmp_path.glob("fuzz_repro_*.json"))
+
+
+class TestTelemetryCommand:
+    def test_telemetry_json_schema(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "telemetry.json"
+        rc = main(["telemetry", "--random", "5", "--seed", "3",
+                   "--seed-size", "3", "--group-size", "2",
+                   "--time-limit", "10", "--out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["version"] == 1
+        assert doc["n_steps"] == len(doc["steps"])
+        for step in doc["steps"]:
+            assert "solve_seconds" in step
+            assert "status" in step
+
+    def test_telemetry_stdout(self, capsys):
+        import json
+
+        rc = main(["telemetry", "--random", "4", "--seed", "2",
+                   "--seed-size", "2", "--group-size", "2",
+                   "--time-limit", "10"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "instance" in doc

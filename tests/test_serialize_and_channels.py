@@ -204,3 +204,34 @@ class TestRelinearization:
     def test_negative_rounds_rejected(self):
         with pytest.raises(ValueError):
             FloorplanConfig(relinearization_rounds=-1)
+
+
+class TestCertificationSerialization:
+    def test_certified_floorplan_roundtrip(self):
+        netlist = random_netlist(5, seed=8)
+        config = FloorplanConfig(seed_size=3, group_size=2, certify=True,
+                                 subproblem_time_limit=10.0)
+        plan = floorplan(netlist, config)
+        assert plan.certification is not None
+        assert all(s.certification is not None for s in plan.trace.steps)
+
+        back = floorplan_from_dict(floorplan_to_dict(plan))
+        assert back.config.certify is True
+        assert back.certification is not None
+        assert back.certification.ok == plan.certification.ok
+        assert back.certification.n_placements == \
+            plan.certification.n_placements
+        for orig, restored in zip(plan.trace.steps, back.trace.steps):
+            assert restored.certification is not None
+            assert restored.certification.ok == orig.certification.ok
+            cert = restored.certification.certificate
+            assert cert.backend == orig.certification.certificate.backend
+
+    def test_uncertified_floorplan_roundtrip_stays_none(self):
+        netlist = random_netlist(4, seed=8)
+        config = FloorplanConfig(seed_size=2, group_size=2,
+                                 subproblem_time_limit=10.0)
+        plan = floorplan(netlist, config)
+        back = floorplan_from_dict(floorplan_to_dict(plan))
+        assert back.certification is None
+        assert all(s.certification is None for s in back.trace.steps)

@@ -127,3 +127,37 @@ class TestReport:
         data = json.loads(out.read_text())
         assert data["instance"] == plan.netlist.name
         assert data["steps"]
+
+
+class TestCanonicalization:
+    def test_two_runs_canonicalize_identically(self):
+        from repro.eval.report import canonicalize_telemetry
+
+        netlist = random_netlist(5, seed=11)
+        config = FloorplanConfig(seed_size=3, group_size=2,
+                                 subproblem_time_limit=10.0)
+        first = canonicalize_telemetry(
+            telemetry_report(floorplan(netlist, config)))
+        second = canonicalize_telemetry(
+            telemetry_report(floorplan(netlist, config)))
+        assert json.dumps(first, sort_keys=True) == \
+            json.dumps(second, sort_keys=True)
+
+    def test_wall_clock_fields_zeroed(self):
+        from repro.eval.report import canonicalize_telemetry
+
+        netlist = random_netlist(5, seed=11)
+        config = FloorplanConfig(seed_size=3, group_size=2,
+                                 subproblem_time_limit=10.0)
+        doc = telemetry_report(floorplan(netlist, config))
+        canonical = canonicalize_telemetry(doc)
+        assert canonical["elapsed_seconds"] == 0.0
+        assert canonical["total_solve_seconds"] == 0.0
+        for step in canonical["steps"]:
+            assert step["solve_seconds"] == 0.0
+            if step["telemetry"]:
+                assert step["telemetry"]["wall_seconds"] == 0.0
+                for seconds, _obj in step["telemetry"]["incumbents"]:
+                    assert seconds == 0.0
+        # The original document is untouched (it's a deep copy).
+        assert doc["elapsed_seconds"] > 0.0
