@@ -11,6 +11,9 @@ defaulting to the CPU count).  Setting ``REPRO_BENCH_QUICK=1`` switches to
 a small-instance quick mode with tighter time limits — the CI smoke job —
 and either mode writes the per-solve telemetry of every instance to
 ``results/suite_telemetry.json`` as a machine-readable perf artifact.
+``REPRO_BENCH_PRESOLVE=0`` disables the MILP presolve + warm-start layer,
+producing the baseline half of the CI presolve-parity diff
+(``benchmarks/diff_objectives.py`` compares the two canonical artifacts).
 """
 
 from __future__ import annotations
@@ -39,13 +42,35 @@ UTILIZATION_FLOOR = 0.45
 #: Environment variable selecting the CI smoke configuration.
 QUICK_ENV = "REPRO_BENCH_QUICK"
 
+#: Environment variable toggling the MILP presolve + warm-start layer.
+#: On by default; ``0`` / ``off`` runs the suite without it — the baseline
+#: half of the CI presolve-parity diff.
+PRESOLVE_ENV = "REPRO_BENCH_PRESOLVE"
+
+#: Environment variable overriding the MILP backend (default ``highs``).
+#: The presolve-parity job sets ``bnb`` so its node-reduction numbers
+#: measure the from-scratch branch-and-bound, where the tightened big-Ms
+#: and seeded incumbents bite hardest.
+BACKEND_ENV = "REPRO_BENCH_BACKEND"
+
 
 def quick_mode() -> bool:
     """True when the suite runs in CI-smoke quick mode."""
     return os.environ.get(QUICK_ENV, "").strip() not in ("", "0")
 
 
-def _run_one(make, time_limit: float) -> dict:
+def presolve_mode() -> bool:
+    """True (default) when the suite solves through the presolve layer."""
+    return os.environ.get(PRESOLVE_ENV, "").strip().lower() \
+        not in ("0", "off", "false")
+
+
+def suite_backend() -> str:
+    """The MILP backend the suite runs on (default ``highs``)."""
+    return os.environ.get(BACKEND_ENV, "").strip() or "highs"
+
+
+def _run_one(make, time_limit: float, presolve: bool) -> dict:
     """Full pipeline on one instance (module-level so it pickles for
     process workers); returns the table row plus the telemetry document."""
     technology = Technology.around_the_cell()
@@ -55,7 +80,9 @@ def _run_one(make, time_limit: float) -> dict:
     # byte-reproducible and CI can diff it across runs.
     config = FloorplanConfig(seed_size=6, group_size=4, ordering_seed=0,
                              use_envelopes=True, technology=technology,
-                             subproblem_time_limit=time_limit)
+                             subproblem_time_limit=time_limit,
+                             backend=suite_backend(),
+                             presolve=presolve, warm_start=presolve)
     plan = Floorplanner(netlist, config).run()
     routed = route_and_adjust(plan.placements, plan.chip, netlist,
                               technology, mode=RouterMode.WEIGHTED)
@@ -83,7 +110,8 @@ def _run_suite() -> list[dict]:
     else:
         makes = (apte_like, xerox_like, hp_like, ami33_like)
         time_limit = 20.0
-    runner = functools.partial(_run_one, time_limit=time_limit)
+    runner = functools.partial(_run_one, time_limit=time_limit,
+                               presolve=presolve_mode())
     return parallel_map(runner, makes, workers=None)
 
 
@@ -97,6 +125,7 @@ def test_full_suite(benchmark, results_dir):
     artifact = {
         "version": 1,
         "mode": mode,
+        "presolve": presolve_mode(),
         "instances": [r["telemetry"] for r in results],
     }
     (results_dir / "suite_telemetry.json").write_text(
@@ -106,6 +135,7 @@ def test_full_suite(benchmark, results_dir):
     canonical = {
         "version": 1,
         "mode": mode,
+        "presolve": presolve_mode(),
         "instances": [canonicalize_telemetry(r["telemetry"])
                       for r in results],
     }

@@ -6,7 +6,8 @@ disagreements are the expected failure mode — exactly what Huchette et al.
 observe across floor-layout formulation variants.  This harness generates
 seeded random instances (pure LPs, boxed random MILPs, and floorplan-shaped
 subproblems straight from :class:`SubproblemBuilder`), runs every applicable
-backend on the identical model, cross-checks the claims, and greedily
+backend on the identical model — each both raw and through the presolve
+layer (``"<backend>+presolve"``) — cross-checks the claims, and greedily
 shrinks any disagreement to a minimal JSON reproducer.
 
 Comparison semantics (all instances have finite variable boxes, so
@@ -184,27 +185,39 @@ def backends_for(model: Model,
 
 def run_differential(model: Model, *, backends: Sequence[str] | None = None,
                      time_limit: float = 10.0,
-                     obj_tol: float = CROSS_OBJ_TOL
+                     obj_tol: float = CROSS_OBJ_TOL,
+                     presolve_axis: bool = True
                      ) -> tuple[dict[str, Solution], list[Disagreement]]:
     """Run every applicable backend on ``model`` and cross-check the claims.
 
-    Returns the per-backend solutions (crashes become synthetic ERROR
+    With ``presolve_axis`` (the default) every backend is run twice — raw and
+    through the :mod:`repro.milp.presolve` layer (reported under the
+    ``"<backend>+presolve"`` key) — so presolve bugs that cut the optimum or
+    corrupt the postsolve mapping surface as cross-variant disagreements on
+    the identical model.
+
+    Returns the per-variant solutions (crashes become synthetic ERROR
     solutions) and the list of disagreements (empty = all consistent).
     """
     results: dict[str, Solution] = {}
     disagreements: list[Disagreement] = []
     for name in backends_for(model, backends):
-        try:
-            results[name] = solve(model, backend=name,
-                                  time_limit=time_limit,
-                                  mip_rel_gap=FUZZ_GAP)
-        except Exception as exc:  # noqa: BLE001 — a crash IS the finding
-            results[name] = Solution(
-                status=SolveStatus.ERROR, backend=name,
-                message=f"raised {type(exc).__name__}: {exc}")
-            disagreements.append(Disagreement(
-                "crash", f"{name} raised {type(exc).__name__}: {exc}",
-                (name,)))
+        variants = [(False, name)]
+        if presolve_axis:
+            variants.append((True, f"{name}+presolve"))
+        for use_presolve, label in variants:
+            try:
+                results[label] = solve(model, backend=name,
+                                       time_limit=time_limit,
+                                       mip_rel_gap=FUZZ_GAP,
+                                       presolve=use_presolve)
+            except Exception as exc:  # noqa: BLE001 — a crash IS the finding
+                results[label] = Solution(
+                    status=SolveStatus.ERROR, backend=name,
+                    message=f"raised {type(exc).__name__}: {exc}")
+                disagreements.append(Disagreement(
+                    "crash", f"{label} raised {type(exc).__name__}: {exc}",
+                    (label,)))
     disagreements.extend(compare_results(model, results, obj_tol=obj_tol))
     return results, disagreements
 
@@ -410,12 +423,15 @@ def _solution_summary(sol: Solution) -> dict[str, Any]:
 def fuzz(n: int = 25, seed: int = 0, *,
          backends: Sequence[str] | None = None, time_limit: float = 10.0,
          obj_tol: float = CROSS_OBJ_TOL, shrink_budget: int = 200,
-         artifact_dir: str | Path | None = None) -> FuzzReport:
+         artifact_dir: str | Path | None = None,
+         presolve_axis: bool = True) -> FuzzReport:
     """Run a differential-fuzzing campaign of ``n`` seeded cases.
 
     Every disagreement is shrunk to a minimal reproducer; with
     ``artifact_dir`` set, each reproducer is also written to
-    ``fuzz_repro_seed<seed>_case<i>.json`` there.
+    ``fuzz_repro_seed<seed>_case<i>.json`` there.  ``presolve_axis``
+    doubles every backend into raw / ``+presolve`` variants (see
+    :func:`run_differential`).
     """
     report = FuzzReport(seed=seed, n_cases=n,
                         backends=tuple(backends) if backends
@@ -425,7 +441,8 @@ def fuzz(n: int = 25, seed: int = 0, *,
         case_seed = seed * 1_000_003 + i
         model = generate_model(random.Random(case_seed))
         results, disagreements = run_differential(
-            model, backends=backends, time_limit=time_limit, obj_tol=obj_tol)
+            model, backends=backends, time_limit=time_limit, obj_tol=obj_tol,
+            presolve_axis=presolve_axis)
         report.n_inconclusive += sum(
             1 for s in results.values() if s.status in inconclusive)
         if not disagreements:
@@ -438,7 +455,8 @@ def fuzz(n: int = 25, seed: int = 0, *,
                 rebuilt = model_from_dict(candidate)
                 _, found = run_differential(rebuilt, backends=backends,
                                             time_limit=time_limit,
-                                            obj_tol=obj_tol)
+                                            obj_tol=obj_tol,
+                                            presolve_axis=presolve_axis)
             except Exception:  # noqa: BLE001 — malformed shrink candidate
                 return False
             return bool(found)

@@ -58,6 +58,8 @@ def _config_from(args: argparse.Namespace) -> FloorplanConfig:
         technology=technology,
         subproblem_time_limit=args.time_limit,
         backend=args.backend,
+        presolve=not getattr(args, "no_presolve", False),
+        warm_start=not getattr(args, "no_warm_start", False),
     )
 
 
@@ -84,6 +86,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         choices=["highs", "bnb", "portfolio"],
                         help="MILP backend (portfolio races highs vs the "
                              "self-contained branch-and-bound)")
+    parser.add_argument("--no-presolve", action="store_true",
+                        help="skip the solver-independent MILP presolve "
+                             "layer (bound tightening, big-M reduction, "
+                             "symmetry breaking)")
+    parser.add_argument("--no-warm-start", action="store_true",
+                        help="skip cross-step warm starting (stacked "
+                             "incumbents and the presolve objective cutoff)")
 
 
 def _cmd_floorplan(args: argparse.Namespace) -> int:

@@ -299,7 +299,14 @@ def _relinearize(build, config: FloorplanConfig,
             break
         next_builder = build(overrides)
         try:
-            next_solution = _solve_with_retry(next_builder, config)
+            # Warm-start the refined model with the previous round's
+            # geometry (the linearization shift is usually small enough for
+            # it to stay feasible); encode() returns None when it is not,
+            # and the stacked fallback takes over inside _solve_with_retry.
+            warm = next_builder.encode(placements) if config.warm_start \
+                else None
+            next_solution = _solve_with_retry(next_builder, config,
+                                              warm_start=warm)
         except FloorplanError:
             break  # keep the best feasible result found so far
         next_placements = next_builder.decode(next_solution)
@@ -368,18 +375,36 @@ def _cover_partial_floorplan(placed: list[Placement], chip_width: float,
     return obstacles, polygon
 
 
-def _solve_with_retry(builder: SubproblemBuilder,
-                      config: FloorplanConfig) -> Solution:
-    """Solve the subproblem, retrying once with a doubled time limit."""
+def _solve_with_retry(builder: SubproblemBuilder, config: FloorplanConfig,
+                      warm_start=None) -> Solution:
+    """Solve the subproblem, retrying once with a doubled time limit.
+
+    This is where the presolve layer and cross-step warm starts are wired
+    in: with ``config.warm_start`` and no caller-supplied incumbent, the
+    previous step's placement shifted through the covering-rectangle
+    replacement reduces to "stack the new window above the floorplan" —
+    :meth:`SubproblemBuilder.warm_start_stacked` — which is feasible by
+    construction and becomes the branch-and-bound's initial upper bound
+    and/or presolve's objective cutoff.
+    """
+    extra: dict = {"presolve": config.presolve}
+    if config.presolve:
+        extra["symmetry_groups"] = builder.symmetry_groups()
+    if warm_start is None and config.warm_start and (
+            config.presolve or config.backend in ("bnb", "portfolio")):
+        warm_start = builder.warm_start_stacked()
+    if warm_start is not None:
+        extra["warm_start"] = warm_start
     solution = solve(builder.model, backend=config.backend,
-                     **config.solver_options())
+                     **config.solver_options(), **extra)
     if solution.status.has_solution:
         return solution
     if config.subproblem_time_limit is not None:
         solution = solve(
             builder.model, backend=config.backend,
             **config.solver_options(
-                time_limit=config.subproblem_time_limit * 2))
+                time_limit=config.subproblem_time_limit * 2),
+            **extra)
         if solution.status.has_solution:
             return solution
     raise FloorplanError(

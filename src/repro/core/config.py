@@ -113,6 +113,18 @@ class FloorplanConfig:
             :class:`~repro.core.augmentation.AugmentationStep`) and attach
             a whole-floorplan geometry report to the result.  Off by
             default; adds checker time per step.
+        presolve: run the solver-independent presolve layer
+            (:mod:`repro.milp.presolve`) on every subproblem — bound
+            tightening, big-M/coefficient reduction, dominated-binary
+            fixing, redundant-row removal, symmetry-breaking rows — before
+            the backend sees it.  The optimal objective is unchanged by
+            construction (the presolve-parity suite pins this down).
+        warm_start: seed each subproblem with a feasible incumbent — a
+            stacked placement of the window above the current floorplan
+            (cross-step), or the previous round's geometry
+            (re-linearization).  Bounds the branch-and-bound from node one
+            and, with ``presolve``, powers the objective-cutoff row for
+            every backend.
     """
 
     chip_width: float | None = None
@@ -141,6 +153,8 @@ class FloorplanConfig:
     node_limit: int | None = None
     lp_engine: str | None = None
     certify: bool = False
+    presolve: bool = True
+    warm_start: bool = True
 
     def __post_init__(self) -> None:
         if self.seed_size < 1:

@@ -48,6 +48,8 @@ class _WindowModule:
     height: LinExpr
     max_width: float
     max_height: float
+    min_width: float = 0.0
+    min_height: float = 0.0
     rotation: Variable | None = None
     dw: Variable | None = None
     flex: FlexLinearization | None = None
@@ -129,6 +131,23 @@ class SubproblemBuilder:
         self._pair_binaries: dict[tuple[str, str], tuple[Variable, Variable]] = {}
         self._obstacle_binaries: dict[tuple[str, int], tuple[Variable, Variable]] = {}
         self._wirelength_expr: LinExpr = LinExpr()
+        # |a - b| linearization triples (aux_var, expr_a, expr_b): the aux
+        # variable is >= both signed differences, so encode() can complete a
+        # geometric assignment with the tight value |a - b|.
+        self._abs_pairs: list[tuple[Variable, LinExpr, LinExpr]] = []
+        # Fixing dominated relative-position binaries preserves the feasible
+        # set exactly, but is still part of the presolve layer so that
+        # presolve=off benchmarks exercise the paper's raw formulation.
+        self._prune_dominated = bool(config.presolve)
+        # Modules pulled by wirelength or pinned by length bounds are not
+        # interchangeable with lookalikes: keep them out of symmetry groups.
+        self._distinguished: set[str] = set()
+        for a, b in (pair_weights or {}):
+            self._distinguished.update((a, b))
+        self._distinguished.update(a.window_module for a in anchors)
+        for bound in pair_length_bounds:
+            self._distinguished.update((bound.a, bound.b))
+        self._distinguished.update(b.module for b in anchor_length_bounds)
 
         # Conservative vertical big-M: everything could stack on the current
         # floorplan (whose top is the taller of base_height and the
@@ -151,6 +170,10 @@ class SubproblemBuilder:
             # can poke past the configured width; never let lb exceed ub.
             self.width_var = self.model.add_continuous(
                 "chip_width", lb=used, ub=max(chip_width, used))
+        # The widest the chip can possibly be (PERIMETER mode lets the width
+        # float up to its bound) — dominance pruning reasons against this.
+        self._chip_width_cap = (self.width_var.ub
+                                if self.width_var is not None else chip_width)
 
         for module in window:
             self._add_window_module(module)
@@ -195,6 +218,9 @@ class SubproblemBuilder:
             max_width = flex.w_max + margins.horizontal
             max_height = max(flex.height_linear(flex.dw_max),
                              flex.height_exact(flex.dw_max)) + margins.vertical
+            min_width = flex.w_min + margins.horizontal
+            min_height = min(flex.h0,
+                             flex.height_linear(flex.dw_max)) + margins.vertical
         elif self.config.allow_rotation and module.rotatable \
                 and abs(module.width - module.height) > GEOM_EPS:
             rotation = self.model.add_binary(f"z[{module.name}]")
@@ -210,15 +236,20 @@ class SubproblemBuilder:
             height = LinExpr({rotation: h_rot - h_env}, h_env)
             max_width = max(w_env, w_rot)
             max_height = max(h_env, h_rot)
+            min_width = min(w_env, w_rot)
+            min_height = min(h_env, h_rot)
         else:
             width = LinExpr({}, module.width + margins.horizontal)
             height = LinExpr({}, module.height + margins.vertical)
             max_width = module.width + margins.horizontal
             max_height = module.height + margins.vertical
+            min_width = max_width
+            min_height = max_height
 
         self._window[module.name] = _WindowModule(
             module=module, margins=margins, x=x, y=y, width=width,
             height=height, max_width=max_width, max_height=max_height,
+            min_width=min_width, min_height=min_height,
             rotation=rotation, dw=dw, flex=flex)
 
     def _add_pairwise_non_overlap(self) -> None:
@@ -244,6 +275,14 @@ class SubproblemBuilder:
                 self.model.add_constraint(
                     wj.y + wj.height <= wi.y + mh * (2 - p - q),
                     name=f"no[{tag}]:above")
+                if self._prune_dominated and \
+                        wi.min_width + wj.min_width > self._chip_width_cap + GEOM_EPS:
+                    # The pair cannot sit side by side inside the chip even
+                    # at minimum widths: both horizontal disjuncts are dead,
+                    # so every feasible point has q = 1 (vertical
+                    # separation).  Fixing the bound preserves the feasible
+                    # set exactly and lets presolve drop the column.
+                    q.lb = 1.0
 
     def _add_obstacle_non_overlap(self, prune_floor: bool) -> None:
         for name, wm in self._window.items():
@@ -265,9 +304,37 @@ class SubproblemBuilder:
                 self.model.add_constraint(
                     obs.y2 <= wm.y + mh * (2 - p - q),
                     name=f"no[{tag}]:above")
-                if prune_floor and obs.y <= GEOM_EPS:
-                    # A module can never fit below a floor-level obstacle;
-                    # exclude (p, q) = (0, 1) with the valid cut q <= p.
+                # Dominated relative-position branches: a branch whose
+                # geometry cannot be realized for any module shape is cut or
+                # (when a whole axis dies) fixed.  All three tests reason
+                # over *minimum* effective dimensions, so they hold for
+                # every rotation / flexible-width choice.
+                left_dead = self._prune_dominated \
+                    and wm.min_width > obs.x + GEOM_EPS
+                right_dead = self._prune_dominated \
+                    and obs.x2 + wm.min_width > self._chip_width_cap + GEOM_EPS
+                below_dead = (prune_floor and obs.y <= GEOM_EPS) or (
+                    self._prune_dominated
+                    and wm.min_height > obs.y + GEOM_EPS)
+                if left_dead and right_dead:
+                    # No horizontal branch fits: vertical separation forced.
+                    q.lb = 1.0
+                    if below_dead:
+                        p.lb = 1.0  # only "module above obstacle" remains
+                else:
+                    if left_dead:
+                        # Exclude (p, q) = (0, 0).
+                        self.model.add_constraint(
+                            p + q >= 1, name=f"cut[{tag}]:noleft")
+                    if right_dead:
+                        # Exclude (p, q) = (1, 0) with the valid cut p <= q.
+                        self.model.add_constraint(
+                            p.to_expr() <= q, name=f"cut[{tag}]:noright")
+                if below_dead and not (left_dead and right_dead):
+                    # A module can never fit below this obstacle (a
+                    # floor-level one, or one whose clearance is smaller
+                    # than the module's minimum height); exclude
+                    # (p, q) = (0, 1) with the valid cut q <= p.
                     self.model.add_constraint(
                         q.to_expr() <= p, name=f"cut[{tag}]:floor")
 
@@ -299,6 +366,8 @@ class SubproblemBuilder:
             self.model.add_constraint(dx >= cb_x - ca_x, name=f"wl[{a},{b}]:dx-")
             self.model.add_constraint(dy >= ca_y - cb_y, name=f"wl[{a},{b}]:dy+")
             self.model.add_constraint(dy >= cb_y - ca_y, name=f"wl[{a},{b}]:dy-")
+            self._abs_pairs.append((dx, ca_x, cb_x))
+            self._abs_pairs.append((dy, ca_y, cb_y))
             terms.append(weight * (dx + dy))
         for i, anchor in enumerate(anchors):
             if anchor.weight <= 0 or anchor.window_module not in self._window:
@@ -312,6 +381,8 @@ class SubproblemBuilder:
             self.model.add_constraint(dx >= anchor.cx - cx, name=f"awl[{i}]:dx-")
             self.model.add_constraint(dy >= cy - anchor.cy, name=f"awl[{i}]:dy+")
             self.model.add_constraint(dy >= anchor.cy - cy, name=f"awl[{i}]:dy-")
+            self._abs_pairs.append((dx, cx, LinExpr({}, anchor.cx)))
+            self._abs_pairs.append((dy, cy, LinExpr({}, anchor.cy)))
             terms.append(anchor.weight * (dx + dy))
         self._wirelength_expr = lin_sum(terms)
 
@@ -339,6 +410,8 @@ class SubproblemBuilder:
             self.model.add_constraint(dx >= cb_x - ca_x, name=f"len[{tag}]:dx-")
             self.model.add_constraint(dy >= ca_y - cb_y, name=f"len[{tag}]:dy+")
             self.model.add_constraint(dy >= cb_y - ca_y, name=f"len[{tag}]:dy-")
+            self._abs_pairs.append((dx, ca_x, cb_x))
+            self._abs_pairs.append((dy, ca_y, cb_y))
             self.model.add_constraint(dx + dy <= bound.max_length,
                                       name=f"len[{tag}]:cap")
         for k, bound in enumerate(anchor_bounds):
@@ -354,6 +427,8 @@ class SubproblemBuilder:
             self.model.add_constraint(dx >= bound.cx - cx, name=f"len[{tag}]:dx-")
             self.model.add_constraint(dy >= cy - bound.cy, name=f"len[{tag}]:dy+")
             self.model.add_constraint(dy >= bound.cy - cy, name=f"len[{tag}]:dy-")
+            self._abs_pairs.append((dx, cx, LinExpr({}, bound.cx)))
+            self._abs_pairs.append((dy, cy, LinExpr({}, bound.cy)))
             self.model.add_constraint(dx + dy <= bound.max_length,
                                       name=f"len[{tag}]:cap")
 
@@ -376,6 +451,206 @@ class SubproblemBuilder:
         """Binary count of this subproblem — the quantity successive
         augmentation keeps near-constant."""
         return self.model.n_integer_variables
+
+    # -- symmetry ----------------------------------------------------------------------
+
+    def _symmetry_name_groups(self) -> tuple[tuple[str, ...], ...]:
+        """Window-module names grouped by interchangeable shape.
+
+        Two modules are interchangeable when swapping their whole variable
+        bundles maps feasible points to feasible points with the same
+        objective: identical dimension expressions and margins, and no
+        module-specific objective pull or length bound.  Wirelength mode
+        distinguishes every module through its nets, so it gets no groups.
+        """
+        if self.config.objective is Objective.AREA_WIRELENGTH:
+            return ()
+        groups: dict[tuple, list[str]] = {}
+        for name, wm in self._window.items():
+            if name in self._distinguished:
+                continue
+            if wm.flex is not None:
+                shape: tuple = ("flex", round(wm.flex.area, 9),
+                                round(wm.flex.w_max, 9),
+                                round(wm.flex.w_min, 9),
+                                round(wm.flex.h0, 9),
+                                round(wm.flex.slope, 9))
+            else:
+                shape = ("rigid", round(wm.width.constant, 9),
+                         round(wm.height.constant, 9),
+                         wm.rotation is not None,
+                         round(wm.max_width, 9), round(wm.max_height, 9))
+            key = shape + (round(wm.margins.left, 9),
+                           round(wm.margins.right, 9),
+                           round(wm.margins.bottom, 9),
+                           round(wm.margins.top, 9))
+            groups.setdefault(key, []).append(name)
+        return tuple(tuple(g) for g in groups.values() if len(g) > 1)
+
+    def symmetry_groups(self) -> tuple[tuple[Variable, ...], ...]:
+        """x-variable groups of interchangeable window modules, for
+        presolve's symmetry-breaking ``x_a <= x_b`` ordering rows."""
+        return tuple(tuple(self._window[n].x for n in group)
+                     for group in self._symmetry_name_groups())
+
+    # -- warm starts -------------------------------------------------------------------
+
+    def warm_start_stacked(self) -> dict[Variable, float] | None:
+        """A feasible cross-step incumbent: shelf-stack the window above the
+        current floorplan.
+
+        Every obstacle top is at or below the first shelf, so obstacle
+        non-overlap reduces to the always-available "above" branch; modules
+        keep their default shape (no rotation, ``dw = 0``).  Slots inside a
+        symmetry group are handed out in x-order so the start also satisfies
+        presolve's ordering rows.  Returns None when some module is wider
+        than the chip (no stacked layout exists).
+        """
+        cap = self._chip_width_cap
+        positions: dict[str, tuple[float, float]] = {}
+        x_cursor = 0.0
+        shelf_y = float(self.height_var.lb)
+        shelf_h = 0.0
+        for name, wm in self._window.items():
+            w = wm.width.constant
+            h = wm.height.constant
+            if w > cap + GEOM_EPS:
+                return None
+            if x_cursor + w > cap + GEOM_EPS:
+                x_cursor = 0.0
+                shelf_y += shelf_h
+                shelf_h = 0.0
+            positions[name] = (x_cursor, shelf_y)
+            x_cursor += w
+            shelf_h = max(shelf_h, h)
+        # Canonicalize within symmetry groups: members are interchangeable,
+        # so hand the group's slots out sorted by (x, y) in member order.
+        for group in self._symmetry_name_groups():
+            slots = sorted(positions[n] for n in group)
+            for name, slot in zip(group, slots):
+                positions[name] = slot
+        entries = {name: (xy[0], xy[1], 0.0, 0.0)
+                   for name, xy in positions.items()}
+        return self._assignment_from(entries)
+
+    def encode(self, placements: Sequence[Placement], *,
+               tol: float = 1e-6) -> dict[Variable, float] | None:
+        """Map placements back to a full model assignment (decode's inverse).
+
+        Used to warm-start re-linearization rounds with the previous
+        round's geometry.  Returns None when the placements do not cover
+        the window exactly or are not representable/feasible in this model
+        (e.g. a changed flexible linearization shifted a modeled height).
+        """
+        by_name = {p.module.name: p for p in placements}
+        if set(by_name) != set(self._window):
+            return None
+        entries: dict[str, tuple[float, float, float, float]] = {}
+        for name, wm in self._window.items():
+            placement = by_name[name]
+            if placement.rotated and wm.rotation is None:
+                return None
+            rot = 1.0 if placement.rotated else 0.0
+            dw = 0.0
+            if wm.flex is not None:
+                # envelope.w = (w_max - dw) + horizontal margins
+                dw = wm.flex.w_max + wm.margins.horizontal - placement.envelope.w
+                dw = min(max(dw, 0.0), wm.flex.dw_max)
+            entries[name] = (placement.envelope.x, placement.envelope.y,
+                             rot, dw)
+        return self._assignment_from(entries, tol=tol)
+
+    def _assignment_from(
+            self, entries: Mapping[str, tuple[float, float, float, float]],
+            *, tol: float = 1e-6) -> dict[Variable, float] | None:
+        """Complete per-module (x, y, rotation, dw) geometry into a full,
+        validated model assignment — or None when it is not feasible.
+
+        Completion order: positions and shape variables, the chip extent
+        variables (as tight as the geometry allows), one relative-position
+        binary pair per module pair / obstacle (the first geometric
+        separation consistent with the binaries' bounds), and the |a - b|
+        auxiliaries at their tight values.  The result is checked against
+        every variable bound and every model row, because a claimed-feasible
+        warm start that is not actually feasible would poison the
+        branch-and-bound incumbent.
+        """
+        values: dict[Variable, float] = {}
+        dims: dict[str, tuple[float, float, float, float]] = {}
+        for name, wm in self._window.items():
+            if name not in entries:
+                return None
+            x, y, rot, dw = entries[name]
+            values[wm.x] = float(x)
+            values[wm.y] = float(y)
+            if wm.rotation is not None:
+                values[wm.rotation] = float(rot)
+            elif rot:
+                return None
+            if wm.dw is not None:
+                values[wm.dw] = float(dw)
+            width = wm.width.value(values)
+            height = wm.height.value(values)
+            dims[name] = (float(x), float(y), width, height)
+
+        top = max(y + h for (_x, y, _w, h) in dims.values())
+        values[self.height_var] = max(float(self.height_var.lb), top)
+        if self.width_var is not None:
+            right = max(x + w for (x, _y, w, _h) in dims.values())
+            values[self.width_var] = max(float(self.width_var.lb), right)
+
+        for (a, b), (p, q) in self._pair_binaries.items():
+            combo = self._choose_separation(dims[a], dims[b], p, q, tol)
+            if combo is None:
+                return None
+            values[p], values[q] = combo
+        for (name, k), (p, q) in self._obstacle_binaries.items():
+            obs = self.obstacles[k]
+            combo = self._choose_separation(
+                dims[name], (obs.x, obs.y, obs.w, obs.h), p, q, tol)
+            if combo is None:
+                return None
+            values[p], values[q] = combo
+
+        for aux, ea, eb in self._abs_pairs:
+            values[aux] = abs(ea.value(values) - eb.value(values))
+
+        if len(values) != len(self.model.variables):
+            return None
+        bound_tol = max(tol, 1e-6)
+        for var, val in values.items():
+            if val < var.lb - bound_tol or val > var.ub + bound_tol:
+                return None
+            values[var] = min(max(val, var.lb), var.ub)
+        if self.model.check_assignment(values, tol=bound_tol):
+            return None
+        return values
+
+    @staticmethod
+    def _choose_separation(da: tuple[float, float, float, float],
+                           db: tuple[float, float, float, float],
+                           p: Variable, q: Variable,
+                           tol: float) -> tuple[float, float] | None:
+        """The (p, q) values of the first geometric separation of two
+        rectangles that is consistent with the binaries' bounds (dominance
+        pruning may have fixed one of them); None when they overlap."""
+        ax, ay, aw, ah = da
+        bx, by, bw, bh = db
+        # "a above b" first: it is the one branch dominance cuts never
+        # exclude, so diagonal separations stay clear of the cut rows.
+        candidates: list[tuple[float, float]] = []
+        if by + bh <= ay + tol:
+            candidates.append((1.0, 1.0))  # a above b
+        if ay + ah <= by + tol:
+            candidates.append((0.0, 1.0))  # a below b
+        if ax + aw <= bx + tol:
+            candidates.append((0.0, 0.0))  # a left of b
+        if bx + bw <= ax + tol:
+            candidates.append((1.0, 0.0))  # a right of b
+        for p_val, q_val in candidates:
+            if p.lb <= p_val <= p.ub and q.lb <= q_val <= q.ub:
+                return p_val, q_val
+        return None
 
     # -- decoding ----------------------------------------------------------------------
 

@@ -14,6 +14,7 @@ algebraic modeling layer (:class:`~repro.milp.model.Model`,
 from repro.milp.expr import LinExpr, Variable, VarKind
 from repro.milp.lpformat import read_lp, write_lp
 from repro.milp.model import Constraint, Model, Sense
+from repro.milp.presolve import PresolveReport, PresolveResult, presolve_form
 from repro.milp.solution import Solution, SolveStatus
 from repro.milp.solvers.registry import available_backends, solve
 
@@ -26,6 +27,9 @@ __all__ = [
     "Sense",
     "Solution",
     "SolveStatus",
+    "PresolveReport",
+    "PresolveResult",
+    "presolve_form",
     "solve",
     "available_backends",
     "read_lp",

@@ -35,7 +35,13 @@ class Solution:
         status: solve outcome.
         objective: objective value in the model's own sense (meaningful only
             when ``status.has_solution``).
-        values: assignment for every model variable.
+        values: assignment for every model variable.  When the solve ran
+            through presolve, these are *postsolved*: the backend's
+            reduced-space values completed with every presolve-fixed column
+            (see :meth:`repro.milp.presolve.PresolveResult.postsolve_solution`),
+            so the assignment always covers the original model and is what
+            the independent certifier verifies against the raw standard
+            form.
         bound: best dual bound proven (same sense as ``objective``).
         n_nodes: branch-and-bound nodes explored (0 for pure LPs / HiGHS
             when not reported).
@@ -69,6 +75,15 @@ class Solution:
     def rounded(self, var: Variable) -> int:
         """Integer value of an integral variable (rounds solver noise)."""
         return round(self.values[var])
+
+    def presolve_report(self):
+        """The :class:`~repro.milp.presolve.PresolveReport` of the presolve
+        pass behind this solution, or None when presolve did not run."""
+        if self.telemetry is None or self.telemetry.presolve is None:
+            return None
+        from repro.milp.presolve import PresolveReport
+
+        return PresolveReport.from_dict(self.telemetry.presolve)
 
     def gap(self) -> float:
         """Relative optimality gap ``|objective - bound| / max(1, |objective|)``

@@ -30,9 +30,12 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from typing import Mapping
+
 import numpy as np
 from scipy import optimize
 
+from repro.milp.expr import Variable
 from repro.milp.model import Model, StandardForm
 from repro.milp.solution import Solution, SolveStatus
 from repro.milp.solvers.simplex import LpStatus, solve_lp_arrays
@@ -118,7 +121,8 @@ def solve_bnb(model: Model, *, time_limit: float | None = None,
               mip_rel_gap: float = 1e-6, node_limit: int = 200_000,
               lp_engine: str = "highs", int_tol: float = INT_TOL,
               stop: threading.Event | None = None,
-              form: StandardForm | None = None) -> Solution:
+              form: StandardForm | None = None,
+              warm_start: Mapping[Variable, float] | None = None) -> Solution:
     """Solve ``model`` with the from-scratch branch-and-bound.
 
     Args:
@@ -135,7 +139,13 @@ def solve_bnb(model: Model, *, time_limit: float | None = None,
         stop: optional cancellation event checked once per node — set by a
             racing portfolio when another engine already won.
         form: a precomputed standard form of ``model`` (shared by portfolio
-            racers); derived from ``model`` when omitted.
+            racers, or the reduced form from presolve); derived from
+            ``model`` when omitted.
+        warm_start: a claimed-feasible assignment covering every variable of
+            ``form``.  Validated (bounds, integrality, rows) and, if it
+            holds up, installed as the initial incumbent — an immediate
+            upper bound that prunes the tree from node one.  Silently
+            ignored when invalid.
     """
     form = form if form is not None else model.to_standard_form()
     engine = _LpEngine(form, lp_engine)
@@ -176,6 +186,11 @@ def solve_bnb(model: Model, *, time_limit: float | None = None,
         return _finish(model, form, SolveStatus.OPTIMAL, incumbent_x,
                        incumbent_obj, incumbent_obj, 1, start, engine,
                        telemetry)
+
+    if warm_start is not None:
+        seeded = _validated_warm_start(form, warm_start, int_tol)
+        if seeded is not None:
+            try_incumbent(seeded)
 
     rounded = _rounding_heuristic(engine, form, x, int_cols)
     if rounded is not None:
@@ -265,6 +280,38 @@ def _most_fractional(x: np.ndarray, frac_cols: np.ndarray) -> int:
     values = x[frac_cols]
     distances = np.abs(values - np.round(values))
     return int(frac_cols[int(np.argmax(distances))])
+
+
+def _validated_warm_start(form: StandardForm,
+                          warm_start: Mapping[Variable, float],
+                          int_tol: float) -> np.ndarray | None:
+    """Turn a claimed-feasible assignment into a vetted incumbent vector.
+
+    The point must cover every column; it is clipped to the variable box,
+    integer columns are rounded (rejecting drifts beyond the tolerance),
+    and every row must hold within a scaled feasibility tolerance.  Any
+    failure returns None — a bad warm start must never become an incumbent,
+    or the "upper bound" would cut off the true optimum.
+    """
+    x = np.empty(len(form.variables))
+    for j, var in enumerate(form.variables):
+        if var not in warm_start:
+            return None
+        x[j] = float(warm_start[var])
+    x = np.clip(x, form.lb, form.ub)
+    int_cols = np.flatnonzero(form.integrality == 1)
+    if int_cols.size:
+        rounded = np.round(x[int_cols])
+        if np.any(np.abs(x[int_cols] - rounded) > max(int_tol, 1e-6)):
+            return None
+        x[int_cols] = rounded
+        x = np.clip(x, form.lb, form.ub)
+    activity = form.a_matrix @ x
+    scale = 1.0 + np.abs(activity)
+    if np.any(activity < form.row_lb - 1e-7 * scale) \
+            or np.any(activity > form.row_ub + 1e-7 * scale):
+        return None
+    return x
 
 
 def _rounding_heuristic(engine: _LpEngine, form: StandardForm, x: np.ndarray,

@@ -26,7 +26,10 @@ import threading
 import time
 from concurrent import futures
 
-from repro.milp.model import Model, ObjectiveSense
+from typing import Mapping
+
+from repro.milp.expr import Variable
+from repro.milp.model import Model, ObjectiveSense, StandardForm
 from repro.milp.solution import Solution, SolveStatus
 from repro.milp.solvers.branch_and_bound import INT_TOL, solve_bnb
 from repro.milp.solvers.scipy_backend import solve_highs
@@ -35,7 +38,10 @@ from repro.milp.solvers.scipy_backend import solve_highs
 def solve_portfolio(model: Model, *, time_limit: float | None = None,
                     mip_rel_gap: float = 1e-6, node_limit: int = 200_000,
                     int_tol: float = INT_TOL,
-                    lp_engine: str = "simplex") -> Solution:
+                    lp_engine: str = "simplex",
+                    form: StandardForm | None = None,
+                    warm_start: Mapping[Variable, float] | None = None,
+                    ) -> Solution:
     """Race HiGHS against the self-contained branch-and-bound.
 
     Args:
@@ -46,12 +52,17 @@ def solve_portfolio(model: Model, *, time_limit: float | None = None,
         int_tol: integrality tolerance (own engine only).
         lp_engine: relaxation solver of the racing branch-and-bound;
             ``"simplex"`` (default) keeps that racer fully self-contained.
+        form: a precomputed standard form of ``model`` (e.g. the reduced
+            form from presolve); derived from ``model`` when omitted.
+        warm_start: a claimed-feasible assignment seeded into the
+            branch-and-bound racer as its initial incumbent (HiGHS via
+            SciPy exposes no warm-start API).
 
     Returns:
         The winning engine's solution, with ``backend`` rewritten to
         ``portfolio[<winner>]``.
     """
-    form = model.to_standard_form()
+    form = form if form is not None else model.to_standard_form()
     stop = threading.Event()
     start = time.perf_counter()
 
@@ -63,7 +74,7 @@ def solve_portfolio(model: Model, *, time_limit: float | None = None,
         return solve_bnb(model, time_limit=time_limit,
                          mip_rel_gap=mip_rel_gap, node_limit=node_limit,
                          lp_engine=lp_engine, int_tol=int_tol, stop=stop,
-                         form=form)
+                         form=form, warm_start=warm_start)
 
     executor = futures.ThreadPoolExecutor(
         max_workers=2, thread_name_prefix="portfolio")

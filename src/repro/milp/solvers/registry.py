@@ -1,11 +1,23 @@
-"""Backend registry: dispatch ``solve(model, backend=...)``."""
+"""Backend registry: dispatch ``solve(model, backend=...)``.
+
+The registry is also where the optional presolve layer lives: with
+``presolve=True`` the model's standard form is reduced once (bound
+propagation, big-M tightening, fixed-column elimination, symmetry rows,
+warm-start objective cutoff) and the *reduced* form is handed to the
+backend; the returned solution is postsolved back to the original space, so
+callers — including the independent certifier — never see reduced-space
+values.
+"""
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Mapping, Sequence
 
-from repro.milp.model import Model
-from repro.milp.solution import Solution
+import numpy as np
+
+from repro.milp.expr import Variable
+from repro.milp.model import Model, StandardForm
+from repro.milp.solution import Solution, SolveStatus
 
 
 def _solve_highs(model: Model, **options) -> Solution:
@@ -39,13 +51,56 @@ _BACKENDS: dict[str, Callable[..., Solution]] = {
     "portfolio": _solve_portfolio,
 }
 
+#: Backends that accept a ``warm_start`` incumbent (HiGHS via scipy exposes
+#: no warm-start API; for it the warm start still powers the presolve
+#: objective cutoff).
+_WARM_START_BACKENDS = frozenset({"bnb", "portfolio"})
+
+#: Backends whose LP relaxations benefit from Savelsbergh coefficient
+#: tightening.  HiGHS runs its own (stronger) presolve and its heuristics
+#: measurably degrade on pre-shrunk big-M rows, so it gets bound
+#: propagation, row/column elimination, and the cutoff row — but keeps the
+#: original coefficients.
+_COEF_TIGHTEN_BACKENDS = frozenset({"bnb", "portfolio", "simplex"})
+
 
 def available_backends() -> tuple[str, ...]:
     """Names accepted by :func:`solve`."""
     return tuple(_BACKENDS)
 
 
-def solve(model: Model, backend: str = "highs", **options) -> Solution:
+def _presolved_outcome(backend: str, form: StandardForm, result,
+                       status: SolveStatus) -> Solution:
+    """A Solution for an outcome presolve decided without the backend."""
+    from repro.milp.telemetry import SolveTelemetry
+
+    telemetry = SolveTelemetry(
+        backend=backend, status=status.value,
+        n_variables=len(form.variables),
+        n_integer=int(np.count_nonzero(form.integrality)),
+        n_constraints=form.a_matrix.shape[0],
+        presolve=result.report.to_dict())
+    if status is SolveStatus.OPTIMAL:
+        objective = float(result.reduced.c0)
+        if form.maximize:
+            objective = -objective
+        telemetry.gap = 0.0
+        telemetry.record_incumbent(0.0, objective)
+        return Solution(status=status, objective=objective, bound=objective,
+                        values=dict(result.fixed), backend=backend,
+                        message="solved entirely by presolve",
+                        telemetry=telemetry)
+    telemetry.gap = float("inf")
+    return Solution(status=status, backend=backend,
+                    message="presolve detected infeasibility",
+                    telemetry=telemetry)
+
+
+def solve(model: Model, backend: str = "highs", *,
+          presolve: bool = False,
+          warm_start: Mapping[Variable, float] | None = None,
+          symmetry_groups: Sequence[Sequence[Variable]] = (),
+          **options) -> Solution:
     """Solve ``model`` with the named backend.
 
     Args:
@@ -55,6 +110,15 @@ def solve(model: Model, backend: str = "highs", **options) -> Solution:
             ``"simplex"`` (pure-NumPy simplex; LPs only), or ``"portfolio"``
             (race HiGHS against the self-contained branch-and-bound and
             keep the first proven-optimal result).
+        presolve: run the solver-independent presolve layer
+            (:mod:`repro.milp.presolve`) and hand the backend the reduced
+            form; the solution is postsolved to the original space and its
+            telemetry carries the :class:`~repro.milp.presolve.PresolveReport`.
+        warm_start: a known-feasible full-space assignment.  Seeds the
+            branch-and-bound incumbent (``bnb`` / ``portfolio``) and, with
+            ``presolve=True``, adds an objective-cutoff row for any backend.
+        symmetry_groups: groups of interchangeable variables handed to
+            presolve for symmetry-breaking rows (ignored without presolve).
         **options: backend-specific options such as ``time_limit``,
             ``mip_rel_gap``, ``node_limit``, ``lp_engine``, ``int_tol``.
 
@@ -67,4 +131,26 @@ def solve(model: Model, backend: str = "highs", **options) -> Solution:
         raise ValueError(
             f"unknown backend {backend!r}; available: {available_backends()}"
         ) from None
-    return fn(model, **options)
+    if not presolve:
+        if warm_start is not None and backend in _WARM_START_BACKENDS:
+            options["warm_start"] = warm_start
+        return fn(model, **options)
+
+    from repro.milp.presolve import internal_objective, presolve_form
+
+    form = model.to_standard_form()
+    cutoff = internal_objective(form, warm_start) if warm_start else None
+    result = presolve_form(
+        form, symmetry_groups=symmetry_groups, objective_cutoff=cutoff,
+        coefficient_tightening=backend in _COEF_TIGHTEN_BACKENDS)
+    if result.infeasible:
+        return _presolved_outcome(backend, form, result,
+                                  SolveStatus.INFEASIBLE)
+    if not result.reduced.variables:
+        return _presolved_outcome(backend, form, result, SolveStatus.OPTIMAL)
+    if warm_start is not None and backend in _WARM_START_BACKENDS:
+        mapped = result.map_warm_start(warm_start)
+        if mapped is not None:
+            options["warm_start"] = mapped
+    solution = fn(model, form=result.reduced, **options)
+    return result.postsolve_solution(solution)

@@ -29,7 +29,8 @@ def solve_highs(model: Model, *, time_limit: float | None = None,
         mip_rel_gap: relative MIP gap at which to stop.
         node_limit: branch-and-bound node limit (None = unlimited).
         form: a precomputed standard form of ``model`` (shared by portfolio
-            racers); derived from ``model`` when omitted.
+            racers, or the reduced form from presolve); derived from
+            ``model`` when omitted.
 
     Returns:
         A :class:`~repro.milp.solution.Solution`; objective values are
@@ -38,7 +39,9 @@ def solve_highs(model: Model, *, time_limit: float | None = None,
     form = form if form is not None else model.to_standard_form()
     start = time.perf_counter()
 
-    if model.is_pure_lp():
+    # Route on the form, not the model: presolve may have fixed every
+    # integer column, leaving a pure LP even for a MILP model.
+    if not np.count_nonzero(form.integrality):
         result = optimize.linprog(
             form.c,
             bounds=np.column_stack([form.lb, form.ub]),

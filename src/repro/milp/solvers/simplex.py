@@ -19,7 +19,7 @@ from enum import Enum
 
 import numpy as np
 
-from repro.milp.model import Model
+from repro.milp.model import Model, StandardForm
 from repro.milp.solution import Solution, SolveStatus
 
 #: Pivot tolerance: entries smaller than this are treated as zero.
@@ -248,18 +248,25 @@ def _pivot(tableau: np.ndarray, rhs: np.ndarray, basis: np.ndarray,
 
 
 def solve_simplex(model: Model, *, max_iterations: int | None = None,
-                  **_ignored) -> Solution:
+                  form: StandardForm | None = None, **_ignored) -> Solution:
     """Solve a pure-LP model with the NumPy simplex.
 
+    Args:
+        model: the model to solve.
+        max_iterations: simplex pivot budget (None = derived from size).
+        form: a precomputed standard form of ``model`` (e.g. the reduced
+            form from presolve — judged on *its* integrality, so a MILP
+            whose integer columns presolve fixed is accepted).
+
     Raises:
-        ValueError: when the model contains integer variables (use the
-            ``"bnb"`` or ``"highs"`` backends for MILPs).
+        ValueError: when the form to solve contains integer variables (use
+            the ``"bnb"`` or ``"highs"`` backends for MILPs).
     """
-    if not model.is_pure_lp():
+    form = form if form is not None else model.to_standard_form()
+    if np.count_nonzero(form.integrality):
         raise ValueError(
             "simplex backend only solves pure LPs; "
             "use backend='bnb' or 'highs' for integer models")
-    form = model.to_standard_form()
     start = time.perf_counter()
     result = solve_lp_arrays(form.c, form.a_matrix.toarray(), form.row_lb,
                              form.row_ub, form.lb, form.ub,

@@ -42,6 +42,10 @@ class SolveTelemetry:
         n_variables: columns of the standard form.
         n_integer: integral columns of the standard form.
         n_constraints: rows of the standard form.
+        presolve: :meth:`repro.milp.presolve.PresolveReport.to_dict` output
+            when presolve ran for this solve, else None.  ``n_variables`` /
+            ``n_constraints`` describe the form the backend actually saw
+            (the reduced one); the presolve dict records the originals.
     """
 
     backend: str = ""
@@ -54,6 +58,7 @@ class SolveTelemetry:
     n_variables: int = 0
     n_integer: int = 0
     n_constraints: int = 0
+    presolve: dict[str, Any] | None = None
 
     def record_incumbent(self, seconds: float, objective: float) -> None:
         """Append one incumbent improvement."""
@@ -74,6 +79,7 @@ class SolveTelemetry:
             "n_variables": self.n_variables,
             "n_integer": self.n_integer,
             "n_constraints": self.n_constraints,
+            "presolve": self.presolve,
         }
 
     @classmethod
@@ -92,4 +98,5 @@ class SolveTelemetry:
             n_variables=data.get("n_variables", 0),
             n_integer=data.get("n_integer", 0),
             n_constraints=data.get("n_constraints", 0),
+            presolve=data.get("presolve"),
         )

@@ -263,6 +263,8 @@ def _config_to_dict(config: FloorplanConfig) -> dict[str, Any]:
         "subproblem_time_limit": config.subproblem_time_limit,
         "mip_rel_gap": config.mip_rel_gap,
         "certify": config.certify,
+        "presolve": config.presolve,
+        "warm_start": config.warm_start,
     }
 
 

@@ -1,0 +1,263 @@
+"""Presolve-parity suite.
+
+Every reduction in :mod:`repro.milp.presolve` is objective-preserving by
+construction, so solving any instance with and without the presolve layer
+must reach the same status and (up to LP roundoff — the reduced and
+original forms are equivalent but not identical LPs, so backends may land
+on different optimal vertices) the same optimal objective.  Postsolved
+solutions must additionally certify against the *original* standard form:
+the presolve→postsolve mapping may never leak reduced-space artifacts into
+what the independent checker sees.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.check.certificate import check_certificate
+from repro.check.fuzz import generate_model
+from repro.core.config import FloorplanConfig
+from repro.core.formulation import SubproblemBuilder
+from repro.geometry.rect import Rect
+from repro.milp.expr import VarKind, lin_sum
+from repro.milp.model import Model
+from repro.milp.solution import SolveStatus
+from repro.milp.solvers.registry import solve
+from repro.netlist.module import Module
+
+#: Relative objective tolerance between the presolved and raw solves.
+OBJ_TOL = 1e-6
+#: Gap passed to the solvers so OPTIMAL claims are tight enough to compare.
+GAP = 1e-6
+
+BACKENDS = ("highs", "bnb")
+
+
+def objectives_match(a: float, b: float, tol: float = OBJ_TOL) -> bool:
+    return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+
+
+def certify(model: Model, solution) -> None:
+    """The postsolved solution must verify against the ORIGINAL form."""
+    report = check_certificate(model, solution,
+                               form=model.to_standard_form(),
+                               mip_rel_gap=GAP * 10)
+    assert report.ok, [v.detail for v in report.violations]
+
+
+# ---------------------------------------------------------------------------
+# fixture instances
+# ---------------------------------------------------------------------------
+
+def knapsack() -> Model:
+    model = Model("knapsack")
+    items = [(3, 4), (4, 5), (5, 6), (7, 9), (2, 2)]
+    xs = [model.add_binary(f"x{i}") for i in range(len(items))]
+    model.add_constraint(
+        lin_sum(w * x for (w, _v), x in zip(items, xs)) <= 10, name="cap")
+    model.set_objective(
+        lin_sum(v * x for (_w, v), x in zip(items, xs)), sense="max")
+    return model
+
+
+def big_m_switch() -> Model:
+    """A loose-big-M indicator model: propagation shrinks M from 100 down
+    to what the box supports."""
+    model = Model("bigm")
+    x = model.add_continuous("x", 0.0, 8.0)
+    y = model.add_continuous("y", 0.0, 8.0)
+    b = model.add_binary("b")
+    model.add_constraint(x - 100.0 * b <= 2.0, name="ind_x")
+    model.add_constraint(y + 100.0 * b <= 103.0, name="ind_y")
+    model.add_constraint(x + y >= 6.0, name="cover")
+    model.set_objective(x + 2.0 * y + 3.0 * b, sense="min")
+    return model
+
+
+def mixed_integer_box() -> Model:
+    model = Model("mixed")
+    x = model.add_var("x", 0.0, 6.0, VarKind.INTEGER)
+    y = model.add_continuous("y", 0.0, 10.0)
+    z = model.add_binary("z")
+    model.add_constraint(2 * x + y <= 11.0, name="c1")
+    model.add_constraint(x + y + 4 * z >= 5.0, name="c2")
+    model.add_constraint(y - 3 * z <= 6.5, name="c3")
+    model.set_objective(3 * x - y + 2 * z, sense="min")
+    return model
+
+
+def infeasible_box() -> Model:
+    model = Model("infeasible")
+    x = model.add_continuous("x", 0.0, 1.0)
+    b = model.add_binary("b")
+    model.add_constraint(x + b >= 3.5, name="impossible")
+    model.set_objective(x + b, sense="min")
+    return model
+
+
+def floorplan_builder() -> SubproblemBuilder:
+    """Two identical rigid modules (a genuine symmetry pair) plus a third
+    over one fixed obstacle — the paper's actual subproblem shape."""
+    config = FloorplanConfig(chip_width=9.0, use_envelopes=False,
+                             record_snapshots=False)
+    window = [Module.rigid("a", 2.0, 3.0, rotatable=True),
+              Module.rigid("b", 2.0, 3.0, rotatable=True),
+              Module.rigid("c", 4.0, 2.0, rotatable=True)]
+    return SubproblemBuilder(window, [Rect(0.0, 0.0, 3.0, 2.0)], 9.0, config)
+
+
+FIXTURES = {
+    "knapsack": knapsack,
+    "big_m_switch": big_m_switch,
+    "mixed_integer_box": mixed_integer_box,
+}
+
+
+# ---------------------------------------------------------------------------
+# parity
+# ---------------------------------------------------------------------------
+
+class TestFixtureParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("name", sorted(FIXTURES))
+    def test_same_optimum_with_and_without_presolve(self, name, backend):
+        model = FIXTURES[name]()
+        raw = solve(model, backend=backend, mip_rel_gap=GAP, presolve=False)
+        pre = solve(model, backend=backend, mip_rel_gap=GAP, presolve=True)
+        assert raw.status is SolveStatus.OPTIMAL
+        assert pre.status is SolveStatus.OPTIMAL
+        assert objectives_match(raw.objective, pre.objective), \
+            (raw.objective, pre.objective)
+        certify(model, raw)
+        certify(model, pre)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_infeasible_parity(self, backend):
+        model = infeasible_box()
+        raw = solve(model, backend=backend, presolve=False)
+        pre = solve(model, backend=backend, presolve=True)
+        assert raw.status is SolveStatus.INFEASIBLE
+        assert pre.status is SolveStatus.INFEASIBLE
+
+    def test_presolve_detects_infeasibility_itself(self):
+        pre = solve(infeasible_box(), backend="highs", presolve=True)
+        report = pre.presolve_report()
+        assert report is not None
+        assert report.infeasible
+
+
+class TestFuzzInstanceParity:
+    """The fuzz generator's instance distribution (pure LPs, boxed MILPs,
+    floorplan-shaped subproblems), each solved raw and presolved."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_seeded_instance(self, seed):
+        model = generate_model(random.Random(seed))
+        raw = solve(model, backend="highs", mip_rel_gap=GAP, presolve=False)
+        pre = solve(model, backend="highs", mip_rel_gap=GAP, presolve=True)
+        assert raw.status is pre.status, (raw.status, pre.status)
+        if raw.status is SolveStatus.OPTIMAL:
+            assert objectives_match(raw.objective, pre.objective), \
+                (raw.objective, pre.objective)
+            certify(model, pre)
+
+
+class TestFloorplanSubproblemParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_builder_model_with_symmetry_groups(self, backend):
+        builder = floorplan_builder()
+        groups = builder.symmetry_groups()
+        assert groups, "identical modules must form a symmetry group"
+        raw = solve(builder.model, backend=backend, mip_rel_gap=GAP,
+                    presolve=False)
+        pre = solve(builder.model, backend=backend, mip_rel_gap=GAP,
+                    presolve=True, symmetry_groups=groups)
+        assert raw.status is SolveStatus.OPTIMAL
+        assert pre.status is SolveStatus.OPTIMAL
+        assert objectives_match(raw.objective, pre.objective), \
+            (raw.objective, pre.objective)
+        certify(builder.model, pre)
+
+    def test_warm_started_presolve_keeps_the_optimum(self):
+        builder = floorplan_builder()
+        warm = builder.warm_start_stacked()
+        assert warm is not None
+        raw = solve(builder.model, backend="bnb", mip_rel_gap=GAP,
+                    presolve=False)
+        pre = solve(builder.model, backend="bnb", mip_rel_gap=GAP,
+                    presolve=True, warm_start=warm,
+                    symmetry_groups=builder.symmetry_groups())
+        assert pre.status is SolveStatus.OPTIMAL
+        assert objectives_match(raw.objective, pre.objective), \
+            (raw.objective, pre.objective)
+        certify(builder.model, pre)
+        report = pre.presolve_report()
+        assert report is not None
+        assert report.objective_cutoff is not None
+
+
+# ---------------------------------------------------------------------------
+# postsolve mapping and the report
+# ---------------------------------------------------------------------------
+
+class TestPostsolve:
+    def test_solution_covers_every_original_variable(self):
+        builder = floorplan_builder()
+        pre = solve(builder.model, backend="highs", presolve=True,
+                    symmetry_groups=builder.symmetry_groups())
+        assert pre.status is SolveStatus.OPTIMAL
+        assert set(pre.values) == set(builder.model.variables)
+
+    def test_model_solved_entirely_by_presolve(self):
+        model = Model("all_fixed")
+        x = model.add_continuous("x", 2.0, 2.0)
+        b = model.add_binary("b")
+        model.add_constraint(b >= 1, name="force")
+        model.set_objective(x + b, sense="min")
+        pre = solve(model, backend="highs", presolve=True)
+        assert pre.status is SolveStatus.OPTIMAL
+        assert objectives_match(pre.objective, 3.0)
+        assert set(pre.values) == {x, b}
+        assert pre.values[b] == 1.0
+        certify(model, pre)
+        report = pre.presolve_report()
+        assert report is not None
+        assert report.cols_after == 0
+
+    def test_report_attached_and_sane(self):
+        model = big_m_switch()
+        pre = solve(model, backend="highs", presolve=True)
+        report = pre.presolve_report()
+        assert report is not None
+        assert report.rows_after <= report.rows_before
+        assert report.cols_after <= report.cols_before
+        assert report.ints_after <= report.ints_before
+        assert report.bounds_tightened >= 0
+        assert not report.infeasible
+        # round-trips through the telemetry dict encoding
+        assert report.to_dict() == type(report).from_dict(
+            report.to_dict()).to_dict()
+
+    def test_no_report_without_presolve(self):
+        pre = solve(big_m_switch(), backend="highs", presolve=False)
+        assert pre.presolve_report() is None
+
+    def test_big_m_is_actually_tightened(self):
+        """The loose M = 100 indicator rows must shrink: this pins down
+        that coefficient tightening engages, not just that it is harmless.
+        (bnb backend: the registry keeps HiGHS on original coefficients.)"""
+        pre = solve(big_m_switch(), backend="bnb", presolve=True)
+        report = pre.presolve_report()
+        assert report is not None
+        assert report.coeffs_tightened >= 1
+        assert report.m_shrink_total > 0.0
+
+    def test_highs_skips_coefficient_tightening(self):
+        """HiGHS re-presolves internally and regresses on pre-shrunk
+        big-M rows, so the registry must not tighten coefficients for it."""
+        pre = solve(big_m_switch(), backend="highs", presolve=True)
+        report = pre.presolve_report()
+        assert report is not None
+        assert report.coeffs_tightened == 0

@@ -1,0 +1,189 @@
+"""Property-based presolve invariants (hypothesis).
+
+Three guarantees the reductions must uphold on *every* instance:
+
+* **postsolve round-trip** — any optimal point of the raw model agrees
+  with presolve's fixed columns and stays feasible in the reduced form
+  (presolve may never cut a feasible point), and postsolve completes any
+  reduced-space assignment to full original coverage;
+* **tightened big-M never cuts the known feasible placement** — the
+  stacked warm start of a floorplan subproblem, projected through
+  :meth:`PresolveResult.map_warm_start`, satisfies every reduced row even
+  when its own objective was used as the cutoff;
+* **fixed binaries are implied by the bounds** — forcing any
+  presolve-fixed binary to the opposite value makes the model infeasible.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check.fuzz import generate_model
+from repro.core.config import FloorplanConfig
+from repro.core.formulation import SubproblemBuilder
+from repro.geometry.rect import Rect
+from repro.milp.expr import VarKind
+from repro.milp.model import Model, StandardForm
+from repro.milp.presolve import internal_objective, presolve_form
+from repro.milp.solution import SolveStatus
+from repro.milp.solvers.registry import solve
+from repro.netlist.module import Module
+from repro.serialize import model_from_dict, model_to_dict
+
+SETTINGS = dict(max_examples=20, deadline=None)
+
+
+def assert_feasible(form: StandardForm, values, *, tol: float = 1e-4) -> None:
+    """``values`` (a Variable → float mapping covering ``form``) satisfies
+    every box and row of ``form`` within a scaled tolerance."""
+    x = np.array([float(values[v]) for v in form.variables])
+    integral = np.asarray(form.integrality) != 0
+    # The true MILP point is integral; shed solver-noise fractionality
+    # before judging rows whose coefficients presolve tightened.
+    x[integral] = np.round(x[integral])
+    scale = 1.0 + np.abs(x)
+    assert np.all(x >= np.asarray(form.lb) - tol * scale), "lb violated"
+    assert np.all(x <= np.asarray(form.ub) + tol * scale), "ub violated"
+    activity = form.a_matrix @ x
+    row_scale = 1.0 + np.abs(activity)
+    assert np.all(activity >= np.asarray(form.row_lb) - tol * row_scale), \
+        "row lb violated"
+    assert np.all(activity <= np.asarray(form.row_ub) + tol * row_scale), \
+        "row ub violated"
+
+
+@settings(**SETTINGS)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_postsolve_round_trip(seed: int) -> None:
+    model = generate_model(random.Random(seed))
+    form = model.to_standard_form()
+    result = presolve_form(form)
+
+    raw = solve(model, backend="highs", mip_rel_gap=1e-6, presolve=False)
+    if result.infeasible:
+        # presolve may only declare what the raw solver confirms
+        assert raw.status is SolveStatus.INFEASIBLE
+        return
+    if raw.status is not SolveStatus.OPTIMAL:
+        return
+
+    # Fixed columns hold at every feasible point, the optimum included.
+    originally_fixed = {v for v in model.variables if v.lb == v.ub}
+    for var, val in result.fixed.items():
+        if var in originally_fixed:
+            continue
+        assert abs(raw.values[var] - val) <= 1e-5 * (1.0 + abs(val)), \
+            (var.name, raw.values[var], val)
+
+    # The optimum survives the reduction...
+    assert result.reduced is not None
+    assert_feasible(result.reduced, raw.values)
+    # ...and postsolve restores full original coverage.
+    reduced_point = {v: raw.values[v] for v in result.reduced.variables}
+    full = result.postsolve_values(reduced_point)
+    assert set(full) == set(form.variables)
+
+
+def _random_builder(rng: random.Random) -> SubproblemBuilder:
+    """A small floorplan subproblem with floor obstacles, shaped like a
+    mid-augmentation step (base height at the covering-rectangle top)."""
+    chip_width = 10.0
+    window = []
+    for k in range(rng.randint(2, 3)):
+        if rng.random() < 0.3:
+            window.append(Module.flexible_area(
+                f"f{k}", area=float(rng.randint(2, 6)),
+                aspect_low=0.5, aspect_high=2.0))
+        else:
+            window.append(Module.rigid(
+                f"m{k}", float(rng.randint(1, 4)), float(rng.randint(1, 3)),
+                rotatable=True))
+    obstacles = []
+    x = 0.0
+    for _ in range(rng.randint(0, 2)):
+        w, h = float(rng.randint(1, 3)), float(rng.randint(1, 2))
+        if x + w > chip_width:
+            break
+        obstacles.append(Rect(x, 0.0, w, h))
+        x += w + 1.0
+    base_height = max((r.y2 for r in obstacles), default=0.0)
+    config = FloorplanConfig(chip_width=chip_width, use_envelopes=False,
+                             record_snapshots=False,
+                             allow_rotation=rng.random() < 0.5)
+    return SubproblemBuilder(window, obstacles, chip_width, config,
+                             base_height=base_height)
+
+
+@settings(**SETTINGS)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_tightening_never_cuts_the_warm_start(seed: int) -> None:
+    builder = _random_builder(random.Random(seed))
+    warm = builder.warm_start_stacked()
+    assert warm is not None, "stacked start must exist on a wide-enough chip"
+    form = builder.model.to_standard_form()
+    cutoff = internal_objective(form, warm)
+    assert cutoff is not None
+
+    result = presolve_form(form, symmetry_groups=builder.symmetry_groups(),
+                           objective_cutoff=cutoff)
+    assert not result.infeasible, \
+        "a known-feasible instance may never presolve to infeasible"
+    mapped = result.map_warm_start(warm)
+    assert mapped is not None, \
+        "the feasible incumbent must survive the fixed-column projection"
+    full = result.postsolve_values(mapped)
+    assert_feasible(result.reduced, full)
+
+
+@settings(**SETTINGS)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_fixed_binaries_are_implied(seed: int) -> None:
+    model = generate_model(random.Random(seed))
+    result = presolve_form(model.to_standard_form())
+    if result.infeasible:
+        return
+    index_by_name = {v.name: i for i, v in enumerate(model.variables)}
+    checked = 0
+    for var, val in result.fixed.items():
+        is_binary = var.kind is not VarKind.CONTINUOUS \
+            and var.lb == 0.0 and var.ub == 1.0
+        if not is_binary or checked >= 2:
+            continue
+        checked += 1
+        # Forcing the opposite value must be infeasible: the fix claimed
+        # every feasible point takes `val`.
+        rebuilt = model_from_dict(model_to_dict(model))
+        flipped = rebuilt.variables[index_by_name[var.name]]
+        opposite = 1.0 - round(val)
+        rebuilt.add_constraint(
+            flipped >= 1.0 if opposite else flipped <= 0.0, name="flip")
+        counter = solve(rebuilt, backend="highs", presolve=False)
+        assert counter.status is SolveStatus.INFEASIBLE, \
+            (var.name, val, counter.status)
+
+
+@settings(**SETTINGS)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_presolve_is_idempotent_on_statuses(seed: int) -> None:
+    """Presolving the reduced form again never flips feasibility."""
+    model = generate_model(random.Random(seed))
+    result = presolve_form(model.to_standard_form())
+    if result.infeasible or result.reduced is None \
+            or not result.reduced.variables:
+        return
+    again = presolve_form(result.reduced)
+    assert not again.infeasible
+
+
+def test_empty_symmetry_groups_are_harmless() -> None:
+    model = Model("sym_edge")
+    x = model.add_continuous("x", 0.0, 1.0)
+    model.set_objective(x, sense="min")
+    result = presolve_form(model.to_standard_form(),
+                           symmetry_groups=((), (x,)))
+    assert not result.infeasible
+    assert result.report.symmetry_rows == 0
