@@ -14,6 +14,14 @@ and either mode writes the per-solve telemetry of every instance to
 ``REPRO_BENCH_PRESOLVE=0`` disables the MILP presolve + warm-start layer,
 producing the baseline half of the CI presolve-parity diff
 (``benchmarks/diff_objectives.py`` compares the two canonical artifacts).
+
+The canonical solve cache is on by default; with ``REPRO_CACHE_DIR`` set,
+consecutive suite runs share the on-disk tier, and the per-instance hit
+rates land in ``results/cache_stats.txt`` plus the telemetry artifact.
+``REPRO_BENCH_EXPECT_WARM=1`` turns the warm expectation into an assertion
+(hit rate >= 0.30 across recorded solves) — the CI cache-parity job sets it
+on its second, warm run.  Cache provenance is stripped from the *canonical*
+artifact, so a cold and a warm run still byte-compare identically.
 """
 
 from __future__ import annotations
@@ -53,6 +61,13 @@ PRESOLVE_ENV = "REPRO_BENCH_PRESOLVE"
 #: and seeded incumbents bite hardest.
 BACKEND_ENV = "REPRO_BENCH_BACKEND"
 
+#: Environment variable asserting a warmed solve cache: ``1`` requires the
+#: suite-wide cache hit rate to reach :data:`WARM_HIT_RATE_FLOOR`.
+EXPECT_WARM_ENV = "REPRO_BENCH_EXPECT_WARM"
+
+#: Minimum hit rate a warm run must reach over its recorded solves.
+WARM_HIT_RATE_FLOOR = 0.30
+
 
 def quick_mode() -> bool:
     """True when the suite runs in CI-smoke quick mode."""
@@ -68,6 +83,11 @@ def presolve_mode() -> bool:
 def suite_backend() -> str:
     """The MILP backend the suite runs on (default ``highs``)."""
     return os.environ.get(BACKEND_ENV, "").strip() or "highs"
+
+
+def expect_warm() -> bool:
+    """True when this run must find a warmed cache (CI's second run)."""
+    return os.environ.get(EXPECT_WARM_ENV, "").strip() not in ("", "0")
 
 
 def _run_one(make, time_limit: float, presolve: bool) -> dict:
@@ -122,10 +142,34 @@ def test_full_suite(benchmark, results_dir):
     emit(results_dir, "suite.txt",
          format_table(rows, title=f"Full-pipeline suite ({mode} mode): "
                                   "envelopes + weighted router"))
+    # Per-instance cache hit rates (workers are separate processes, so the
+    # telemetry provenance is the only cross-process counter that survives).
+    cache_rows = []
+    for r in results:
+        hits = r["telemetry"]["cache_hits"]
+        misses = r["telemetry"]["cache_misses"]
+        cache_rows.append({
+            "instance": r["telemetry"]["instance"],
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "hit_rate": round(hits / (hits + misses), 3)
+            if hits + misses else 0.0,
+        })
+    total_hits = sum(c["cache_hits"] for c in cache_rows)
+    total_lookups = sum(c["cache_hits"] + c["cache_misses"]
+                        for c in cache_rows)
+    suite_hit_rate = total_hits / total_lookups if total_lookups else 0.0
+    emit(results_dir, "cache_stats.txt",
+         format_table(cache_rows, title=f"Solve-cache hit rates ({mode} "
+                                        f"mode): suite rate "
+                                        f"{suite_hit_rate:.1%}",
+                      floatfmt=".3f"))
     artifact = {
         "version": 1,
         "mode": mode,
         "presolve": presolve_mode(),
+        "cache": {"hits": total_hits, "lookups": total_lookups,
+                  "hit_rate": suite_hit_rate, "instances": cache_rows},
         "instances": [r["telemetry"] for r in results],
     }
     (results_dir / "suite_telemetry.json").write_text(
@@ -146,3 +190,8 @@ def test_full_suite(benchmark, results_dir):
     assert all(r["routed_nets"] == r["nets"] for r in rows)
     assert all(r["pack_util"] >= UTILIZATION_FLOOR for r in rows)
     assert all(r["final_area"] >= r["pack_area"] * 0.8 for r in rows)
+    if expect_warm():
+        assert suite_hit_rate >= WARM_HIT_RATE_FLOOR, (
+            f"warm run expected a cache hit rate >= {WARM_HIT_RATE_FLOOR:.0%}"
+            f" but measured {suite_hit_rate:.1%} "
+            f"({total_hits}/{total_lookups} solves served from cache)")

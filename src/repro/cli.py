@@ -60,6 +60,8 @@ def _config_from(args: argparse.Namespace) -> FloorplanConfig:
         backend=args.backend,
         presolve=not getattr(args, "no_presolve", False),
         warm_start=not getattr(args, "no_warm_start", False),
+        solve_cache=not getattr(args, "no_solve_cache", False),
+        cache_dir=getattr(args, "cache_dir", None),
     )
 
 
@@ -93,6 +95,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-warm-start", action="store_true",
                         help="skip cross-step warm starting (stacked "
                              "incumbents and the presolve objective cutoff)")
+    parser.add_argument("--no-solve-cache", action="store_true",
+                        help="skip the canonical solve cache (every "
+                             "subproblem is solved from scratch)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="on-disk solve-cache directory (default: "
+                             "$REPRO_CACHE_DIR, else "
+                             "~/.cache/repro-floorplan)")
 
 
 def _cmd_floorplan(args: argparse.Namespace) -> int:

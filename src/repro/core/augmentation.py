@@ -99,6 +99,20 @@ class AugmentationTrace:
         """Total LP relaxations across all recorded solves."""
         return sum(s.telemetry.lp_calls for s in self.steps if s.telemetry)
 
+    @property
+    def cache_hits(self) -> int:
+        """Recorded solves served from the canonical solve cache."""
+        return sum(1 for s in self.steps
+                   if s.telemetry and s.telemetry.cache
+                   and s.telemetry.cache.get("hit"))
+
+    @property
+    def cache_misses(self) -> int:
+        """Recorded solves that went through the cache but missed."""
+        return sum(1 for s in self.steps
+                   if s.telemetry and s.telemetry.cache
+                   and not s.telemetry.cache.get("hit"))
+
 
 @dataclass
 class AugmentationResult:
@@ -379,17 +393,25 @@ def _solve_with_retry(builder: SubproblemBuilder, config: FloorplanConfig,
                       warm_start=None) -> Solution:
     """Solve the subproblem, retrying once with a doubled time limit.
 
-    This is where the presolve layer and cross-step warm starts are wired
-    in: with ``config.warm_start`` and no caller-supplied incumbent, the
-    previous step's placement shifted through the covering-rectangle
-    replacement reduces to "stack the new window above the floorplan" —
-    :meth:`SubproblemBuilder.warm_start_stacked` — which is feasible by
-    construction and becomes the branch-and-bound's initial upper bound
-    and/or presolve's objective cutoff.
+    This is where the presolve layer, cross-step warm starts, and the
+    canonical solve cache are wired in: with ``config.warm_start`` and no
+    caller-supplied incumbent, the previous step's placement shifted through
+    the covering-rectangle replacement reduces to "stack the new window
+    above the floorplan" — :meth:`SubproblemBuilder.warm_start_stacked` —
+    which is feasible by construction and becomes the branch-and-bound's
+    initial upper bound and/or presolve's objective cutoff.  With
+    ``config.solve_cache`` every solve goes through
+    :mod:`repro.milp.cache`: re-linearization rounds whose window converged
+    rebuild a structurally identical model, which the cache recognizes and
+    serves (after re-certification) instead of re-solving.
     """
     extra: dict = {"presolve": config.presolve}
     if config.presolve:
         extra["symmetry_groups"] = builder.symmetry_groups()
+    if config.solve_cache:
+        from repro.milp.cache import get_cache
+
+        extra["cache"] = get_cache(config.cache_dir)
     if warm_start is None and config.warm_start and (
             config.presolve or config.backend in ("bnb", "portfolio")):
         warm_start = builder.warm_start_stacked()

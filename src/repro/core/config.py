@@ -125,6 +125,15 @@ class FloorplanConfig:
             (re-linearization).  Bounds the branch-and-bound from node one
             and, with ``presolve``, powers the objective-cutoff row for
             every backend.
+        solve_cache: consult the canonical solve cache
+            (:mod:`repro.milp.cache`) for every subproblem — re-linearization
+            rounds and repeated width candidates reuse structurally identical
+            solves instead of re-running the backend.  Every hit is
+            re-certified against the requesting model before being served, so
+            the cache can cost time but never correctness.
+        cache_dir: directory of the on-disk cache tier shared across
+            processes (parallel width workers) and runs.  None falls back to
+            ``$REPRO_CACHE_DIR``, else ``~/.cache/repro-floorplan``.
     """
 
     chip_width: float | None = None
@@ -155,6 +164,8 @@ class FloorplanConfig:
     certify: bool = False
     presolve: bool = True
     warm_start: bool = True
+    solve_cache: bool = True
+    cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.seed_size < 1:

@@ -183,6 +183,11 @@ class Floorplanner:
             # illegal one.
             resize = self.netlist.n_flexible > 0
             pinned = frozenset(self.preplaced)
+            cache = None
+            if self.config.solve_cache:
+                from repro.milp.cache import get_cache
+
+                cache = get_cache(self.config.cache_dir)
             try:
                 topo = optimize_topology(
                     placements, relations,
@@ -190,7 +195,8 @@ class Floorplanner:
                     resize_flexible=resize,
                     fixed_names=pinned,
                     linearization=Linearization.SECANT,
-                    backend="highs")
+                    backend="highs",
+                    cache=cache)
             except RuntimeError:
                 topo = optimize_topology(
                     placements, relations,
@@ -198,7 +204,8 @@ class Floorplanner:
                     resize_flexible=resize,
                     fixed_names=pinned,
                     linearization=Linearization.SECANT,
-                    backend="highs")
+                    backend="highs",
+                    cache=cache)
             placements = topo.placements
             chip_width = max(topo.chip_width, GEOM_EPS)
             chip_height = topo.chip_height

@@ -109,7 +109,8 @@ def optimize_topology(placements: Sequence[Placement],
                       resize_flexible: bool = True,
                       fixed_names: frozenset[str] | set[str] = frozenset(),
                       linearization: Linearization = Linearization.SECANT,
-                      backend: str = "highs") -> TopologyResult:
+                      backend: str = "highs",
+                      cache=None) -> TopologyResult:
     """Re-place (and optionally re-shape) modules for a given topology.
 
     Minimizes a first-order area objective ``H0 * W + W0 * H`` (the exact
@@ -129,6 +130,9 @@ def optimize_topology(placements: Sequence[Placement],
             (preplaced pads/macros).
         linearization: height model used for flexible modules.
         backend: LP backend (``highs``, ``simplex``, or ``bnb``).
+        cache: optional :class:`~repro.milp.cache.SolveCache` consulted
+            before the LP is solved (hits are re-certified; see
+            :mod:`repro.milp.cache`).
 
     Returns:
         A :class:`TopologyResult` with legalized placements.
@@ -204,7 +208,7 @@ def optimize_topology(placements: Sequence[Placement],
                              name=f"chiph[{name}]")
 
     model.set_objective(current_h * width_var + current_w * height_var)
-    solution = solve(model, backend=backend)
+    solution = solve(model, backend=backend, cache=cache)
     if not solution.status.has_solution:
         raise RuntimeError(
             f"topology LP is {solution.status.value}; the relation set is "

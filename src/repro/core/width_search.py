@@ -24,13 +24,22 @@ from repro.parallel import parallel_map
 
 @dataclass(frozen=True)
 class WidthCandidate:
-    """One evaluated chip width."""
+    """One evaluated chip width.
+
+    ``cache_hits`` / ``cache_misses`` count this candidate's subproblem
+    solves served from / stored into the canonical solve cache
+    (:mod:`repro.milp.cache`).  Parallel width workers are separate
+    processes, so the in-memory tier is per-worker; cross-candidate reuse
+    happens through the shared on-disk tier (``FloorplanConfig.cache_dir``
+    or ``$REPRO_CACHE_DIR``)."""
 
     chip_width: float
     chip_area: float
     aspect: float
     utilization: float
     score: float
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass
@@ -58,7 +67,8 @@ def _evaluate_width(netlist: Netlist, base_config: FloorplanConfig,
     score = plan.chip_area * (1.0 + aspect_weight * abs(math.log(aspect)))
     candidate = WidthCandidate(
         chip_width=cfg.chip_width, chip_area=plan.chip_area,
-        aspect=aspect, utilization=plan.utilization, score=score)
+        aspect=aspect, utilization=plan.utilization, score=score,
+        cache_hits=plan.trace.cache_hits, cache_misses=plan.trace.cache_misses)
     return candidate, plan
 
 

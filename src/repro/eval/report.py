@@ -85,6 +85,8 @@ def telemetry_report(plan: "Floorplan") -> dict[str, Any]:
         "total_solve_seconds": plan.trace.total_solve_seconds,
         "total_nodes": plan.trace.total_nodes,
         "total_lp_calls": plan.trace.total_lp_calls,
+        "cache_hits": plan.trace.cache_hits,
+        "cache_misses": plan.trace.cache_misses,
         "steps": trace["steps"],
     }
 
@@ -98,10 +100,18 @@ def canonicalize_telemetry(doc: dict[str, Any]) -> dict[str, Any]:
     counts) is deterministic for a fixed seed and backend.  Zeroing the
     timings makes two runs of the same configuration byte-identical, so CI
     can diff the artifact to catch behavioral changes.
+
+    Solve-cache provenance is stripped for the same reason: whether a solve
+    was a hit or a miss depends on cache warmth, not on the configuration,
+    and a hit serves the stored solve's telemetry — so once the provenance
+    is nulled, a cold run and a warm run of the same configuration
+    canonicalize identically.
     """
     out = json.loads(json.dumps(doc))
     out["elapsed_seconds"] = 0.0
     out["total_solve_seconds"] = 0.0
+    out["cache_hits"] = 0
+    out["cache_misses"] = 0
     for step in out.get("steps", []):
         step["solve_seconds"] = 0.0
         telemetry = step.get("telemetry")
@@ -110,6 +120,7 @@ def canonicalize_telemetry(doc: dict[str, Any]) -> dict[str, Any]:
             telemetry["incumbents"] = [
                 [0.0, objective]
                 for _seconds, objective in telemetry.get("incumbents", [])]
+            telemetry["cache"] = None
     return out
 
 

@@ -7,17 +7,28 @@ warm-start objective cutoff) and the *reduced* form is handed to the
 backend; the returned solution is postsolved back to the original space, so
 callers — including the independent certifier — never see reduced-space
 values.
+
+It is also the single choke point for the canonical solve cache
+(:mod:`repro.milp.cache`): with ``cache=...`` every backend — bnb, simplex,
+highs, portfolio — checks the cache before solving and stores
+proven-optimal results after.  A hit is served only after it re-certifies
+against the requesting model's raw standard form; a hit that fails
+certification is evicted and the model is re-solved.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Sequence
+import time
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.milp.expr import Variable
 from repro.milp.model import Model, StandardForm
 from repro.milp.solution import Solution, SolveStatus
+
+if TYPE_CHECKING:
+    from repro.milp.cache import SolveCache
 
 
 def _solve_highs(model: Model, **options) -> Solution:
@@ -100,6 +111,7 @@ def solve(model: Model, backend: str = "highs", *,
           presolve: bool = False,
           warm_start: Mapping[Variable, float] | None = None,
           symmetry_groups: Sequence[Sequence[Variable]] = (),
+          cache: "SolveCache | None" = None,
           **options) -> Solution:
     """Solve ``model`` with the named backend.
 
@@ -119,6 +131,15 @@ def solve(model: Model, backend: str = "highs", *,
             ``presolve=True``, adds an objective-cutoff row for any backend.
         symmetry_groups: groups of interchangeable variables handed to
             presolve for symmetry-breaking rows (ignored without presolve).
+        cache: a :class:`~repro.milp.cache.SolveCache`; when given, the
+            model's canonical structural hash is looked up before any
+            solving happens, and a proven-OPTIMAL result is stored after.
+            Hits are re-certified against the raw standard form before
+            being served (see :mod:`repro.milp.cache`).  The key folds in
+            ``backend``, ``presolve``, warm-start presence, and the
+            ``mip_rel_gap`` / ``int_tol`` tolerances, so configurations
+            that could return different optimal vertices never share an
+            entry.
         **options: backend-specific options such as ``time_limit``,
             ``mip_rel_gap``, ``node_limit``, ``lp_engine``, ``int_tol``.
 
@@ -131,14 +152,57 @@ def solve(model: Model, backend: str = "highs", *,
         raise ValueError(
             f"unknown backend {backend!r}; available: {available_backends()}"
         ) from None
+
+    form: StandardForm | None = None
+    cache_key: str | None = None
+    key_seconds = 0.0
+    if cache is not None:
+        from repro.milp import cache as cache_mod
+
+        form = model.to_standard_form()
+        started = time.perf_counter()
+        cache_key = cache_mod.canonical_form_key(form, context=(
+            backend, bool(presolve), warm_start is not None,
+            cache_mod._q(float(options.get("mip_rel_gap", 1e-4))),
+            cache_mod._q(float(options.get("int_tol", 1e-6)))))
+        key_seconds = time.perf_counter() - started
+        cache.stats.key_seconds += key_seconds
+        served = cache_mod.serve_cached(
+            cache, cache_key, model, form,
+            int_tol=float(options.get("int_tol", 1e-6)),
+            mip_rel_gap=float(options.get("mip_rel_gap", 1e-4)),
+            key_seconds=key_seconds)
+        if served is not None:
+            return served
+
+    solution = _solve_uncached(fn, model, backend, form,
+                               presolve=presolve, warm_start=warm_start,
+                               symmetry_groups=symmetry_groups, **options)
+    if cache is not None and cache_key is not None and form is not None:
+        from repro.milp import cache as cache_mod
+
+        cache_mod.record_store(cache, cache_key, solution, form,
+                               key_seconds=key_seconds)
+    return solution
+
+
+def _solve_uncached(fn: Callable[..., Solution], model: Model, backend: str,
+                    form: StandardForm | None, *, presolve: bool,
+                    warm_start: Mapping[Variable, float] | None,
+                    symmetry_groups: Sequence[Sequence[Variable]],
+                    **options) -> Solution:
+    """The pre-cache solve path: optional presolve, then the backend."""
     if not presolve:
         if warm_start is not None and backend in _WARM_START_BACKENDS:
             options["warm_start"] = warm_start
+        if form is not None:
+            options["form"] = form
         return fn(model, **options)
 
     from repro.milp.presolve import internal_objective, presolve_form
 
-    form = model.to_standard_form()
+    if form is None:
+        form = model.to_standard_form()
     cutoff = internal_objective(form, warm_start) if warm_start else None
     result = presolve_form(
         form, symmetry_groups=symmetry_groups, objective_cutoff=cutoff,

@@ -46,6 +46,12 @@ class SolveTelemetry:
             when presolve ran for this solve, else None.  ``n_variables`` /
             ``n_constraints`` describe the form the backend actually saw
             (the reduced one); the presolve dict records the originals.
+        cache: solve-cache provenance when the solve went through the
+            canonical solve cache (:mod:`repro.milp.cache`), else None:
+            ``{"hit": bool, "tier": "memory"|"disk"|None, "key": <prefix>,
+            "key_seconds": float, "recertified": bool}``.  On a hit the
+            other fields (nodes, LP calls, incumbents) are those of the
+            original stored solve.
     """
 
     backend: str = ""
@@ -59,6 +65,7 @@ class SolveTelemetry:
     n_integer: int = 0
     n_constraints: int = 0
     presolve: dict[str, Any] | None = None
+    cache: dict[str, Any] | None = None
 
     def record_incumbent(self, seconds: float, objective: float) -> None:
         """Append one incumbent improvement."""
@@ -80,6 +87,7 @@ class SolveTelemetry:
             "n_integer": self.n_integer,
             "n_constraints": self.n_constraints,
             "presolve": self.presolve,
+            "cache": self.cache,
         }
 
     @classmethod
@@ -99,4 +107,5 @@ class SolveTelemetry:
             n_integer=data.get("n_integer", 0),
             n_constraints=data.get("n_constraints", 0),
             presolve=data.get("presolve"),
+            cache=data.get("cache"),
         )

@@ -265,6 +265,8 @@ def _config_to_dict(config: FloorplanConfig) -> dict[str, Any]:
         "certify": config.certify,
         "presolve": config.presolve,
         "warm_start": config.warm_start,
+        "solve_cache": config.solve_cache,
+        "cache_dir": config.cache_dir,
     }
 
 

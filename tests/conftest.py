@@ -5,10 +5,36 @@ from __future__ import annotations
 import pytest
 
 from repro.core.config import FloorplanConfig
+from repro.milp.cache import CACHE_DIR_ENV, clear_caches
 from repro.netlist.module import Module, PinCounts
 from repro.netlist.net import Net
 from repro.netlist.netlist import Netlist
 from repro.routing.technology import Technology
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite tests/goldens/*.json from the current run instead of "
+             "comparing against them")
+
+
+@pytest.fixture
+def update_goldens(request: pytest.FixtureRequest) -> bool:
+    """True when the run should rewrite the golden files."""
+    return bool(request.config.getoption("--update-goldens"))
+
+
+@pytest.fixture(autouse=True)
+def _isolate_solve_cache(monkeypatch: pytest.MonkeyPatch):
+    """Every test starts with no process-wide solve cache and no ambient
+    cache directory, so hits can never leak between tests (or from the
+    developer's ``~/.cache``) and determinism-sensitive assertions stay
+    meaningful."""
+    monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+    clear_caches()
+    yield
+    clear_caches()
 
 
 @pytest.fixture

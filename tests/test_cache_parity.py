@@ -1,0 +1,125 @@
+"""Cache-parity and collision-resistance tests.
+
+The cache must be invisible in every output: a warm run may only be
+*faster*, never different.  These tests pin that down end-to-end (cold vs
+warm pipeline runs byte-compare identically after canonicalization) and at
+the key level (a property test over the differential-fuzz generator asserts
+distinct canonical texts and distinct keys coincide — no collisions, no
+spurious splits).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core.config import FloorplanConfig
+from repro.core.floorplanner import Floorplanner
+from repro.core.width_search import search_chip_width
+from repro.check.fuzz import generate_model
+from repro.eval.report import canonicalize_telemetry, telemetry_report
+from repro.milp.cache import canonical_form_key, canonical_form_text, \
+    clear_caches, get_cache
+from repro.netlist.generators import random_netlist
+
+
+def _canonical_text(plan) -> str:
+    return json.dumps(canonicalize_telemetry(telemetry_report(plan)),
+                      indent=1, sort_keys=True)
+
+
+def _run(netlist, cache_dir) -> tuple:
+    config = FloorplanConfig(subproblem_time_limit=10.0,
+                             relinearization_rounds=1,
+                             cache_dir=str(cache_dir))
+    plan = Floorplanner(netlist, config).run()
+    return plan, _canonical_text(plan)
+
+
+def test_cold_vs_warm_pipeline_parity(tmp_path):
+    """A warm second run (fresh process simulated by dropping the memory
+    tier) serves hits from disk and reproduces the cold run byte-for-byte
+    after canonicalization."""
+    netlist = random_netlist(8, seed=3)
+    cold_plan, cold_text = _run(netlist, tmp_path)
+    assert cold_plan.trace.cache_hits == 0
+
+    clear_caches()  # new-process simulation: memory gone, disk remains
+    warm_plan, warm_text = _run(netlist, tmp_path)
+
+    assert warm_plan.trace.cache_hits > 0
+    assert warm_plan.trace.cache_misses == 0
+    stats = get_cache(str(tmp_path)).stats
+    assert stats.disk_hits > 0 and stats.rejected == 0
+    assert warm_text == cold_text
+    assert warm_plan.chip_area == pytest.approx(cold_plan.chip_area,
+                                                abs=1e-9)
+    assert warm_plan.is_legal
+
+
+def test_warm_width_search_reuses_candidate_solves(tmp_path):
+    """Re-running the width sweep against a warm disk tier serves hits and
+    returns the identical best candidate."""
+    netlist = random_netlist(6, seed=7)
+    config = FloorplanConfig(subproblem_time_limit=10.0,
+                             cache_dir=str(tmp_path))
+    cold = search_chip_width(netlist, config, n_candidates=3, workers=1)
+    clear_caches()
+    warm = search_chip_width(netlist, config, n_candidates=3, workers=1)
+
+    assert sum(c.cache_hits for c in warm.candidates) > 0
+    assert warm.best_width == pytest.approx(cold.best_width)
+    assert [c.chip_area for c in warm.candidates] == \
+        pytest.approx([c.chip_area for c in cold.candidates])
+
+
+def test_cache_disabled_leaves_no_provenance():
+    netlist = random_netlist(6, seed=3)
+    config = FloorplanConfig(subproblem_time_limit=10.0, solve_cache=False)
+    plan = Floorplanner(netlist, config).run()
+    assert plan.trace.cache_hits == 0 and plan.trace.cache_misses == 0
+    assert all(s.telemetry.cache is None
+               for s in plan.trace.steps if s.telemetry)
+
+
+def test_canonicalization_strips_cache_provenance(tmp_path):
+    """canonicalize_telemetry() must zero every cache field, otherwise the
+    cold/warm byte-diff would be vacuously broken."""
+    netlist = random_netlist(6, seed=5)
+    config = FloorplanConfig(subproblem_time_limit=10.0,
+                             cache_dir=str(tmp_path))
+    plan = Floorplanner(netlist, config).run()
+    doc = canonicalize_telemetry(telemetry_report(plan))
+    assert doc["cache_hits"] == 0 and doc["cache_misses"] == 0
+    assert all(step.get("telemetry", {}).get("cache") is None
+               for step in doc["steps"] if step.get("telemetry"))
+
+
+def test_no_collisions_across_fuzz_instances():
+    """Over a population of generator instances: equal canonical text iff
+    equal key — SHA-256 collisions are structurally impossible to observe,
+    and distinct texts never alias."""
+    forms = []
+    for seed in range(40):
+        model = generate_model(random.Random(seed))
+        forms.append(model.to_standard_form())
+    texts = [canonical_form_text(f) for f in forms]
+    keys = [canonical_form_key(f) for f in forms]
+    n_distinct_texts = len(set(texts))
+    assert n_distinct_texts == len(set(keys))
+    for i in range(len(forms)):
+        for j in range(i + 1, len(forms)):
+            assert (texts[i] == texts[j]) == (keys[i] == keys[j]), (i, j)
+    # the generator actually produces diverse structures
+    assert n_distinct_texts >= 30
+
+
+def test_rebuilt_fuzz_instances_key_identically():
+    """The same seed rebuilt from scratch hashes to the same key — keys are
+    a function of structure, not of Python object identity."""
+    for seed in range(15):
+        first = generate_model(random.Random(seed)).to_standard_form()
+        second = generate_model(random.Random(seed)).to_standard_form()
+        assert canonical_form_key(first) == canonical_form_key(second)

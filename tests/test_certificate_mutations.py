@@ -1,0 +1,159 @@
+"""Mutation tests for the independent checker.
+
+The solve cache serves a hit only after :func:`repro.check.certificate.
+check_certificate` re-certifies it, so that checker being vacuous would
+quietly disable the cache's entire safety story.  These tests solve a real
+subproblem, confirm the baseline certifies (non-vacuity), then
+systematically corrupt the solution — nudged coordinates, flipped rotation
+binaries, fractional binaries, swapped module positions, broken flexible
+areas, objective and bound lies — and assert every mutant is rejected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.check.certificate import check_certificate
+from repro.check.geometry import check_placements
+from repro.core.config import FloorplanConfig
+from repro.core.formulation import SubproblemBuilder
+from repro.geometry.rect import Rect
+from repro.milp.solvers.registry import solve
+from repro.netlist.module import Module
+
+
+def _mutate(solution, **changes):
+    return dataclasses.replace(solution, **changes)
+
+
+def _set_value(solution, name, value):
+    values = dict(solution.values)
+    var = next(v for v in values if v.name == name)
+    values[var] = value
+    return _mutate(solution, values=values)
+
+
+@pytest.fixture(scope="module")
+def solved():
+    """One solved rigid-window subproblem shared by all mutants."""
+    window = [
+        Module.rigid("a", 4.0, 3.0),
+        Module.rigid("b", 2.0, 5.0),
+        Module.rigid("c", 3.0, 3.0),
+    ]
+    chip_width = 8.0
+    builder = SubproblemBuilder(window, [], chip_width, FloorplanConfig())
+    solution = solve(builder.model, backend="highs")
+    return builder, solution, chip_width
+
+
+def test_baseline_certifies(solved):
+    """Non-vacuity: the unmutated solution passes every check."""
+    builder, solution, chip_width = solved
+    report = check_certificate(builder.model, solution)
+    assert report.ok, [v.detail for v in report.violations]
+    assert report.n_constraints > 0 and report.n_variables > 0
+    placements = builder.decode(solution)
+    chip = Rect(0.0, 0.0, chip_width,
+                max(p.rect.y2 for p in placements))
+    assert check_placements(placements, chip).ok
+
+
+def test_nudged_coordinate_is_rejected(solved):
+    """Pushing a module past the chip width breaks a constraint row."""
+    builder, solution, chip_width = solved
+    mutant = _set_value(solution, "x[a]", chip_width - 0.5)
+    report = check_certificate(builder.model, mutant)
+    assert not report.ok
+    assert any(v.kind in ("constraint", "variable-bound")
+               for v in report.violations)
+
+
+def test_flipped_rotation_binary_is_rejected(solved):
+    """Flipping z[name] changes the module's effective dims; the linking
+    rows no longer hold."""
+    builder, solution, _w = solved
+    z = next(v for v in solution.values if v.name == "z[a]")
+    mutant = _set_value(solution, "z[a]",
+                        1.0 - round(solution.values[z]))
+    report = check_certificate(builder.model, mutant)
+    assert not report.ok
+    assert any(v.kind == "constraint" for v in report.violations)
+
+
+def test_fractional_binary_is_rejected(solved):
+    """A relaxed binary must trip the integrality check."""
+    builder, solution, _w = solved
+    binaries = [v.name for v in solution.values
+                if v.name.startswith(("z[", "p[", "q["))]
+    assert binaries
+    mutant = _set_value(solution, binaries[0], 0.5)
+    report = check_certificate(builder.model, mutant)
+    assert any(v.kind == "integrality" for v in report.violations)
+
+
+def test_swapped_positions_are_rejected(solved):
+    """Swapping two differently-sized modules' positions makes them overlap
+    or escape the chip — the geometry checker must notice."""
+    builder, solution, chip_width = solved
+    values = dict(solution.values)
+    by_name = {v.name: v for v in values}
+    for name_a, name_b in (("x[a]", "x[b]"), ("y[a]", "y[b]")):
+        va, vb = by_name[name_a], by_name[name_b]
+        values[va], values[vb] = values[vb], values[va]
+    mutant = _mutate(solution, values=values)
+    placements = builder.decode(mutant)
+    chip = Rect(0.0, 0.0, chip_width,
+                max(p.rect.y2 for p in builder.decode(solution)))
+    geometry = check_placements(placements, chip)
+    certificate = check_certificate(builder.model, mutant)
+    assert not geometry.ok or not certificate.ok
+
+
+def test_broken_flexible_area_is_rejected():
+    """Shrinking a flexible module below its contracted area violates area
+    conservation in the geometry check."""
+    flex = Module.flexible_area("f", 9.0, aspect_low=0.5, aspect_high=2.0)
+    rigid = Module.rigid("r", 3.0, 3.0)
+    builder = SubproblemBuilder([flex, rigid], [], 8.0, FloorplanConfig())
+    solution = solve(builder.model, backend="highs")
+    placements = builder.decode(solution)
+    chip = Rect(0.0, 0.0, 8.0, max(p.rect.y2 for p in placements))
+    assert check_placements(placements, chip).ok
+
+    shrunk = []
+    for p in placements:
+        if p.module.flexible:
+            rect = Rect(p.rect.x, p.rect.y, p.rect.w, p.rect.h * 0.5)
+            p = dataclasses.replace(p, rect=rect,
+                                    envelope=dataclasses.replace(
+                                        p.envelope, h=p.envelope.h * 0.5))
+        shrunk.append(p)
+    report = check_placements(shrunk, chip)
+    assert not report.ok
+    assert any("area" in v.detail.lower() for v in report.violations)
+
+
+def test_objective_lie_is_rejected(solved):
+    builder, solution, _w = solved
+    mutant = _mutate(solution, objective=solution.objective + 10.0)
+    report = check_certificate(builder.model, mutant)
+    assert any(v.kind == "objective" for v in report.violations)
+
+
+def test_bound_cutting_off_incumbent_is_rejected(solved):
+    """A minimization dual bound above the feasible objective is a lie."""
+    builder, solution, _w = solved
+    mutant = _mutate(solution, bound=solution.objective + 10.0)
+    report = check_certificate(builder.model, mutant)
+    assert any(v.kind == "bound" for v in report.violations)
+
+
+def test_optimal_without_bound_is_rejected(solved):
+    builder, solution, _w = solved
+    mutant = _mutate(solution, bound=math.nan)
+    report = check_certificate(builder.model, mutant)
+    assert any(v.kind == "bound" for v in report.violations)

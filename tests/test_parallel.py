@@ -63,6 +63,84 @@ class TestParallelMap:
             parallel_map(lambda x: 1 // x, [1, 0], workers=1)
 
 
+def _store_blob(args):
+    """Hammer one cache key from a worker process (module-level so it
+    pickles)."""
+    cache_dir, key, payload = args
+    from repro.milp.cache import SolveCache
+
+    cache = SolveCache(cache_dir)
+    for _ in range(20):
+        cache.store(key, payload)
+    blob, _tier = cache.lookup(key, len(payload["values"]))
+    return blob is not None
+
+
+class TestConcurrentDiskCache:
+    """The on-disk tier must survive parallel width workers racing on the
+    same keys: atomic-rename writes, corrupt blobs treated as misses."""
+
+    def _payload(self, tag: float) -> dict:
+        from repro.milp.cache import BLOB_VERSION
+
+        return {"version": BLOB_VERSION, "status": "optimal",
+                "objective": tag, "values": [tag, tag], "n_variables": 2}
+
+    def test_concurrent_writers_same_key(self, tmp_path):
+        """N processes x 20 writes to one key: every read sees a complete
+        blob (one of the writers' payloads, never a torn file)."""
+        jobs = [(str(tmp_path), "sharedkey", self._payload(float(i)))
+                for i in range(4)]
+        results = parallel_map(_store_blob, jobs, workers=4)
+        assert all(results)
+
+        import json
+
+        final = json.loads((tmp_path / "sharedkey.json").read_text())
+        assert final in [self._payload(float(i)) for i in range(4)]
+        assert not list(tmp_path.glob("*.tmp")), "no temp files leaked"
+
+    def test_concurrent_writers_distinct_keys(self, tmp_path):
+        jobs = [(str(tmp_path), f"key{i}", self._payload(float(i)))
+                for i in range(6)]
+        assert all(parallel_map(_store_blob, jobs, workers=3))
+        assert len(list(tmp_path.glob("key*.json"))) == 6
+
+    def test_truncated_blob_is_miss_not_crash(self, tmp_path):
+        from repro.milp.cache import SolveCache
+
+        cache = SolveCache(tmp_path)
+        cache.store("good", self._payload(1.0))
+        # Simulate a writer killed mid-write before the rename discipline
+        # existed: a directly-written partial file.
+        (tmp_path / "torn.json").write_text('{"version": 1, "val')
+        blob, tier = cache.lookup("torn", 2)
+        assert blob is None and tier is None
+        assert not (tmp_path / "torn.json").exists()
+        blob, _ = cache.lookup("good", 2)
+        assert blob is not None
+
+    def test_parallel_width_search_shares_disk_tier(self, tmp_path,
+                                                    monkeypatch):
+        """A warm parallel sweep re-serves the cold sweep's solves through
+        the disk tier and stays bit-identical to it."""
+        from repro.milp.cache import clear_caches
+
+        netlist = random_netlist(6, seed=3)
+        config = FloorplanConfig(subproblem_time_limit=10.0,
+                                 cache_dir=str(tmp_path))
+        cold = search_chip_width(netlist, config, n_candidates=3, workers=3)
+        assert list(tmp_path.glob("*.json")), "cold sweep populated the disk"
+        clear_caches()
+        warm = search_chip_width(netlist, config, n_candidates=3, workers=3)
+        assert sum(c.cache_hits for c in warm.candidates) > 0
+        assert warm.best_width == cold.best_width
+        assert [c.score for c in warm.candidates] == \
+            [c.score for c in cold.candidates]
+        assert {n: p.rect for n, p in warm.best.placements.items()} \
+            == {n: p.rect for n, p in cold.best.placements.items()}
+
+
 class TestParallelWidthSearch:
     def test_parallel_matches_serial(self):
         netlist = random_netlist(6, seed=3)

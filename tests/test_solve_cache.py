@@ -1,0 +1,271 @@
+"""Unit tests of the canonical solve cache (:mod:`repro.milp.cache`).
+
+Covers the canonical key (stability, row-order/scaling/sign invariance,
+difference detection), the two storage tiers (LRU eviction, disk roundtrip,
+corrupt-blob handling), and the registry integration (hit/store counters,
+telemetry provenance, the poisoned-hit evict-and-resolve path).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.milp import cache as cache_mod
+from repro.milp.cache import (
+    CACHE_DIR_ENV,
+    SolveCache,
+    blob_from_solution,
+    canonical_form_key,
+    canonical_form_text,
+    clear_caches,
+    get_cache,
+    record_store,
+    resolve_cache_dir,
+)
+from repro.milp.model import Model
+from repro.milp.solution import Solution, SolveStatus
+from repro.milp.solvers.registry import solve
+
+
+def _small_model(*, flip_row=False, scale_row=1.0, coefficient=4.0,
+                 reorder=False) -> Model:
+    """A tiny MILP whose structural variants the key tests exercise."""
+    m = Model("t")
+    x = m.add_continuous("x", lb=0.0, ub=10.0)
+    b = m.add_binary("b")
+
+    def row1():
+        if flip_row:
+            m.add_constraint(-scale_row * x - scale_row * coefficient * b
+                             >= -scale_row * 8.0)
+        else:
+            m.add_constraint(scale_row * x + scale_row * coefficient * b
+                             <= scale_row * 8.0)
+
+    def row2():
+        m.add_constraint(x - 2.0 * b >= -1.0)
+
+    if reorder:
+        row2(), row1()
+    else:
+        row1(), row2()
+    m.set_objective(-(x + 2.0 * b))
+    return m
+
+
+def _form(**kwargs):
+    return _small_model(**kwargs).to_standard_form()
+
+
+class TestCanonicalKey:
+    def test_stable_across_rebuilds(self):
+        assert canonical_form_key(_form()) == canonical_form_key(_form())
+
+    def test_row_order_invariant(self):
+        assert canonical_form_key(_form()) == \
+            canonical_form_key(_form(reorder=True))
+
+    def test_row_scaling_invariant(self):
+        assert canonical_form_key(_form()) == \
+            canonical_form_key(_form(scale_row=3.5))
+
+    def test_row_sign_invariant(self):
+        """A row and its negation (bounds swapped) are the same constraint."""
+        assert canonical_form_key(_form()) == \
+            canonical_form_key(_form(flip_row=True))
+
+    def test_detects_coefficient_change(self):
+        assert canonical_form_key(_form()) != \
+            canonical_form_key(_form(coefficient=4.0001))
+
+    def test_detects_variable_class_change(self):
+        m = Model("t")
+        x = m.add_continuous("x", lb=0.0, ub=10.0)
+        c = m.add_continuous("b", lb=0.0, ub=1.0)  # continuous, not binary
+        m.add_constraint(x + 4.0 * c <= 8.0)
+        m.add_constraint(x - 2.0 * c >= -1.0)
+        m.set_objective(-(x + 2.0 * c))
+        assert canonical_form_key(m.to_standard_form()) != \
+            canonical_form_key(_form())
+
+    def test_context_splits_keys(self):
+        form = _form()
+        assert canonical_form_key(form, context=("highs",)) != \
+            canonical_form_key(form, context=("bnb",))
+
+    def test_quantization_absorbs_float_noise(self):
+        form_a = _form(scale_row=1.0)
+        form_b = _form(scale_row=1.0 + 1e-15)
+        assert canonical_form_key(form_a) == canonical_form_key(form_b)
+
+    def test_distinct_keys_iff_distinct_texts(self):
+        forms = [_form(), _form(coefficient=5.0), _form(reorder=True)]
+        texts = [canonical_form_text(f) for f in forms]
+        keys = [canonical_form_key(f) for f in forms]
+        for i in range(len(forms)):
+            for j in range(len(forms)):
+                assert (texts[i] == texts[j]) == (keys[i] == keys[j])
+
+
+def _optimal_solution(model: Model) -> Solution:
+    return solve(model, backend="highs")
+
+
+class TestTiers:
+    def test_memory_roundtrip(self):
+        model = _small_model()
+        form = model.to_standard_form()
+        cache = SolveCache()
+        key = canonical_form_key(form)
+        blob = blob_from_solution(_optimal_solution(model), form)
+        cache.store(key, blob)
+        found, tier = cache.lookup(key, len(form.variables))
+        assert found == blob and tier == "memory"
+
+    def test_lru_eviction(self):
+        cache = SolveCache(max_entries=2)
+        blob = {"version": cache_mod.BLOB_VERSION,
+                "status": "optimal", "objective": 0.0, "values": []}
+        for key in ("a", "b", "c"):
+            cache.store(key, dict(blob))
+        assert cache.n_memory_entries == 2
+        found, _ = cache.lookup("a", 0)
+        assert found is None  # oldest entry evicted
+
+    def test_disk_roundtrip(self, tmp_path):
+        model = _small_model()
+        form = model.to_standard_form()
+        blob = blob_from_solution(_optimal_solution(model), form)
+        key = canonical_form_key(form)
+        writer = SolveCache(tmp_path)
+        writer.store(key, blob)
+        reader = SolveCache(tmp_path)  # fresh memory tier
+        found, tier = reader.lookup(key, len(form.variables))
+        assert found == blob and tier == "disk"
+
+    @pytest.mark.parametrize("payload", [
+        "{ truncated", "", "[1, 2, 3]", "\x00\x01garbage"])
+    def test_corrupt_blob_is_miss_and_removed(self, tmp_path, payload):
+        cache = SolveCache(tmp_path)
+        path = tmp_path / "deadbeef.json"
+        path.write_text(payload)
+        found, tier = cache.lookup("deadbeef", 3)
+        assert found is None and tier is None
+        assert not path.exists()
+
+    def test_wrong_column_count_is_miss(self, tmp_path):
+        cache = SolveCache(tmp_path)
+        blob = {"version": cache_mod.BLOB_VERSION, "status": "optimal",
+                "objective": 1.0, "values": [1.0, 2.0]}
+        cache.store("k", blob)
+        found, _ = cache.lookup("k", 3)
+        assert found is None
+
+    def test_env_var_resolution(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        assert resolve_cache_dir(None) == str(tmp_path)
+        assert resolve_cache_dir("explicit") == "explicit"
+        monkeypatch.delenv(CACHE_DIR_ENV)
+        assert resolve_cache_dir(None) is None
+
+    def test_get_cache_shares_instances(self, tmp_path):
+        clear_caches()
+        assert get_cache(tmp_path) is get_cache(tmp_path)
+        assert get_cache(None) is not get_cache(tmp_path)
+
+
+class TestRegistryIntegration:
+    def test_hit_after_store(self):
+        model = _small_model()
+        cache = SolveCache()
+        first = solve(model, backend="highs", cache=cache)
+        second = solve(model, backend="highs", cache=cache)
+        assert first.status is SolveStatus.OPTIMAL
+        assert math.isclose(first.objective, second.objective)
+        assert first.telemetry.cache["hit"] is False
+        assert second.telemetry.cache["hit"] is True
+        assert second.telemetry.cache["recertified"] is True
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_backends_do_not_share_entries(self):
+        model = _small_model()
+        cache = SolveCache()
+        solve(model, backend="highs", cache=cache)
+        other = solve(model, backend="bnb", cache=cache)
+        assert other.telemetry.cache["hit"] is False
+
+    def test_values_rebound_to_requesting_model(self):
+        """A hit's values must be keyed by the *new* model's Variables."""
+        cache = SolveCache()
+        solve(_small_model(), backend="highs", cache=cache)
+        rebuilt = _small_model()
+        served = solve(rebuilt, backend="highs", cache=cache)
+        assert served.telemetry.cache["hit"] is True
+        names = {v.name for v in served.values}
+        assert names == {v.name
+                         for v in rebuilt.to_standard_form().variables}
+        for var in rebuilt.to_standard_form().variables:
+            assert var in served.values
+
+    def test_non_optimal_is_not_stored(self):
+        m = Model("infeasible")
+        x = m.add_continuous("x", lb=0.0, ub=1.0)
+        m.add_constraint(x >= 2.0)
+        m.set_objective(x)
+        cache = SolveCache()
+        solution = solve(m, backend="highs", cache=cache)
+        assert solution.status is not SolveStatus.OPTIMAL
+        assert cache.stats.stores == 0
+        assert cache.n_memory_entries == 0
+
+    def test_poisoned_hit_is_evicted_and_resolved(self, tmp_path):
+        """A blob claiming a wrong objective must fail re-certification,
+        be evicted, and the model re-solved correctly."""
+        model = _small_model()
+        form = model.to_standard_form()
+        cache = SolveCache(tmp_path)
+        honest = solve(model, backend="highs", cache=cache)
+        key = [p.stem for p in tmp_path.glob("*.json")]
+        assert len(key) == 1
+        path = tmp_path / f"{key[0]}.json"
+        poisoned = json.loads(path.read_text())
+        poisoned["objective"] = honest.objective - 5.0
+        path.write_text(json.dumps(poisoned))
+        cache.clear()  # force the disk tier to answer
+
+        solution = solve(model, backend="highs", cache=cache)
+        assert solution.telemetry.cache["hit"] is False
+        assert math.isclose(solution.objective, honest.objective)
+        assert cache.stats.rejected == 1
+        assert cache.stats.evictions == 1
+        # the honest re-solve overwrote the poisoned blob
+        restored = json.loads(path.read_text())
+        assert math.isclose(restored["objective"], honest.objective)
+        assert len(form.variables) == len(restored["values"])
+
+    def test_store_not_cacheable_annotates_telemetry(self):
+        """Even a non-cacheable solve carries miss provenance."""
+        m = Model("infeasible")
+        x = m.add_continuous("x", lb=0.0, ub=1.0)
+        m.add_constraint(x >= 2.0)
+        m.set_objective(x)
+        cache = SolveCache()
+        solution = solve(m, backend="highs", cache=cache)
+        assert solution.telemetry.cache is not None
+        assert solution.telemetry.cache["hit"] is False
+
+    def test_record_store_rejects_partial_values(self):
+        model = _small_model()
+        form = model.to_standard_form()
+        solution = _optimal_solution(model)
+        values = dict(solution.values)
+        values.pop(next(iter(values)))
+        import dataclasses
+
+        partial = dataclasses.replace(solution, values=values)
+        cache = SolveCache()
+        assert record_store(cache, "k", partial, form) is False
+        assert cache.n_memory_entries == 0
