@@ -1,0 +1,151 @@
+"""Bench-regression gate: compare perf-trajectory artifacts to the baseline.
+
+``bench_suite.py`` emits one ``BENCH_<rev>.json`` per run (wall time, B&B
+nodes, LP calls, cache hits per fixture).  This gate compares one or more
+candidate artifacts — CI runs the quick bench three times and passes all
+three, so the wall-time comparison uses the per-fixture *median* — against
+the committed ``benchmarks/BENCH_baseline.json``:
+
+* **wall time** (noisy): fail when the median regresses more than
+  ``--threshold`` (default 20%) on any fixture;
+* **nodes / LP calls** (noise-free): fully deterministic for a fixed
+  revision, so any growth beyond the threshold is an algorithmic
+  regression even when wall-clock noise masks it — also a failure.
+
+When wall time regresses but the deterministic counters are unchanged, the
+failure message says so: that pattern is machine noise or an environment
+change, and the fix is a re-run or a baseline refresh, not a revert.
+
+A commit message containing ``[bench-skip]`` skips the gate (CI passes the
+message via ``--commit-message``; the workflow-level ``if:`` guard is the
+belt, this is the suspenders for local use).
+
+Refresh the baseline after an intentional perf change::
+
+    REPRO_BENCH_QUICK=1 PYTHONPATH=src python -m pytest benchmarks/bench_suite.py -q
+    cp benchmarks/results/BENCH_<rev>.json benchmarks/BENCH_baseline.json
+
+Exit status: 0 = pass (or skipped), 1 = regression, 2 = bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+#: Default allowed relative regression on every gated metric.
+DEFAULT_THRESHOLD = 0.20
+
+#: The commit-message escape hatch.
+SKIP_TOKEN = "[bench-skip]"
+
+#: Metrics gated per fixture: (key, noisy?).  Noisy metrics use the median
+#: across candidate artifacts; deterministic ones must agree across runs.
+GATED_METRICS = (
+    ("wall_seconds", True),
+    ("nodes", False),
+    ("lp_calls", False),
+)
+
+
+def load_artifact(path: str | Path) -> dict:
+    """Load one ``BENCH_*.json`` document, validating the schema version."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("version") != 1 or "fixtures" not in doc:
+        raise ValueError(f"{path} is not a version-1 BENCH artifact")
+    return doc
+
+
+def compare(baseline: dict, candidates: list[dict], *,
+            threshold: float = DEFAULT_THRESHOLD) -> list[str]:
+    """The list of regression messages (empty = gate passes).
+
+    Fixtures present only on one side are reported too: a fixture silently
+    vanishing from the bench is itself a gate failure (coverage loss), and
+    a new fixture just needs a baseline refresh.
+    """
+    failures: list[str] = []
+    base_fixtures = baseline["fixtures"]
+    cand_names = set()
+    for doc in candidates:
+        cand_names.update(doc["fixtures"])
+    for name in sorted(set(base_fixtures) - cand_names):
+        failures.append(f"{name}: fixture present in the baseline but "
+                        f"missing from the candidate run")
+    for name in sorted(cand_names - set(base_fixtures)):
+        failures.append(f"{name}: fixture has no baseline entry — refresh "
+                        f"benchmarks/BENCH_baseline.json")
+
+    for name in sorted(set(base_fixtures) & cand_names):
+        base = base_fixtures[name]
+        samples = [doc["fixtures"][name] for doc in candidates
+                   if name in doc["fixtures"]]
+        fixture_msgs: list[str] = []
+        deterministic_clean = True
+        for key, noisy in GATED_METRICS:
+            base_value = float(base[key])
+            values = [float(s[key]) for s in samples]
+            value = statistics.median(values) if noisy else max(values)
+            limit = base_value * (1.0 + threshold)
+            if value > limit and value - base_value > 1e-9:
+                kind = "median " if noisy and len(values) > 1 else ""
+                fixture_msgs.append(
+                    f"{name}: {kind}{key} regressed "
+                    f"{value:g} vs baseline {base_value:g} "
+                    f"(> +{threshold:.0%})")
+                if not noisy:
+                    deterministic_clean = False
+        if fixture_msgs and deterministic_clean and \
+                all("wall_seconds" in m for m in fixture_msgs):
+            fixture_msgs[-1] += (
+                " — node/LP-call counts are unchanged, so this looks like "
+                "machine noise or an environment change; re-run, or refresh "
+                "the baseline if the slowdown is expected")
+        failures.extend(fixture_msgs)
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate BENCH_*.json perf artifacts against the baseline.")
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_baseline.json")
+    parser.add_argument("--candidate", required=True, nargs="+",
+                        help="one or more BENCH_<rev>.json artifacts; wall "
+                             "time gates on their per-fixture median")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed relative regression (default 0.20)")
+    parser.add_argument("--commit-message", default="",
+                        help=f"skip the gate when it contains {SKIP_TOKEN!r}")
+    args = parser.parse_args(argv)
+
+    if SKIP_TOKEN in args.commit_message:
+        print(f"bench gate skipped: commit message contains {SKIP_TOKEN!r}")
+        return 0
+
+    try:
+        baseline = load_artifact(args.baseline)
+        candidates = [load_artifact(p) for p in args.candidate]
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"bench gate: cannot load artifacts: {exc}", file=sys.stderr)
+        return 2
+
+    failures = compare(baseline, candidates, threshold=args.threshold)
+    n = len(baseline["fixtures"])
+    if failures:
+        print(f"bench gate FAILED ({len(failures)} regression(s) over "
+              f"{n} baseline fixture(s)):")
+        for msg in failures:
+            print(f"  - {msg}")
+        return 1
+    print(f"bench gate passed: {n} fixture(s) within "
+          f"+{args.threshold:.0%} of baseline "
+          f"across {len(candidates)} run(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Profile smoke gate: keep the solve hot paths vectorized.
+
+Runs :func:`benchmarks.bench_suite.run_ami33_trajectory` — the quick-mode
+ami33 trajectory on the own branch-and-bound, the same fixture the bench
+gate tracks — under :mod:`cProfile`, dumps the ``pstats`` file as a CI
+artifact, and fails when any single pure-python frame outside numpy/scipy
+spends more than ``--threshold`` (default 40%) of the profiled time.
+
+The share is measured on each frame's *own* (self) time: cumulative time
+cannot distinguish a hot spot from its drivers — the trajectory runner's
+cumulative share is 100% by construction — while a frame whose own time
+dominates is exactly a python-level loop that should have been a numpy
+row operation.  Before the vectorization pass, the scalar branch-and-bound
+node loop and per-row constraint assembly each held shares this gate
+would reject; it exists so they cannot silently re-degrade.
+
+Frames inside numpy/scipy (and the interpreter/profiler machinery) are
+exempt: time spent there is the vectorized kernels doing their job.
+
+Exit status: 0 = pass, 1 = a frame breached the threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+#: Maximum self-time share one python frame may hold.
+DEFAULT_THRESHOLD = 0.40
+
+#: Path fragments whose frames are exempt (vectorized kernels + machinery).
+EXEMPT_FRAGMENTS = ("numpy", "scipy", "<frozen", "~", "cProfile.py",
+                    "pstats.py")
+
+
+def frame_shares(stats: pstats.Stats) -> list[tuple[float, str]]:
+    """``(self_time_share, frame_label)`` per non-exempt python frame,
+    largest first."""
+    total = stats.total_tt
+    if total <= 0.0:
+        return []
+    shares: list[tuple[float, str]] = []
+    for (filename, lineno, funcname), (_cc, _nc, tottime, _ct, _callers) \
+            in stats.stats.items():
+        if any(fragment in filename for fragment in EXEMPT_FRAGMENTS):
+            continue
+        label = f"{filename}:{lineno}({funcname})"
+        shares.append((tottime / total, label))
+    shares.sort(reverse=True)
+    return shares
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cProfile the ami33 trajectory and gate hot frames.")
+    parser.add_argument("--out", default="benchmarks/results/profile_ami33.pstats",
+                        help="where to dump the pstats file (CI artifact)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="max self-time share per python frame "
+                             "(default 0.40)")
+    parser.add_argument("--top", type=int, default=15,
+                        help="how many frames to print")
+    args = parser.parse_args(argv)
+
+    # Runnable as `python benchmarks/profile_gate.py` (script dir on
+    # sys.path, repo root not): anchor the package import explicitly.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.bench_suite import run_ami33_trajectory
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_ami33_trajectory()
+    profiler.disable()
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    profiler.dump_stats(out)
+    stats = pstats.Stats(profiler)
+    shares = frame_shares(stats)
+
+    print(f"profiled ami33 trajectory: {stats.total_tt:.2f}s total, "
+          f"pstats dumped to {out}")
+    print(f"top python frames outside numpy/scipy (gate: {args.threshold:.0%}):")
+    for share, label in shares[:args.top]:
+        print(f"  {share:6.1%}  {label}")
+
+    breaches = [(share, label) for share, label in shares
+                if share > args.threshold]
+    if breaches:
+        print("profile gate FAILED — pure-python hot frame(s) above the "
+              "threshold (a loop that should be a vectorized row operation):")
+        for share, label in breaches:
+            print(f"  {share:6.1%}  {label}")
+        return 1
+    top_share = shares[0][0] if shares else 0.0
+    print(f"profile gate passed: hottest python frame holds {top_share:.1%} "
+          f"<= {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,7 +37,7 @@ from repro.check.certificate import check_certificate
 from repro.milp.expr import VarKind, lin_sum
 from repro.milp.model import Model, ObjectiveSense
 from repro.milp.solution import Solution, SolveStatus
-from repro.milp.solvers.registry import available_backends, solve
+from repro.milp.solvers.registry import available_backends, solve_many
 from repro.serialize import model_from_dict, model_to_dict
 
 #: Relative tolerance when comparing objective claims across backends.
@@ -183,10 +183,79 @@ def backends_for(model: Model,
                  if b != "simplex" or model.is_pure_lp())
 
 
+def _variant_plan(model: Model, backends: Sequence[str] | None,
+                  presolve_axis: bool, node_store_axis: bool
+                  ) -> list[tuple[str, str, bool, tuple]]:
+    """The (label, backend, presolve, extra-options) variants for ``model``."""
+    plan: list[tuple[str, str, bool, tuple]] = []
+    for name in backends_for(model, backends):
+        plan.append((name, name, False, ()))
+        if presolve_axis:
+            plan.append((f"{name}+presolve", name, True, ()))
+        if node_store_axis and name == "bnb" and not model.is_pure_lp():
+            plan.append((f"{name}+scalar", name, False,
+                         (("node_store", "objects"),)))
+    return plan
+
+
+def run_differential_batch(models: Sequence[Model], *,
+                           backends: Sequence[str] | None = None,
+                           time_limit: float = 10.0,
+                           obj_tol: float = CROSS_OBJ_TOL,
+                           presolve_axis: bool = True,
+                           node_store_axis: bool = True,
+                           workers: int | None = 1
+                           ) -> list[tuple[dict[str, Solution],
+                                           list[Disagreement]]]:
+    """Differentially test a vector of models through batched solving.
+
+    Each model runs the same variant matrix as :func:`run_differential`,
+    but instances sharing a variant are solved through one
+    :func:`repro.milp.solvers.registry.solve_many` call — standard forms
+    canonicalize once per instance instead of once per variant, and the
+    batch can fan out over processes with ``workers``.  Per-model results
+    are identical to looping :func:`run_differential` (solves are
+    independent; ``on_error="capture"`` keeps a crashing variant from
+    aborting the batch — a crash is a finding).
+
+    Returns one ``(results, disagreements)`` pair per model, in order.
+    """
+    model_list = list(models)
+    plans = [_variant_plan(m, backends, presolve_axis, node_store_axis)
+             for m in model_list]
+    groups: dict[tuple[str, str, bool, tuple], list[int]] = {}
+    for i, plan in enumerate(plans):
+        for spec in plan:
+            groups.setdefault(spec, []).append(i)
+    solved: dict[tuple[int, str], Solution] = {}
+    for (label, name, use_presolve, extra), idxs in groups.items():
+        batch = solve_many([model_list[i] for i in idxs], backend=name,
+                           presolve=use_presolve, time_limit=time_limit,
+                           mip_rel_gap=FUZZ_GAP, workers=workers,
+                           on_error="capture", **dict(extra))
+        for i, sol in zip(idxs, batch):
+            solved[(i, label)] = sol
+    out: list[tuple[dict[str, Solution], list[Disagreement]]] = []
+    for i, (model, plan) in enumerate(zip(model_list, plans)):
+        results: dict[str, Solution] = {}
+        disagreements: list[Disagreement] = []
+        for label, _name, _presolve, _extra in plan:
+            sol = solved[(i, label)]
+            results[label] = sol
+            if sol.status is SolveStatus.ERROR \
+                    and sol.message.startswith("raised "):
+                disagreements.append(Disagreement(
+                    "crash", f"{label} {sol.message}", (label,)))
+        disagreements.extend(compare_results(model, results, obj_tol=obj_tol))
+        out.append((results, disagreements))
+    return out
+
+
 def run_differential(model: Model, *, backends: Sequence[str] | None = None,
                      time_limit: float = 10.0,
                      obj_tol: float = CROSS_OBJ_TOL,
-                     presolve_axis: bool = True
+                     presolve_axis: bool = True,
+                     node_store_axis: bool = True
                      ) -> tuple[dict[str, Solution], list[Disagreement]]:
     """Run every applicable backend on ``model`` and cross-check the claims.
 
@@ -194,31 +263,17 @@ def run_differential(model: Model, *, backends: Sequence[str] | None = None,
     through the :mod:`repro.milp.presolve` layer (reported under the
     ``"<backend>+presolve"`` key) — so presolve bugs that cut the optimum or
     corrupt the postsolve mapping surface as cross-variant disagreements on
-    the identical model.
+    the identical model.  With ``node_store_axis`` (the default) integer
+    models additionally run the branch-and-bound with its scalar object
+    frontier (``"bnb+scalar"``), pinning the vectorized array frontier
+    against the reference store on every fuzzed instance.
 
     Returns the per-variant solutions (crashes become synthetic ERROR
     solutions) and the list of disagreements (empty = all consistent).
     """
-    results: dict[str, Solution] = {}
-    disagreements: list[Disagreement] = []
-    for name in backends_for(model, backends):
-        variants = [(False, name)]
-        if presolve_axis:
-            variants.append((True, f"{name}+presolve"))
-        for use_presolve, label in variants:
-            try:
-                results[label] = solve(model, backend=name,
-                                       time_limit=time_limit,
-                                       mip_rel_gap=FUZZ_GAP,
-                                       presolve=use_presolve)
-            except Exception as exc:  # noqa: BLE001 — a crash IS the finding
-                results[label] = Solution(
-                    status=SolveStatus.ERROR, backend=name,
-                    message=f"raised {type(exc).__name__}: {exc}")
-                disagreements.append(Disagreement(
-                    "crash", f"{label} raised {type(exc).__name__}: {exc}",
-                    (label,)))
-    disagreements.extend(compare_results(model, results, obj_tol=obj_tol))
+    [(results, disagreements)] = run_differential_batch(
+        [model], backends=backends, time_limit=time_limit, obj_tol=obj_tol,
+        presolve_axis=presolve_axis, node_store_axis=node_store_axis)
     return results, disagreements
 
 
@@ -424,9 +479,13 @@ def fuzz(n: int = 25, seed: int = 0, *,
          backends: Sequence[str] | None = None, time_limit: float = 10.0,
          obj_tol: float = CROSS_OBJ_TOL, shrink_budget: int = 200,
          artifact_dir: str | Path | None = None,
-         presolve_axis: bool = True) -> FuzzReport:
+         presolve_axis: bool = True,
+         workers: int | None = 1) -> FuzzReport:
     """Run a differential-fuzzing campaign of ``n`` seeded cases.
 
+    All ``n`` instances are generated up front and pushed through one
+    :func:`run_differential_batch` call, so canonicalization is amortized
+    per instance and ``workers`` can spread the solves over processes.
     Every disagreement is shrunk to a minimal reproducer; with
     ``artifact_dir`` set, each reproducer is also written to
     ``fuzz_repro_seed<seed>_case<i>.json`` there.  ``presolve_axis``
@@ -437,12 +496,13 @@ def fuzz(n: int = 25, seed: int = 0, *,
                         backends=tuple(backends) if backends
                         else available_backends())
     inconclusive = {SolveStatus.LIMIT, SolveStatus.TIMEOUT, SolveStatus.ERROR}
-    for i in range(n):
-        case_seed = seed * 1_000_003 + i
-        model = generate_model(random.Random(case_seed))
-        results, disagreements = run_differential(
-            model, backends=backends, time_limit=time_limit, obj_tol=obj_tol,
-            presolve_axis=presolve_axis)
+    case_seeds = [seed * 1_000_003 + i for i in range(n)]
+    models = [generate_model(random.Random(s)) for s in case_seeds]
+    outcomes = run_differential_batch(
+        models, backends=backends, time_limit=time_limit, obj_tol=obj_tol,
+        presolve_axis=presolve_axis, workers=workers)
+    for i, (model, case_seed, (results, disagreements)) in enumerate(
+            zip(models, case_seeds, outcomes)):
         report.n_inconclusive += sum(
             1 for s in results.values() if s.status in inconclusive)
         if not disagreements:

@@ -252,6 +252,80 @@ class SubproblemBuilder:
             min_width=min_width, min_height=min_height,
             rotation=rotation, dw=dw, flex=flex)
 
+    @staticmethod
+    def _affine1(expr: LinExpr) -> tuple[Variable | None, float, float]:
+        """Split a width/height expression (at most one variable term) into
+        ``(var, coefficient, constant)``."""
+        if not expr.terms:
+            return None, 0.0, expr.constant
+        (var, coef), = expr.terms.items()
+        return var, coef, expr.constant
+
+    def _non_overlap_rows(self, tag: str, wi: _WindowModule,
+                          p: Variable, q: Variable, *,
+                          wj: _WindowModule | None = None,
+                          obs: Rect | None = None) -> None:
+        """The four eq. (2) big-M disjunction rows as one coefficient block.
+
+        Covers both the pair case (``wj``: left/right/below/above between
+        two window modules) and the obstacle case (``obs``: the second
+        rectangle is constant, so its geometry moves into the right-hand
+        sides).  Coefficients and right-hand sides reproduce the LinExpr
+        algebra bit-for-bit — the assembly parity tests compare the two
+        paths on whole golden subproblems.
+        """
+        mw, mh = self._width_big_m, self._height_big_m
+        wvar_i, wc_i, w0_i = self._affine1(wi.width)
+        hvar_i, hc_i, h0_i = self._affine1(wi.height)
+        columns: dict[Variable, int] = {}
+
+        def col(var: Variable) -> int:
+            return columns.setdefault(var, len(columns))
+
+        rows: list[dict[int, float]] = []
+        rhs: list[float] = []
+        senses: list[str] = []
+
+        def row(terms: list[tuple[Variable | None, float]], b: float,
+                sense: str = "<=") -> None:
+            entries: dict[int, float] = {}
+            for var, coef in terms:
+                if var is not None:
+                    entries[col(var)] = coef
+            rows.append(entries)
+            rhs.append(b)
+            senses.append(sense)
+
+        if wj is not None:
+            wvar_j, wc_j, w0_j = self._affine1(wj.width)
+            hvar_j, hc_j, h0_j = self._affine1(wj.height)
+            row([(wi.x, 1.0), (wvar_i, wc_i), (wj.x, -1.0),
+                 (p, -mw), (q, -mw)], -w0_i)
+            row([(wj.x, 1.0), (wvar_j, wc_j), (wi.x, -1.0),
+                 (p, mw), (q, -mw)], mw - w0_j)
+            row([(wi.y, 1.0), (hvar_i, hc_i), (wj.y, -1.0),
+                 (p, -mh), (q, mh)], mh - h0_i)
+            row([(wj.y, 1.0), (hvar_j, hc_j), (wi.y, -1.0),
+                 (p, mh), (q, mh)], 2.0 * mh - h0_j)
+        else:
+            assert obs is not None
+            # The "constant <= expr" rows arrive through the reflected
+            # comparison in the scalar algebra, i.e. as >= rows with the
+            # window module's variables on the positive side — keep that
+            # exact orientation so the two build paths stay byte-identical.
+            row([(wi.x, 1.0), (wvar_i, wc_i), (p, -mw), (q, -mw)],
+                obs.x - w0_i)
+            row([(wi.x, 1.0), (p, -mw), (q, mw)], obs.x2 - mw, ">=")
+            row([(wi.y, 1.0), (hvar_i, hc_i), (p, -mh), (q, mh)],
+                mh + obs.y - h0_i)
+            row([(wi.y, 1.0), (p, -mh), (q, -mh)], obs.y2 - 2.0 * mh, ">=")
+
+        coeffs = [[r.get(j, 0.0) for j in range(len(columns))] for r in rows]
+        self.model.add_rows(
+            list(columns), coeffs, senses, rhs,
+            [f"no[{tag}]:left", f"no[{tag}]:right",
+             f"no[{tag}]:below", f"no[{tag}]:above"])
+
     def _add_pairwise_non_overlap(self) -> None:
         names = list(self._window)
         for a in range(len(names)):
@@ -261,20 +335,8 @@ class SubproblemBuilder:
                 p = self.model.add_binary(f"p[{wi.module.name},{wj.module.name}]")
                 q = self.model.add_binary(f"q[{wi.module.name},{wj.module.name}]")
                 self._pair_binaries[(wi.module.name, wj.module.name)] = (p, q)
-                mw, mh = self._width_big_m, self._height_big_m
                 tag = f"{wi.module.name}|{wj.module.name}"
-                self.model.add_constraint(
-                    wi.x + wi.width <= wj.x + mw * (p + q),
-                    name=f"no[{tag}]:left")
-                self.model.add_constraint(
-                    wj.x + wj.width <= wi.x + mw * (1 - p + q),
-                    name=f"no[{tag}]:right")
-                self.model.add_constraint(
-                    wi.y + wi.height <= wj.y + mh * (1 + p - q),
-                    name=f"no[{tag}]:below")
-                self.model.add_constraint(
-                    wj.y + wj.height <= wi.y + mh * (2 - p - q),
-                    name=f"no[{tag}]:above")
+                self._non_overlap_rows(tag, wi, p, q, wj=wj)
                 if self._prune_dominated and \
                         wi.min_width + wj.min_width > self._chip_width_cap + GEOM_EPS:
                     # The pair cannot sit side by side inside the chip even
@@ -290,20 +352,8 @@ class SubproblemBuilder:
                 p = self.model.add_binary(f"p[{name},obs{k}]")
                 q = self.model.add_binary(f"q[{name},obs{k}]")
                 self._obstacle_binaries[(name, k)] = (p, q)
-                mw, mh = self._width_big_m, self._height_big_m
                 tag = f"{name}|obs{k}"
-                self.model.add_constraint(
-                    wm.x + wm.width <= obs.x + mw * (p + q),
-                    name=f"no[{tag}]:left")
-                self.model.add_constraint(
-                    obs.x2 <= wm.x + mw * (1 - p + q),
-                    name=f"no[{tag}]:right")
-                self.model.add_constraint(
-                    wm.y + wm.height <= obs.y + mh * (1 + p - q),
-                    name=f"no[{tag}]:below")
-                self.model.add_constraint(
-                    obs.y2 <= wm.y + mh * (2 - p - q),
-                    name=f"no[{tag}]:above")
+                self._non_overlap_rows(tag, wm, p, q, obs=obs)
                 # Dominated relative-position branches: a branch whose
                 # geometry cannot be realized for any module shape is cut or
                 # (when a whole axis dies) fixed.  All three tests reason
@@ -340,14 +390,30 @@ class SubproblemBuilder:
 
     def _add_chip_bounds(self) -> None:
         for name, wm in self._window.items():
+            wvar, wc, w0 = self._affine1(wm.width)
+            hvar, hc, h0 = self._affine1(wm.height)
+            columns: dict[Variable, int] = {wm.x: 0, wm.y: 1,
+                                            self.height_var: 2}
+
+            def col(var: Variable) -> int:
+                return columns.setdefault(var, len(columns))
+
+            chipw: dict[int, float] = {0: 1.0}
+            if wvar is not None:
+                chipw[col(wvar)] = wc
             if self.width_var is not None:
-                self.model.add_constraint(
-                    wm.x + wm.width <= self.width_var, name=f"chipw[{name}]")
+                chipw[col(self.width_var)] = -1.0
+                chipw_rhs = -w0
             else:
-                self.model.add_constraint(
-                    wm.x + wm.width <= self.chip_width, name=f"chipw[{name}]")
-            self.model.add_constraint(
-                wm.y + wm.height <= self.height_var, name=f"chiph[{name}]")
+                chipw_rhs = self.chip_width - w0
+            chiph: dict[int, float] = {1: 1.0, 2: -1.0}
+            if hvar is not None:
+                chiph[col(hvar)] = chiph.get(col(hvar), 0.0) + hc
+            coeffs = [[r.get(j, 0.0) for j in range(len(columns))]
+                      for r in (chipw, chiph)]
+            self.model.add_rows(
+                list(columns), coeffs, "<=", [chipw_rhs, -h0],
+                [f"chipw[{name}]", f"chiph[{name}]"])
 
     def _add_wirelength(self, pair_weights: Mapping[tuple[str, str], float],
                         anchors: Sequence[AnchorAttraction]) -> None:

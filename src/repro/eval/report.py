@@ -106,6 +106,12 @@ def canonicalize_telemetry(doc: dict[str, Any]) -> dict[str, Any]:
     and a hit serves the stored solve's telemetry — so once the provenance
     is nulled, a cold run and a warm run of the same configuration
     canonicalize identically.
+
+    Frontier and batch counters are execution provenance too: the frontier
+    store (vectorized arrays vs scalar objects, peak capacity, LP engine)
+    and the :func:`~repro.milp.solvers.registry.solve_many` batch shape
+    describe *how* a solve ran, not *what* it computed, so they are nulled
+    to keep scalar/vectorized and batched/sequential runs byte-comparable.
     """
     out = json.loads(json.dumps(doc))
     out["elapsed_seconds"] = 0.0
@@ -121,6 +127,8 @@ def canonicalize_telemetry(doc: dict[str, Any]) -> dict[str, Any]:
                 [0.0, objective]
                 for _seconds, objective in telemetry.get("incumbents", [])]
             telemetry["cache"] = None
+            telemetry["frontier"] = None
+            telemetry["batch"] = None
     return out
 
 

@@ -19,11 +19,18 @@ Three decompositions are provided:
   *overlapping* partitions can reduce the count further: every covering
   rectangle is extended down to the chip bottom (still inside the polygon),
   after which rectangles contained in others are dropped.
+
+All three operate on the skyline's breakpoint/height arrays directly: run
+extraction, containment screening, and the per-slab maximal-run scan are
+numpy mask operations rather than per-step python loops (see the vectorized
+parity suite).
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Literal
+
+import numpy as np
 
 from repro.geometry.rect import GEOM_EPS, Rect
 from repro.geometry.skyline import Skyline
@@ -43,33 +50,32 @@ def horizontal_cut_decomposition(skyline: Skyline, eps: float = GEOM_EPS) -> lis
     (zero-height regions excluded).
     """
     heights = [h for h in skyline.distinct_heights() if h > eps]
+    x = skyline.breakpoints
+    step_h = skyline.heights
     rects: list[Rect] = []
     prev = 0.0
     for h in heights:
         # Within the slab [prev, h], the region exists where skyline >= h.
-        run_start: float | None = None
-        run_end = 0.0
-        for s in skyline.steps:
-            if s.height >= h - eps:
-                if run_start is None:
-                    run_start = s.x1
-                run_end = s.x2
-            else:
-                if run_start is not None:
-                    rects.append(Rect(run_start, prev, run_end - run_start, h - prev))
-                    run_start = None
-        if run_start is not None:
-            rects.append(Rect(run_start, prev, run_end - run_start, h - prev))
+        # Maximal runs of qualifying steps are the mask's rising/falling
+        # edges; each run [x[a], x[b]] becomes one slab rectangle.
+        tall = step_h >= h - eps
+        edges = np.diff(np.concatenate([[False], tall, [False]]).astype(np.int8))
+        starts = np.flatnonzero(edges == 1)
+        ends = np.flatnonzero(edges == -1)
+        for a, b in zip(starts, ends):
+            rects.append(Rect(float(x[a]), prev, float(x[b] - x[a]), h - prev))
         prev = h
     return rects
 
 
 def vertical_step_decomposition(skyline: Skyline, eps: float = GEOM_EPS) -> list[Rect]:
     """One full-height rectangle per skyline run with positive height."""
+    x = skyline.breakpoints
+    h = skyline.heights
+    keep = np.flatnonzero(h > eps)
     return [
-        Rect(s.x1, 0.0, s.width, s.height)
-        for s in skyline.steps
-        if s.height > eps
+        Rect(float(x[i]), 0.0, float(x[i + 1] - x[i]), float(h[i]))
+        for i in keep
     ]
 
 
@@ -87,11 +93,24 @@ def merge_covering_rectangles(rects: Iterable[Rect], eps: float = GEOM_EPS) -> l
     """
     extended = [Rect(r.x, 0.0, r.w, r.y2) for r in rects]
     # Drop exact duplicates and contained rectangles; prefer keeping taller /
-    # wider rects by scanning in decreasing area order.
+    # wider rects by scanning in decreasing area order.  Containment against
+    # the kept set is one vectorized comparison per candidate.
     extended.sort(key=lambda r: r.area, reverse=True)
+    if not extended:
+        return []
     kept: list[Rect] = []
+    kx = np.empty(len(extended))
+    ky = np.empty(len(extended))
+    kx2 = np.empty(len(extended))
+    ky2 = np.empty(len(extended))
     for r in extended:
-        if not any(k.contains_rect(r, eps) for k in kept):
+        n = len(kept)
+        contained = (
+            (kx[:n] - eps <= r.x) & (ky[:n] - eps <= r.y)
+            & (r.x2 <= kx2[:n] + eps) & (r.y2 <= ky2[:n] + eps)
+        )
+        if not contained.any():
+            kx[n], ky[n], kx2[n], ky2[n] = r.x, r.y, r.x2, r.y2
             kept.append(r)
     return kept
 

@@ -6,12 +6,21 @@ added only from the open side of the chip" (section 3.1).  That hole-filled
 polygon is exactly the region under the *skyline* — the upper envelope of the
 placed rectangles over the chip width.  This module computes and manipulates
 that step function.
+
+The contour is stored as two parallel numpy arrays — ``k + 1`` breakpoints
+and ``k`` run heights — so :meth:`Skyline.add_rect` and every query are
+vectorized row operations instead of per-step python list churn.  The
+:class:`SkylineStep` view is materialized lazily for callers that iterate
+runs.  ``tests/test_vectorized_parity.py`` pins this representation against
+a scalar reference implementation of the same epsilon semantics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.geometry.rect import GEOM_EPS, Rect
 
@@ -37,9 +46,11 @@ class SkylineStep:
 class Skyline:
     """The upper contour of a set of rectangles over a base span.
 
-    The skyline is stored as a minimal list of :class:`SkylineStep` runs
-    (adjacent equal-height runs merged), sorted by x, exactly covering
-    ``[x_min, x_max]``.  Heights are 0 where no rectangle covers the span.
+    The skyline is a minimal sequence of runs (adjacent equal-height runs
+    merged), sorted by x, exactly tiling ``[x_min, x_max]``.  Heights are 0
+    where no rectangle covers the span.  Internally the runs live in two
+    arrays: ``_x`` holds the ``k + 1`` breakpoints and ``_h`` the ``k`` run
+    heights; run ``i`` spans ``[_x[i], _x[i + 1]]``.
     """
 
     def __init__(self, x_min: float, x_max: float, eps: float = GEOM_EPS) -> None:
@@ -48,7 +59,9 @@ class Skyline:
         self.x_min = x_min
         self.x_max = x_max
         self.eps = eps
-        self._steps: list[SkylineStep] = [SkylineStep(x_min, x_max, 0.0)]
+        self._x = np.array([x_min, x_max], dtype=np.float64)
+        self._h = np.array([0.0], dtype=np.float64)
+        self._steps_view: tuple[SkylineStep, ...] | None = None
 
     # -- constructors ----------------------------------------------------------
 
@@ -72,41 +85,59 @@ class Skyline:
     # -- queries ----------------------------------------------------------------
 
     @property
+    def breakpoints(self) -> np.ndarray:
+        """The ``k + 1`` run breakpoints (read-only view)."""
+        view = self._x.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def heights(self) -> np.ndarray:
+        """The ``k`` run heights (read-only view)."""
+        view = self._h.view()
+        view.flags.writeable = False
+        return view
+
+    @property
     def steps(self) -> Sequence[SkylineStep]:
         """The merged, sorted runs of the skyline."""
-        return tuple(self._steps)
+        if self._steps_view is None:
+            x, h = self._x, self._h
+            self._steps_view = tuple(
+                SkylineStep(float(x[i]), float(x[i + 1]), float(h[i]))
+                for i in range(len(h)))
+        return self._steps_view
 
     def height_at(self, x: float) -> float:
         """Skyline height at coordinate ``x`` (max of the two runs at a
         breakpoint)."""
         if not (self.x_min - self.eps <= x <= self.x_max + self.eps):
             raise ValueError(f"x={x} outside skyline span [{self.x_min}, {self.x_max}]")
-        best = 0.0
-        for s in self._steps:
-            if s.x1 - self.eps <= x <= s.x2 + self.eps:
-                best = max(best, s.height)
-        return best
+        mask = (self._x[:-1] - self.eps <= x) & (x <= self._x[1:] + self.eps)
+        if not mask.any():
+            return 0.0
+        return max(0.0, float(self._h[mask].max()))
 
     def max_height(self) -> float:
         """The tallest point of the skyline."""
-        return max(s.height for s in self._steps)
+        return float(self._h.max())
 
     def min_height(self) -> float:
         """The lowest point of the skyline."""
-        return min(s.height for s in self._steps)
+        return float(self._h.min())
 
     def distinct_heights(self) -> list[float]:
         """Sorted distinct step heights (epsilon-deduplicated)."""
-        heights: list[float] = []
-        for s in sorted(self._steps, key=lambda st: st.height):
-            if not heights or s.height - heights[-1] > self.eps:
-                heights.append(s.height)
-        return heights
+        ordered = np.sort(self._h)
+        keep = _chained_keep(ordered, self.eps)
+        return [float(v) for v in ordered[keep]]
 
     def area_under(self) -> float:
         """Area of the region under the skyline (the covering polygon's area,
         bottom holes included)."""
-        return sum(s.width * s.height for s in self._steps)
+        # Sequential accumulation (not np.dot's pairwise sum) keeps the
+        # result bit-identical to the scalar per-step loop.
+        return float(sum((np.diff(self._x) * self._h).tolist()))
 
     def has_valley(self) -> bool:
         """True when some step is lower than both of its neighbors.
@@ -115,19 +146,17 @@ class Skyline:
         but the Theorem-2 rectangle-count bound is stated for the paper's
         staircase polygons; tests use this predicate to classify cases.
         """
-        for i in range(1, len(self._steps) - 1):
-            left = self._steps[i - 1].height
-            mid = self._steps[i].height
-            right = self._steps[i + 1].height
-            if mid < left - self.eps and mid < right - self.eps:
-                return True
-        return False
+        h = self._h
+        if len(h) < 3:
+            return False
+        mid, left, right = h[1:-1], h[:-2], h[2:]
+        return bool(((mid < left - self.eps) & (mid < right - self.eps)).any())
 
     def n_horizontal_edges(self) -> int:
         """Number of horizontal edges of the covering polygon (the ``n`` of
         Theorem 1): one per merged run with positive height, plus runs at
         height 0 contribute the chip's bottom line segments."""
-        return len(self._steps)
+        return len(self._h)
 
     # -- mutation ---------------------------------------------------------------
 
@@ -142,43 +171,74 @@ class Skyline:
         if hi - lo <= self.eps:
             return
         top = rect.y2
-        new_steps: list[SkylineStep] = []
-        for s in self._steps:
-            if s.x2 <= lo + self.eps or s.x1 >= hi - self.eps:
-                new_steps.append(s)
-                continue
-            # Split into (left, middle, right); sub-epsilon slivers are
-            # absorbed into the middle part so the steps keep tiling the
-            # span exactly.
-            has_left = s.x1 < lo - self.eps
-            has_right = s.x2 > hi + self.eps
-            if has_left:
-                new_steps.append(SkylineStep(s.x1, lo, s.height))
-            mid_lo = lo if has_left else s.x1
-            mid_hi = hi if has_right else s.x2
-            new_steps.append(SkylineStep(mid_lo, mid_hi, max(s.height, top)))
-            if has_right:
-                new_steps.append(SkylineStep(hi, s.x2, s.height))
-        self._steps = _merge_steps(new_steps, self.eps)
+        eps = self.eps
+        x, h = self._x, self._h
+        # A run is touched when it overlaps (lo, hi) by more than eps; the
+        # runs tile the span, so the touched runs are one contiguous block
+        # and only its first/last run can stick out past lo/hi.
+        touched = (x[1:] > lo + eps) & (x[:-1] < hi - eps)
+        idx = np.flatnonzero(touched)
+        if idx.size == 0:
+            return
+        t0, t1 = int(idx[0]), int(idx[-1])
+        has_left = x[t0] < lo - eps
+        has_right = x[t1 + 1] > hi + eps
+        # Sub-epsilon slivers at lo/hi are absorbed into the raised middle
+        # parts so the runs keep tiling the span exactly.
+        xs = [x[:t0 + 1]]
+        hs = [h[:t0]]
+        if has_left:
+            xs.append([lo])
+            hs.append(h[t0:t0 + 1])
+        hs.append(np.maximum(h[t0:t1 + 1], top))
+        xs.append(x[t0 + 1:t1 + 1])
+        if has_right:
+            xs.append([hi])
+            hs.append(h[t1:t1 + 1])
+        xs.append(x[t1 + 1:])
+        hs.append(h[t1 + 1:])
+        new_x = np.concatenate(xs)
+        new_h = np.concatenate(hs)
+        # Merge adjacent runs with numerically equal heights (each run is
+        # compared against the height of its merge group's first run).
+        keep = _chained_keep(new_h, eps)
+        self._h = new_h[keep]
+        self._x = np.concatenate([new_x[:-1][keep], new_x[-1:]])
+        self._steps_view = None
 
     def raised_copy(self, rect: Rect) -> "Skyline":
         """A new skyline with ``rect`` added."""
         sky = Skyline(self.x_min, self.x_max, eps=self.eps)
-        sky._steps = list(self._steps)
+        sky._x = self._x.copy()
+        sky._h = self._h.copy()
         sky.add_rect(rect)
         return sky
 
 
-def _merge_steps(steps: list[SkylineStep], eps: float) -> list[SkylineStep]:
-    """Sort runs by x and merge adjacent runs with (numerically) equal
-    heights."""
-    steps = sorted(steps, key=lambda s: s.x1)
-    merged: list[SkylineStep] = []
-    for s in steps:
-        if merged and abs(merged[-1].height - s.height) <= eps \
-                and abs(merged[-1].x2 - s.x1) <= eps:
-            last = merged[-1]
-            merged[-1] = SkylineStep(last.x1, s.x2, last.height)
-        else:
-            merged.append(s)
-    return merged
+def _chained_keep(values: np.ndarray, eps: float) -> np.ndarray:
+    """Boolean mask of merge-group leaders in ``values``.
+
+    A value joins the current group while it is within ``eps`` of the
+    group's *first* value (the chained comparison of the scalar merge loop);
+    otherwise it starts a new group.  When every near-pair is exactly equal
+    — the overwhelmingly common case, since raised runs share float-identical
+    heights — the adjacent-difference test is equivalent and fully
+    vectorized; otherwise a short python loop resolves the chains.
+    """
+    n = len(values)
+    if n <= 1:
+        return np.ones(n, dtype=bool)
+    diff = np.abs(np.diff(values))
+    near = diff <= eps
+    if not near.any():
+        return np.ones(n, dtype=bool)
+    if not diff[near].any():
+        return np.concatenate([[True], ~near])
+    keep = np.zeros(n, dtype=bool)
+    keep[0] = True
+    anchor = values[0]
+    for i in range(1, n):
+        if abs(values[i] - anchor) > eps:
+            keep[i] = True
+            anchor = values[i]
+    return keep

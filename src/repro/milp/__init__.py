@@ -16,7 +16,7 @@ from repro.milp.lpformat import read_lp, write_lp
 from repro.milp.model import Constraint, Model, Sense
 from repro.milp.presolve import PresolveReport, PresolveResult, presolve_form
 from repro.milp.solution import Solution, SolveStatus
-from repro.milp.solvers.registry import available_backends, solve
+from repro.milp.solvers.registry import available_backends, solve, solve_many
 
 __all__ = [
     "LinExpr",
@@ -31,6 +31,7 @@ __all__ = [
     "PresolveResult",
     "presolve_form",
     "solve",
+    "solve_many",
     "available_backends",
     "read_lp",
     "write_lp",

@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 from scipy import sparse
@@ -60,6 +60,49 @@ class Constraint:
         return f"Constraint({self.name or '?'}: {self.expr!r} {self.sense.value} 0)"
 
 
+@dataclass
+class _RowBlock:
+    """A block of same-sense rows over a shared column set, stored as
+    pre-assembled COO triplets.
+
+    The block-building path skips the per-row :class:`LinExpr` dict algebra
+    entirely: callers hand over a dense coefficient matrix and the block
+    keeps only the nonzero triplets plus the row-bound arrays the standard
+    form needs.  Equivalent :class:`Constraint` objects are materialized
+    lazily, only for consumers that want them (serialization, violation
+    reporting).
+    """
+
+    cols: np.ndarray      # global column indices, one per nonzero
+    rows: np.ndarray      # local row ids, one per nonzero (row-major order)
+    data: np.ndarray      # coefficients, one per nonzero
+    row_lb: np.ndarray    # (k,) lower row bounds
+    row_ub: np.ndarray    # (k,) upper row bounds
+    senses: list["Sense"]
+    names: list[str]
+    variables: list["Variable"]   # the shared column set (for materialization)
+    col_local: np.ndarray         # local column index per nonzero
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.names)
+
+    def materialize(self) -> list["Constraint"]:
+        """Equivalent per-row :class:`Constraint` objects."""
+        split = np.searchsorted(self.rows, np.arange(1, self.n_rows))
+        out: list[Constraint] = []
+        for r, (lo, hi) in enumerate(
+                zip(np.concatenate([[0], split]),
+                    np.concatenate([split, [len(self.rows)]]))):
+            sense = self.senses[r]
+            rhs = self.row_lb[r] if sense is Sense.GE else self.row_ub[r]
+            terms = {self.variables[int(j)]: float(c)
+                     for j, c in zip(self.col_local[lo:hi], self.data[lo:hi])}
+            out.append(Constraint(LinExpr(terms, -float(rhs)),
+                                  sense, self.names[r]))
+        return out
+
+
 @dataclass(frozen=True)
 class StandardForm:
     """Arrays for the backends.
@@ -86,9 +129,19 @@ class Model:
     def __init__(self, name: str = "model") -> None:
         self.name = name
         self._variables: list[Variable] = []
-        self._constraints: list[Constraint] = []
+        # Rows in insertion order: scalar Constraints interleaved with
+        # _RowBlocks.  Flat Constraint views and the assembled row arrays
+        # are cached and invalidated by any structural change.
+        self._items: list[Constraint | _RowBlock] = []
+        self._n_rows = 0
+        self._constraints_cache: tuple[Constraint, ...] | None = None
+        self._rows_cache: tuple[sparse.csr_matrix, np.ndarray, np.ndarray] | None = None
         self._objective: LinExpr = LinExpr()
         self._objective_sense = ObjectiveSense.MIN
+
+    def _invalidate(self) -> None:
+        self._constraints_cache = None
+        self._rows_cache = None
 
     # -- building -------------------------------------------------------------
 
@@ -105,6 +158,8 @@ class Model:
             raise ValueError(f"variable {name}: ub {ub} < lb {lb}")
         var = Variable(name, len(self._variables), lb, ub, kind)
         self._variables.append(var)
+        # The assembled matrix is (n_rows, n_vars): a new column changes it.
+        self._rows_cache = None
         return var
 
     def add_binary(self, name: str) -> Variable:
@@ -129,8 +184,10 @@ class Model:
                     f"constraint {name or constraint.name!r} uses variable "
                     f"{var.name!r} not owned by this model"
                 )
-        constraint.name = name or constraint.name or f"c{len(self._constraints)}"
-        self._constraints.append(constraint)
+        constraint.name = name or constraint.name or f"c{self._n_rows}"
+        self._items.append(constraint)
+        self._n_rows += 1
+        self._invalidate()
         return constraint
 
     def add_constraints(self, constraints: Iterable[Constraint],
@@ -140,6 +197,65 @@ class Model:
         for i, con in enumerate(constraints):
             added.append(self.add_constraint(con, name=f"{prefix}{i}" if prefix else ""))
         return added
+
+    def add_rows(self, columns: Sequence[Variable], coeffs,
+                 sense, rhs, names: Sequence[str]) -> None:
+        """Add a block of rows over a shared column set.
+
+        The vectorized alternative to repeated :meth:`add_constraint`: the
+        rows enter the model as pre-assembled coefficient triplets, so no
+        per-row :class:`~repro.milp.expr.LinExpr` dictionaries are built and
+        :meth:`to_standard_form` concatenates the block into the CSR matrix
+        without touching individual rows.  Rows read
+        ``coeffs[r] @ columns  SENSE  rhs[r]``.
+
+        Args:
+            columns: the variables the block touches (no duplicates).
+            coeffs: array-like of shape ``(k, len(columns))``; zeros are
+                dropped, exactly like the scalar export path drops them.
+            sense: one :class:`Sense` (or string) for the whole block, or a
+                sequence of ``k`` per-row senses.
+            rhs: array-like of ``k`` right-hand sides.
+            names: one name per row.
+        """
+        columns = list(columns)
+        coeffs = np.asarray(coeffs, dtype=float)
+        rhs = np.asarray(rhs, dtype=float)
+        if isinstance(sense, (Sense, str)):
+            senses = [Sense(sense)] * len(rhs)
+        else:
+            senses = [Sense(s) for s in sense]
+        if coeffs.ndim != 2 or coeffs.shape != (len(rhs), len(columns)):
+            raise ValueError(
+                f"coeffs shape {coeffs.shape} does not match "
+                f"({len(rhs)} rows, {len(columns)} columns)")
+        if len(names) != len(rhs) or len(senses) != len(rhs):
+            raise ValueError(
+                f"{len(names)} names / {len(senses)} senses for "
+                f"{len(rhs)} rows")
+        seen: set[int] = set()
+        for var in columns:
+            if var.index >= len(self._variables) \
+                    or self._variables[var.index] is not var:
+                raise ValueError(
+                    f"row block uses variable {var.name!r} not owned by "
+                    f"this model")
+            if id(var) in seen:
+                raise ValueError(f"duplicate column {var.name!r} in row block")
+            seen.add(id(var))
+        local_rows, local_cols = np.nonzero(coeffs)
+        col_index = np.array([v.index for v in columns], dtype=np.int64)
+        le = np.array([s is not Sense.GE for s in senses])
+        ge = np.array([s is not Sense.LE for s in senses])
+        row_lb = np.where(ge, rhs, -np.inf)
+        row_ub = np.where(le, rhs, np.inf)
+        self._items.append(_RowBlock(
+            cols=col_index[local_cols], rows=local_rows,
+            data=coeffs[local_rows, local_cols], row_lb=row_lb,
+            row_ub=row_ub, senses=senses, names=list(names),
+            variables=columns, col_local=local_cols))
+        self._n_rows += len(rhs)
+        self._invalidate()
 
     def set_objective(self, expr: ExprLike,
                       sense: ObjectiveSense | str = ObjectiveSense.MIN) -> None:
@@ -156,8 +272,16 @@ class Model:
 
     @property
     def constraints(self) -> tuple[Constraint, ...]:
-        """All constraints in row order."""
-        return tuple(self._constraints)
+        """All constraints in row order (block rows materialized lazily)."""
+        if self._constraints_cache is None:
+            flat: list[Constraint] = []
+            for item in self._items:
+                if isinstance(item, _RowBlock):
+                    flat.extend(item.materialize())
+                else:
+                    flat.append(item)
+            self._constraints_cache = tuple(flat)
+        return self._constraints_cache
 
     @property
     def objective(self) -> LinExpr:
@@ -183,7 +307,7 @@ class Model:
     @property
     def n_constraints(self) -> int:
         """Number of constraints."""
-        return len(self._constraints)
+        return self._n_rows
 
     def is_pure_lp(self) -> bool:
         """True when the model has no integral variables (the section-2.5
@@ -194,11 +318,83 @@ class Model:
 
     def check_assignment(self, assignment: Mapping[Variable, float],
                          tol: float = 1e-6) -> list[Constraint]:
-        """Constraints violated by more than ``tol`` under ``assignment``."""
-        return [c for c in self._constraints if c.violation(assignment) > tol]
+        """Constraints violated by more than ``tol`` under ``assignment``.
+
+        Complete assignments are checked in one sparse matrix-vector product
+        against the cached row arrays; constraint objects are materialized
+        only for the violated rows.  Assignments that do not cover every
+        variable fall back to the per-constraint scalar path.
+        """
+        try:
+            x = np.array([assignment[v] for v in self._variables], dtype=float)
+        except KeyError:
+            return [c for c in self.constraints if c.violation(assignment) > tol]
+        a_matrix, row_lb, row_ub = self._assembled_rows()
+        activity = a_matrix @ x
+        bad = (activity > row_ub + tol) | (activity < row_lb - tol)
+        if not bad.any():
+            return []
+        constraints = self.constraints
+        return [constraints[i] for i in np.flatnonzero(bad)]
+
+    def _assembled_rows(self) -> tuple[sparse.csr_matrix, np.ndarray, np.ndarray]:
+        """The constraint system as ``(A, row_lb, row_ub)``, cached.
+
+        Scalar constraints contribute their expression terms; row blocks
+        splice their pre-built COO triplets in directly — no per-row work.
+        """
+        if self._rows_cache is not None:
+            return self._rows_cache
+        n = len(self._variables)
+        row_parts: list[np.ndarray] = []
+        col_parts: list[np.ndarray] = []
+        data_parts: list[np.ndarray] = []
+        row_lb = np.empty(self._n_rows)
+        row_ub = np.empty(self._n_rows)
+        offset = 0
+        for item in self._items:
+            if isinstance(item, _RowBlock):
+                k = item.n_rows
+                row_parts.append(item.rows + offset)
+                col_parts.append(item.cols)
+                data_parts.append(item.data)
+                row_lb[offset:offset + k] = item.row_lb
+                row_ub[offset:offset + k] = item.row_ub
+                offset += k
+                continue
+            con = item
+            nz = [(var.index, coeff) for var, coeff in con.expr.terms.items()
+                  if coeff != 0.0]
+            if nz:
+                row_parts.append(np.full(len(nz), offset, dtype=np.int64))
+                col_parts.append(np.array([j for j, _ in nz], dtype=np.int64))
+                data_parts.append(np.array([c for _, c in nz]))
+            rhs = -con.expr.constant
+            if con.sense is Sense.LE:
+                row_lb[offset], row_ub[offset] = -np.inf, rhs
+            elif con.sense is Sense.GE:
+                row_lb[offset], row_ub[offset] = rhs, np.inf
+            else:
+                row_lb[offset], row_ub[offset] = rhs, rhs
+            offset += 1
+        if row_parts:
+            coo = (np.concatenate(data_parts),
+                   (np.concatenate(row_parts), np.concatenate(col_parts)))
+            a_matrix = sparse.csr_matrix(coo, shape=(self._n_rows, n))
+        else:
+            a_matrix = sparse.csr_matrix((self._n_rows, n))
+        self._rows_cache = (a_matrix, row_lb, row_ub)
+        return self._rows_cache
 
     def to_standard_form(self) -> StandardForm:
-        """Export to the array form the solver backends consume."""
+        """Export to the array form the solver backends consume.
+
+        The constraint matrix and row bounds are cached across calls (they
+        only change when rows or columns are added); the objective vector
+        and variable bound arrays are rebuilt every call, because variable
+        bounds are mutated in place after construction (dominance fixings,
+        presolve tightenings).
+        """
         n = len(self._variables)
         c = np.zeros(n)
         for var, coeff in self._objective.terms.items():
@@ -206,28 +402,7 @@ class Model:
         maximize = self._objective_sense is ObjectiveSense.MAX
         if maximize:
             c = -c
-
-        rows: list[int] = []
-        cols: list[int] = []
-        data: list[float] = []
-        row_lb = np.empty(len(self._constraints))
-        row_ub = np.empty(len(self._constraints))
-        for i, con in enumerate(self._constraints):
-            for var, coeff in con.expr.terms.items():
-                if coeff != 0.0:
-                    rows.append(i)
-                    cols.append(var.index)
-                    data.append(coeff)
-            rhs = -con.expr.constant
-            if con.sense is Sense.LE:
-                row_lb[i], row_ub[i] = -np.inf, rhs
-            elif con.sense is Sense.GE:
-                row_lb[i], row_ub[i] = rhs, np.inf
-            else:
-                row_lb[i], row_ub[i] = rhs, rhs
-
-        a_matrix = sparse.csr_matrix(
-            (data, (rows, cols)), shape=(len(self._constraints), n))
+        a_matrix, row_lb, row_ub = self._assembled_rows()
         lb = np.array([v.lb for v in self._variables])
         ub = np.array([v.ub for v in self._variables])
         integrality = np.array(

@@ -1,5 +1,5 @@
 """Solver backends for :mod:`repro.milp` models."""
 
-from repro.milp.solvers.registry import available_backends, solve
+from repro.milp.solvers.registry import available_backends, solve, solve_many
 
-__all__ = ["solve", "available_backends"]
+__all__ = ["solve", "solve_many", "available_backends"]

@@ -107,11 +107,50 @@ def _presolved_outcome(backend: str, form: StandardForm, result,
                     telemetry=telemetry)
 
 
+def _cutoff_incumbent_outcome(
+        model: Model, backend: str, form: StandardForm, result,
+        warm_start: Mapping[Variable, float] | None,
+        cutoff: float | None) -> Solution | None:
+    """The warm start itself, when cutoff-infeasibility proves it optimal.
+
+    An INFEASIBLE verdict on a form carrying the objective-cutoff row
+    ``c @ x <= z + pad`` says no point beats the incumbent that supplied
+    ``z`` — the incumbent is optimal within the pad.  The original model is
+    feasible (the warm start is a witness), so surfacing INFEASIBLE would be
+    wrong; it also shields against knife-edge numerics when the warm start
+    is *exactly* optimal and the cutoff row leaves the solver a
+    zero-measure feasible set.  Returns None when the fallback does not
+    apply (no cutoff was added, or the warm start no longer verifies).
+    """
+    if cutoff is None or warm_start is None:
+        return None
+    if model.check_assignment(warm_start):
+        return None
+    from repro.milp.telemetry import SolveTelemetry
+
+    objective = cutoff + float(form.c0)
+    if form.maximize:
+        objective = -objective
+    telemetry = SolveTelemetry(
+        backend=backend, status=SolveStatus.OPTIMAL.value,
+        n_variables=len(form.variables),
+        n_integer=int(np.count_nonzero(form.integrality)),
+        n_constraints=form.a_matrix.shape[0],
+        presolve=result.report.to_dict(), gap=0.0)
+    telemetry.record_incumbent(0.0, objective)
+    return Solution(status=SolveStatus.OPTIMAL, objective=objective,
+                    bound=objective, values=dict(warm_start),
+                    backend=backend,
+                    message="objective cutoff proved the warm start optimal",
+                    telemetry=telemetry)
+
+
 def solve(model: Model, backend: str = "highs", *,
           presolve: bool = False,
           warm_start: Mapping[Variable, float] | None = None,
           symmetry_groups: Sequence[Sequence[Variable]] = (),
           cache: "SolveCache | None" = None,
+          form: StandardForm | None = None,
           **options) -> Solution:
     """Solve ``model`` with the named backend.
 
@@ -140,6 +179,9 @@ def solve(model: Model, backend: str = "highs", *,
             ``mip_rel_gap`` / ``int_tol`` tolerances, so configurations
             that could return different optimal vertices never share an
             entry.
+        form: a precomputed ``model.to_standard_form()``; batching callers
+            (:func:`solve_many`) pass it so canonicalization and cache-key
+            hashing happen once per instance, not once per variant.
         **options: backend-specific options such as ``time_limit``,
             ``mip_rel_gap``, ``node_limit``, ``lp_engine``, ``int_tol``.
 
@@ -153,13 +195,13 @@ def solve(model: Model, backend: str = "highs", *,
             f"unknown backend {backend!r}; available: {available_backends()}"
         ) from None
 
-    form: StandardForm | None = None
     cache_key: str | None = None
     key_seconds = 0.0
     if cache is not None:
         from repro.milp import cache as cache_mod
 
-        form = model.to_standard_form()
+        if form is None:
+            form = model.to_standard_form()
         started = time.perf_counter()
         cache_key = cache_mod.canonical_form_key(form, context=(
             backend, bool(presolve), warm_start is not None,
@@ -208,6 +250,10 @@ def _solve_uncached(fn: Callable[..., Solution], model: Model, backend: str,
         form, symmetry_groups=symmetry_groups, objective_cutoff=cutoff,
         coefficient_tightening=backend in _COEF_TIGHTEN_BACKENDS)
     if result.infeasible:
+        fallback = _cutoff_incumbent_outcome(model, backend, form, result,
+                                             warm_start, cutoff)
+        if fallback is not None:
+            return fallback
         return _presolved_outcome(backend, form, result,
                                   SolveStatus.INFEASIBLE)
     if not result.reduced.variables:
@@ -216,5 +262,198 @@ def _solve_uncached(fn: Callable[..., Solution], model: Model, backend: str,
         mapped = result.map_warm_start(warm_start)
         if mapped is not None:
             options["warm_start"] = mapped
-    solution = fn(model, form=result.reduced, **options)
-    return result.postsolve_solution(solution)
+    solution = result.postsolve_solution(fn(model, form=result.reduced,
+                                            **options))
+    if solution.status is SolveStatus.INFEASIBLE:
+        fallback = _cutoff_incumbent_outcome(model, backend, form, result,
+                                             warm_start, cutoff)
+        if fallback is not None:
+            return fallback
+    return solution
+
+
+# ---------------------------------------------------------------------------
+# batched solving
+# ---------------------------------------------------------------------------
+
+def _error_solution(backend: str, exc: Exception) -> Solution:
+    """A synthetic ERROR result for a crashed solve (``on_error="capture"``)."""
+    return Solution(status=SolveStatus.ERROR, backend=backend,
+                    message=f"raised {type(exc).__name__}: {exc}")
+
+
+def _pack_solution(model: Model, solution: Solution) -> dict:
+    """A picklable, identity-free representation of ``solution``.
+
+    Variables hash by identity, so a Solution shipped across a process
+    boundary comes back keyed by *copies* of the caller's variables.  The
+    values are therefore flattened into standard-form column order — the
+    order is a deterministic function of the model structure, so the parent
+    rebuilds the dict against its own variable objects.
+    """
+    ordered = model.to_standard_form().variables
+    return {
+        "status": solution.status.value,
+        "objective": solution.objective,
+        "bound": solution.bound,
+        "values": [solution.values.get(v) for v in ordered],
+        "n_nodes": solution.n_nodes,
+        "solve_seconds": solution.solve_seconds,
+        "backend": solution.backend,
+        "message": solution.message,
+        "telemetry": None if solution.telemetry is None
+        else solution.telemetry.to_dict(),
+    }
+
+
+def _unpack_solution(form: StandardForm, packed: dict) -> Solution:
+    """Rebuild a worker's packed solution against the parent's variables."""
+    from repro.milp.telemetry import SolveTelemetry
+
+    values = {var: float(val)
+              for var, val in zip(form.variables, packed["values"])
+              if val is not None}
+    telemetry = None if packed["telemetry"] is None \
+        else SolveTelemetry.from_dict(packed["telemetry"])
+    return Solution(status=SolveStatus(packed["status"]),
+                    objective=packed["objective"], values=values,
+                    bound=packed["bound"], n_nodes=packed["n_nodes"],
+                    solve_seconds=packed["solve_seconds"],
+                    backend=packed["backend"], message=packed["message"],
+                    telemetry=telemetry)
+
+
+def _batch_worker(payload: dict) -> dict:
+    """One :func:`solve_many` item in a worker process (module-level so it
+    pickles for :func:`repro.parallel.parallel_map`)."""
+    model = payload["model"]
+    backend = payload["backend"]
+    try:
+        solution = solve(model, backend=backend,
+                         presolve=payload["presolve"],
+                         warm_start=payload["warm_start"],
+                         symmetry_groups=payload["symmetry_groups"],
+                         **payload["options"])
+    except Exception as exc:  # noqa: BLE001 — surfaced per-item by caller
+        if payload["on_error"] != "capture":
+            raise
+        solution = _error_solution(backend, exc)
+    return _pack_solution(model, solution)
+
+
+def solve_many(models: Sequence[Model], backend: str = "highs", *,
+               presolve: bool = False,
+               warm_starts: Sequence[Mapping[Variable, float] | None] | None = None,
+               symmetry_groups_many: Sequence[Sequence[Sequence[Variable]]] | None = None,
+               cache: "SolveCache | None" = None,
+               workers: int | None = 1,
+               on_error: str = "raise",
+               **options) -> list[Solution]:
+    """Solve a vector of independent models through one batched entry point.
+
+    The batch amortizes the per-solve fixed costs across the vector: every
+    model's standard form is canonicalized exactly once (shared between
+    cache-key hashing, presolve, and the backend), and cache keys are hashed
+    in a single parent-side pass so parallel workers never repeat them.
+    Dispatch goes through :func:`repro.parallel.parallel_map` — the same
+    primitive the chip-width sweep and the benchmark suite fan out on.
+
+    With ``workers=1`` (the default) the batch is solved serially in-process
+    and is *element-wise identical* to calling :func:`solve` in a loop —
+    including cache-hit accounting, since lookups and stores interleave in
+    item order.  With parallel workers, cache hits are served from the
+    parent before dispatch and misses are solved cache-less in workers (the
+    in-memory tier is per-process), then recorded by the parent; a batch
+    containing structural duplicates can therefore count hits differently
+    from the serial path, but the returned solutions are the same.
+
+    Args:
+        models: the instances to solve (order is preserved in the result).
+        backend: as :func:`solve`, applied to every instance.
+        presolve: as :func:`solve`, applied to every instance.
+        warm_starts: optional per-instance warm starts (aligned with
+            ``models``).
+        symmetry_groups_many: optional per-instance symmetry groups.
+        cache: shared :class:`~repro.milp.cache.SolveCache`.
+        workers: process count for the batch — 1 runs serially, ``None``/0
+            uses every core (see :func:`repro.parallel.resolve_workers`).
+        on_error: ``"raise"`` propagates the first per-item exception;
+            ``"capture"`` converts a crashed item into a synthetic ERROR
+            :class:`~repro.milp.solution.Solution` (the differential
+            fuzzer's mode — a crash is a finding, not an abort).
+        **options: backend options forwarded to every instance.
+
+    Returns:
+        One :class:`~repro.milp.solution.Solution` per model, in order.
+        Each solution's telemetry carries ``batch = {"size": n, "index": i}``
+        provenance (stripped by telemetry canonicalization, so batched and
+        sequential runs stay byte-comparable).
+    """
+    if on_error not in ("raise", "capture"):
+        raise ValueError(f"on_error must be 'raise' or 'capture', "
+                         f"got {on_error!r}")
+    model_list = list(models)
+    n = len(model_list)
+    warm_list = list(warm_starts) if warm_starts is not None else [None] * n
+    sym_list = list(symmetry_groups_many) if symmetry_groups_many is not None \
+        else [()] * n
+    if len(warm_list) != n or len(sym_list) != n:
+        raise ValueError("warm_starts / symmetry_groups_many must align "
+                         "with models")
+
+    from repro.parallel import parallel_map, resolve_workers
+
+    forms = [m.to_standard_form() for m in model_list]
+    solutions: list[Solution | None] = [None] * n
+
+    n_workers = min(resolve_workers(workers), n) if n else 1
+    if n_workers <= 1:
+        for i, (model, warm, sym, form) in enumerate(
+                zip(model_list, warm_list, sym_list, forms)):
+            try:
+                solutions[i] = solve(model, backend=backend,
+                                     presolve=presolve, warm_start=warm,
+                                     symmetry_groups=sym, cache=cache,
+                                     form=form, **options)
+            except Exception as exc:  # noqa: BLE001 — per-item capture
+                if on_error != "capture":
+                    raise
+                solutions[i] = _error_solution(backend, exc)
+    else:
+        cache_keys: list[str | None] = [None] * n
+        if cache is not None:
+            from repro.milp import cache as cache_mod
+
+            for i, form in enumerate(forms):
+                started = time.perf_counter()
+                cache_keys[i] = cache_mod.canonical_form_key(form, context=(
+                    backend, bool(presolve), warm_list[i] is not None,
+                    cache_mod._q(float(options.get("mip_rel_gap", 1e-4))),
+                    cache_mod._q(float(options.get("int_tol", 1e-6)))))
+                key_seconds = time.perf_counter() - started
+                cache.stats.key_seconds += key_seconds
+                solutions[i] = cache_mod.serve_cached(
+                    cache, cache_keys[i], model_list[i], forms[i],
+                    int_tol=float(options.get("int_tol", 1e-6)),
+                    mip_rel_gap=float(options.get("mip_rel_gap", 1e-4)),
+                    key_seconds=key_seconds)
+        pending = [i for i in range(n) if solutions[i] is None]
+        payloads = [{
+            "model": model_list[i], "backend": backend, "presolve": presolve,
+            "warm_start": warm_list[i], "symmetry_groups": sym_list[i],
+            "options": options, "on_error": on_error,
+        } for i in pending]
+        packed = parallel_map(_batch_worker, payloads, workers=n_workers)
+        for i, doc in zip(pending, packed):
+            solutions[i] = _unpack_solution(forms[i], doc)
+            if cache is not None and cache_keys[i] is not None:
+                from repro.milp import cache as cache_mod
+
+                cache_mod.record_store(cache, cache_keys[i], solutions[i],
+                                       forms[i], key_seconds=0.0)
+
+    out = [s for s in solutions if s is not None]
+    for i, solution in enumerate(out):
+        if solution.telemetry is not None:
+            solution.telemetry.batch = {"size": n, "index": i}
+    return out

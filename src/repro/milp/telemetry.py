@@ -52,6 +52,15 @@ class SolveTelemetry:
             "key_seconds": float, "recertified": bool}``.  On a hit the
             other fields (nodes, LP calls, incumbents) are those of the
             original stored solve.
+        frontier: branch-and-bound frontier counters when the own solver
+            ran — ``{"store": "arrays"|"objects", "peak_nodes": int,
+            "rows_reclaimed": int, "lp_engine": str}`` — else None.  Purely
+            diagnostic; stripped by canonicalization so scalar and
+            vectorized runs stay byte-comparable.
+        batch: batching provenance when the solve went through
+            :func:`repro.milp.solvers.registry.solve_many` —
+            ``{"size": int, "index": int}`` — else None.  Also stripped by
+            canonicalization.
     """
 
     backend: str = ""
@@ -66,6 +75,8 @@ class SolveTelemetry:
     n_constraints: int = 0
     presolve: dict[str, Any] | None = None
     cache: dict[str, Any] | None = None
+    frontier: dict[str, Any] | None = None
+    batch: dict[str, Any] | None = None
 
     def record_incumbent(self, seconds: float, objective: float) -> None:
         """Append one incumbent improvement."""
@@ -88,6 +99,8 @@ class SolveTelemetry:
             "n_constraints": self.n_constraints,
             "presolve": self.presolve,
             "cache": self.cache,
+            "frontier": self.frontier,
+            "batch": self.batch,
         }
 
     @classmethod
@@ -108,4 +121,6 @@ class SolveTelemetry:
             n_constraints=data.get("n_constraints", 0),
             presolve=data.get("presolve"),
             cache=data.get("cache"),
+            frontier=data.get("frontier"),
+            batch=data.get("batch"),
         )

@@ -59,15 +59,24 @@ class TestRunDifferential:
             assert sol.status is SolveStatus.OPTIMAL
 
     def test_crash_becomes_disagreement(self, monkeypatch):
-        fuzz_mod = importlib.import_module("repro.check.fuzz")
+        # The fuzzer solves through solve_many, whose serial path routes
+        # every item through the registry's solve() — patch it there.
+        registry = importlib.import_module("repro.milp.solvers.registry")
 
-        def explode(model, backend, **kwargs):
+        def explode(model, backend="highs", **kwargs):
             raise RuntimeError("kaboom")
 
-        monkeypatch.setattr(fuzz_mod, "solve", explode)
+        monkeypatch.setattr(registry, "solve", explode)
         results, disagreements = run_differential(tiny_milp())
         assert all(s.status is SolveStatus.ERROR for s in results.values())
         assert any(d.kind == "crash" for d in disagreements)
+
+    def test_scalar_frontier_axis_present(self):
+        results, disagreements = run_differential(tiny_milp(),
+                                                  time_limit=10.0)
+        assert not disagreements
+        assert "bnb+scalar" in results
+        assert results["bnb+scalar"].status is SolveStatus.OPTIMAL
 
 
 class TestCompareResults:
@@ -153,18 +162,18 @@ class TestFuzzHarness:
         json.dumps(report.to_dict())
 
     def test_disagreement_writes_reproducer(self, tmp_path, monkeypatch):
-        fuzz_mod = importlib.import_module("repro.check.fuzz")
+        registry = importlib.import_module("repro.milp.solvers.registry")
 
-        real_solve = fuzz_mod.solve
+        real_solve = registry.solve
 
-        def lying_solve(model, backend, **kwargs):
+        def lying_solve(model, backend="highs", **kwargs):
             sol = real_solve(model, backend=backend, **kwargs)
             if backend == "bnb" and sol.status is SolveStatus.OPTIMAL:
                 return Solution(status=SolveStatus.INFEASIBLE,
                                 backend=backend)
             return sol
 
-        monkeypatch.setattr(fuzz_mod, "solve", lying_solve)
+        monkeypatch.setattr(registry, "solve", lying_solve)
         report = fuzz(n=2, seed=0, time_limit=10.0, shrink_budget=20,
                       artifact_dir=tmp_path)
         assert not report.ok

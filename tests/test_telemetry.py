@@ -161,3 +161,23 @@ class TestCanonicalization:
                     assert seconds == 0.0
         # The original document is untouched (it's a deep copy).
         assert doc["elapsed_seconds"] > 0.0
+
+    def test_execution_provenance_stripped(self):
+        """Frontier-store and batch counters describe how a solve ran, not
+        what it computed — canonicalization must null them so scalar vs
+        vectorized and batched vs sequential runs stay byte-comparable."""
+        from repro.eval.report import canonicalize_telemetry
+
+        netlist = random_netlist(5, seed=11)
+        config = FloorplanConfig(seed_size=3, group_size=2,
+                                 backend="bnb",
+                                 subproblem_time_limit=10.0)
+        doc = telemetry_report(floorplan(netlist, config))
+        assert any(step["telemetry"] and step["telemetry"].get("frontier")
+                   for step in doc["steps"])
+        canonical = canonicalize_telemetry(doc)
+        for step in canonical["steps"]:
+            if step["telemetry"]:
+                assert step["telemetry"]["frontier"] is None
+                assert step["telemetry"]["batch"] is None
+                assert step["telemetry"]["cache"] is None

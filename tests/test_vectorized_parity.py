@@ -1,0 +1,390 @@
+"""Scalar-vs-vectorized parity suite.
+
+The vectorization pass rewired three hot paths — the branch-and-bound node
+frontier (contiguous arrays vs per-node objects), constraint assembly
+(CSR block splicing vs per-row appends), and the skyline/covering geometry
+(numpy row operations vs per-step loops) — and added batched solving
+(:func:`repro.milp.solvers.registry.solve_many`).  Every fast path keeps a
+scalar reference, and this suite pins them against each other:
+
+* both B&B node stores produce identical statuses, objectives, bounds, and
+  node counts on seeded and hypothesis-generated instances;
+* the assembled standard form equals a dense per-row scalar reconstruction
+  exactly (no tolerance — same floats, same order);
+* the array-backed :class:`~repro.geometry.skyline.Skyline` and the covering
+  decompositions byte-match a scalar reference implementation of the same
+  epsilon semantics;
+* ``solve_many()`` equals element-wise sequential ``solve()``, including
+  cache-hit accounting on its serial path.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.check.fuzz import _floorplan_shaped, generate_model
+from repro.geometry.covering import (
+    horizontal_cut_decomposition,
+    merge_covering_rectangles,
+    vertical_step_decomposition,
+)
+from repro.geometry.rect import GEOM_EPS, Rect
+from repro.geometry.skyline import Skyline
+from repro.milp.cache import SolveCache
+from repro.milp.model import Model, ObjectiveSense, Sense
+from repro.milp.solution import SolveStatus
+from repro.milp.solvers.branch_and_bound import solve_bnb
+from repro.milp.solvers.registry import solve, solve_many
+
+# ---------------------------------------------------------------------------
+# branch and bound: array frontier vs object frontier
+# ---------------------------------------------------------------------------
+
+
+def _bnb_pair(model: Model) -> None:
+    fast = solve_bnb(model, time_limit=20.0, node_store="arrays")
+    ref = solve_bnb(model, time_limit=20.0, node_store="objects")
+    assert fast.status is ref.status
+    assert fast.n_nodes == ref.n_nodes
+    if fast.status.has_solution:
+        assert fast.objective == ref.objective  # byte parity, no tolerance
+        assert fast.bound == ref.bound
+        assert {v.name: x for v, x in fast.values.items()} == \
+            {v.name: x for v, x in ref.values.items()}
+    # Pure-LP instances are answered at the root without a frontier.
+    assert (fast.telemetry.frontier is None) == \
+        (ref.telemetry.frontier is None)
+    if fast.telemetry.frontier is not None:
+        assert fast.telemetry.frontier["store"] == "arrays"
+        assert ref.telemetry.frontier["store"] == "objects"
+
+
+class TestBnbStoreParity:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_seeded_instances(self, seed):
+        _bnb_pair(generate_model(random.Random(seed * 911 + 17)))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_floorplan_shaped_instances(self, seed):
+        _bnb_pair(_floorplan_shaped(random.Random(seed * 131 + 5)))
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=10**9))
+    def test_hypothesis_instances(self, seed):
+        _bnb_pair(generate_model(random.Random(seed)))
+
+
+# ---------------------------------------------------------------------------
+# constraint assembly: CSR blocks vs dense per-row reconstruction
+# ---------------------------------------------------------------------------
+
+
+def _scalar_assembly(model: Model):
+    """Rebuild (A_dense, row_lb, row_ub, c, c0) with the per-row python
+    loop the vectorized assembly replaced."""
+    n = len(model.variables)
+    cons = model.constraints
+    a = np.zeros((len(cons), n))
+    row_lb = np.empty(len(cons))
+    row_ub = np.empty(len(cons))
+    for i, con in enumerate(cons):
+        for var, coeff in con.expr.terms.items():
+            a[i, var.index] += coeff
+        rhs = -con.expr.constant
+        if con.sense is Sense.LE:
+            row_lb[i], row_ub[i] = -np.inf, rhs
+        elif con.sense is Sense.GE:
+            row_lb[i], row_ub[i] = rhs, np.inf
+        else:
+            row_lb[i], row_ub[i] = rhs, rhs
+    c = np.zeros(n)
+    for var, coeff in model.objective.terms.items():
+        c[var.index] += coeff
+    c0 = model.objective.constant
+    if model.objective_sense is ObjectiveSense.MAX:
+        c, c0 = -c, -c0
+    return a, row_lb, row_ub, c, c0
+
+
+def _assert_assembly_parity(model: Model) -> None:
+    form = model.to_standard_form()
+    a, row_lb, row_ub, c, c0 = _scalar_assembly(model)
+    assert form.a_matrix.shape == a.shape
+    np.testing.assert_array_equal(form.a_matrix.toarray(), a)
+    np.testing.assert_array_equal(form.row_lb, row_lb)
+    np.testing.assert_array_equal(form.row_ub, row_ub)
+    np.testing.assert_array_equal(form.c, c)
+    assert form.c0 == c0
+
+
+class TestAssemblyParity:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_seeded_instances(self, seed):
+        _assert_assembly_parity(generate_model(random.Random(seed * 37 + 3)))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_floorplan_formulations(self, seed):
+        # SubproblemBuilder is the row-block producer — the path that
+        # actually exercises the spliced COO triplets.
+        _assert_assembly_parity(_floorplan_shaped(random.Random(seed)))
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=10**9))
+    def test_hypothesis_instances(self, seed):
+        _assert_assembly_parity(generate_model(random.Random(seed)))
+
+
+# ---------------------------------------------------------------------------
+# geometry: array skyline vs scalar reference
+# ---------------------------------------------------------------------------
+
+
+class RefSkyline:
+    """Scalar reference of the skyline's epsilon semantics: a python list of
+    ``(x1, x2, height)`` runs, per-run add_rect, chained merge against each
+    merge group's first height — the loop the array version replaced."""
+
+    def __init__(self, x_min: float, x_max: float,
+                 eps: float = GEOM_EPS) -> None:
+        self.x_min, self.x_max, self.eps = x_min, x_max, eps
+        self.runs: list[tuple[float, float, float]] = [(x_min, x_max, 0.0)]
+
+    def add_rect(self, rect: Rect) -> None:
+        lo = max(rect.x, self.x_min)
+        hi = min(rect.x2, self.x_max)
+        eps = self.eps
+        if hi - lo <= eps:
+            return
+        top = rect.y2
+        out: list[tuple[float, float, float]] = []
+        for x1, x2, h in self.runs:
+            if not (x2 > lo + eps and x1 < hi - eps):
+                out.append((x1, x2, h))
+                continue
+            start = x1
+            if x1 < lo - eps:
+                out.append((x1, lo, h))
+                start = lo
+            if x2 > hi + eps:
+                out.append((start, hi, max(h, top)))
+                out.append((hi, x2, h))
+            else:
+                out.append((start, x2, max(h, top)))
+        merged = [list(out[0])]
+        anchor = out[0][2]
+        for x1, x2, h in out[1:]:
+            if abs(h - anchor) <= eps:
+                merged[-1][1] = x2
+            else:
+                merged.append([x1, x2, h])
+                anchor = h
+        self.runs = [(x1, x2, h) for x1, x2, h in merged]
+
+    def height_at(self, x: float) -> float:
+        hits = [h for x1, x2, h in self.runs
+                if x1 - self.eps <= x <= x2 + self.eps]
+        return max(0.0, max(hits)) if hits else 0.0
+
+    def area_under(self) -> float:
+        return sum((x2 - x1) * h for x1, x2, h in self.runs)
+
+    def distinct_heights(self) -> list[float]:
+        kept: list[float] = []
+        for h in sorted(h for _x1, _x2, h in self.runs):
+            if not kept or abs(h - kept[-1]) > self.eps:
+                kept.append(h)
+        return kept
+
+
+def _random_rects(rng: random.Random, n: int) -> list[Rect]:
+    rects = []
+    for _ in range(n):
+        if rng.random() < 0.6:          # integer grid: exercises merges
+            x = float(rng.randint(0, 18))
+            w = float(rng.randint(1, 6))
+            y = float(rng.randint(0, 4))
+            h = float(rng.randint(1, 6))
+        else:                            # float coords: exercises eps logic
+            x = rng.uniform(0.0, 18.0)
+            w = rng.uniform(0.3, 6.0)
+            y = rng.uniform(0.0, 4.0)
+            h = rng.uniform(0.3, 6.0)
+        rects.append(Rect(x, y, w, h))
+    return rects
+
+
+def _assert_skyline_parity(rects: list[Rect], span: tuple[float, float]) -> None:
+    sky = Skyline(*span)
+    ref = RefSkyline(*span)
+    for r in rects:
+        sky.add_rect(r)
+        ref.add_rect(r)
+        got = [(s.x1, s.x2, s.height) for s in sky.steps]
+        assert got == ref.runs  # byte parity after every insertion
+    assert sky.area_under() == ref.area_under()
+    assert sky.distinct_heights() == ref.distinct_heights()
+    for x in np.linspace(span[0], span[1], 23):
+        assert sky.height_at(float(x)) == ref.height_at(float(x))
+
+
+def _ref_horizontal_cuts(sky: Skyline, eps: float = GEOM_EPS) -> list[Rect]:
+    """Per-step scalar reference of the Figure-4 edge-cut decomposition."""
+    heights = [h for h in sky.distinct_heights() if h > eps]
+    rects: list[Rect] = []
+    prev = 0.0
+    for h in heights:
+        run_start = None
+        steps = list(sky.steps)
+        for i, step in enumerate(steps):
+            tall = step.height >= h - eps
+            if tall and run_start is None:
+                run_start = step.x1
+            if run_start is not None and (not tall or i == len(steps) - 1):
+                end = step.x1 if not tall else step.x2
+                rects.append(Rect(run_start, prev, end - run_start, h - prev))
+                run_start = None
+        prev = h
+    return rects
+
+
+def _ref_merge(rects: list[Rect], eps: float = GEOM_EPS) -> list[Rect]:
+    """Quadratic scalar reference of the overlap-merge containment scan."""
+    extended = sorted((Rect(r.x, 0.0, r.w, r.y2) for r in rects),
+                      key=lambda r: r.area, reverse=True)
+    kept: list[Rect] = []
+    for r in extended:
+        if not any(k.x - eps <= r.x and k.y - eps <= r.y
+                   and r.x2 <= k.x2 + eps and r.y2 <= k.y2 + eps
+                   for k in kept):
+            kept.append(r)
+    return kept
+
+
+class TestGeometryParity:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_skyline_parity_seeded(self, seed):
+        rng = random.Random(seed * 83 + 11)
+        span = (0.0, 24.0)
+        _assert_skyline_parity(_random_rects(rng, rng.randint(1, 14)), span)
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=10**9),
+           n=st.integers(min_value=1, max_value=10))
+    def test_skyline_parity_hypothesis(self, seed, n):
+        _assert_skyline_parity(_random_rects(random.Random(seed), n),
+                               (0.0, 24.0))
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_covering_parity_seeded(self, seed):
+        rng = random.Random(seed * 389 + 7)
+        sky = Skyline(0.0, 24.0)
+        for r in _random_rects(rng, rng.randint(1, 12)):
+            sky.add_rect(r)
+        cuts = horizontal_cut_decomposition(sky)
+        assert [(r.x, r.y, r.w, r.h) for r in cuts] == \
+            [(r.x, r.y, r.w, r.h) for r in _ref_horizontal_cuts(sky)]
+        merged = merge_covering_rectangles(cuts)
+        assert [(r.x, r.y, r.w, r.h) for r in merged] == \
+            [(r.x, r.y, r.w, r.h) for r in _ref_merge(cuts)]
+        vertical = vertical_step_decomposition(sky)
+        assert [(r.x, r.y, r.w, r.h) for r in vertical] == \
+            [(s.x1, 0.0, s.x2 - s.x1, s.height) for s in sky.steps
+             if s.height > GEOM_EPS]
+
+
+# ---------------------------------------------------------------------------
+# solve_many vs sequential solve
+# ---------------------------------------------------------------------------
+
+
+def _batch_models(n: int, seed: int = 0) -> list[Model]:
+    return [generate_model(random.Random(seed * 7919 + i)) for i in range(n)]
+
+
+def _assert_solutions_equal(batch, sequential) -> None:
+    assert len(batch) == len(sequential)
+    for got, want in zip(batch, sequential):
+        assert got.status is want.status
+        if want.status.has_solution:
+            assert got.objective == want.objective
+            assert got.bound == want.bound
+            assert {v.name: x for v, x in got.values.items()} == \
+                {v.name: x for v, x in want.values.items()}
+        elif not math.isnan(want.objective):
+            assert got.objective == want.objective
+        assert got.n_nodes == want.n_nodes
+        assert got.backend == want.backend
+
+
+class TestSolveManyParity:
+    @pytest.mark.parametrize("backend", ["highs", "bnb"])
+    def test_serial_equals_sequential(self, backend):
+        models = _batch_models(6, seed=1)
+        sequential = [solve(m, backend=backend, time_limit=20.0)
+                      for m in models]
+        batch = solve_many(models, backend=backend, time_limit=20.0)
+        _assert_solutions_equal(batch, sequential)
+        for i, sol in enumerate(batch):
+            assert sol.telemetry.batch == {"size": len(models), "index": i}
+
+    def test_serial_cache_accounting_matches(self):
+        # Duplicate instances make the hit/miss interleaving observable:
+        # item order decides which occurrence misses and which hits.
+        base = _batch_models(3, seed=2)
+        models = [base[0], base[1], base[0], base[2], base[1]]
+        seq_cache = SolveCache(None)
+        sequential = [solve(m, time_limit=20.0, cache=seq_cache)
+                      for m in models]
+        batch_cache = SolveCache(None)
+        batch = solve_many(models, time_limit=20.0, cache=batch_cache)
+        _assert_solutions_equal(batch, sequential)
+
+        def counters(stats):  # key_seconds is wall clock, not accounting
+            doc = stats.to_dict()
+            doc.pop("key_seconds")
+            return doc
+
+        assert counters(batch_cache.stats) == counters(seq_cache.stats)
+        assert batch_cache.stats.hits >= 2      # the duplicates hit
+        # Hit provenance rides the same telemetry either way.
+        for got, want in zip(batch, sequential):
+            got_cache = got.telemetry.cache if got.telemetry else None
+            want_cache = want.telemetry.cache if want.telemetry else None
+            assert (got_cache or {}).get("hit") == \
+                (want_cache or {}).get("hit")
+
+    def test_parallel_matches_serial(self):
+        models = _batch_models(5, seed=3)
+        serial = solve_many(models, time_limit=20.0, workers=1)
+        parallel = solve_many(models, time_limit=20.0, workers=2)
+        _assert_solutions_equal(parallel, serial)
+        for i, sol in enumerate(parallel):
+            assert sol.telemetry.batch == {"size": len(models), "index": i}
+
+    def test_presolve_and_warm_start_thread_through(self):
+        models = _batch_models(4, seed=4)
+        sequential = [solve(m, time_limit=20.0, presolve=True)
+                      for m in models]
+        batch = solve_many(models, time_limit=20.0, presolve=True)
+        _assert_solutions_equal(batch, sequential)
+
+    def test_capture_mode_isolates_errors(self):
+        models = _batch_models(3, seed=5)
+        bad = Model("bad")
+        x = bad.add_binary("x")
+        bad.set_objective(x, sense="min")
+        batch = solve_many([models[0], bad, models[1]],
+                           backend="no-such-backend", on_error="capture")
+        assert all(s.status is SolveStatus.ERROR for s in batch)
+        assert all(s.message.startswith("raised ") for s in batch)
+        with pytest.raises(Exception):
+            solve_many([bad], backend="no-such-backend", on_error="raise")
