@@ -1,0 +1,214 @@
+"""Service load harness: concurrent synthetic-netlist jobs over HTTP.
+
+Boots the floorplanning job service in-process on an ephemeral port and
+drives it with many client threads submitting synthetic instances
+(:func:`repro.netlist.generators.random_netlist`).  Submissions repeat
+each unique instance many times, so the run measures exactly the two
+dedup tiers the service exists for:
+
+* **request tier** — identical submissions coalesce into one job
+  (``deduplicated`` counter): the warm-hit rate of the run;
+* **solve tier** — executed jobs share structurally identical subproblem
+  solves through the canonical cache under the service ``cache_dir``.
+
+Reported per run: throughput (jobs/s), client-observed latency
+percentiles (p50/p95/p99), and the warm-hit rate, which must clear
+:data:`bench_suite.WARM_HIT_RATE_FLOOR`.  Results land in
+``results/service_load.txt`` plus the perf-trajectory artifact
+``results/BENCH_service_<rev>.json`` (same version-1 format as the
+``bench_suite`` artifact; kept as a separate file so the bench-regression
+gate's fixtures stay exactly the ``bench_suite`` set).
+
+``REPRO_BENCH_QUICK=1`` (the CI smoke invocation) drives 48 jobs over 6
+unique instances; the full run drives 2000 jobs over 40.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import threading
+import time
+import urllib.request
+
+from benchmarks.bench_suite import (WARM_HIT_RATE_FLOOR, bench_rev,
+                                    quick_mode)
+from benchmarks.conftest import emit
+from repro.core.config import FloorplanConfig
+from repro.eval.report import format_table
+from repro.netlist.generators import random_netlist
+from repro.serialize import netlist_to_dict
+from repro.service import FloorplanService, make_server
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def _submissions(n_jobs: int, n_unique: int) -> list[dict]:
+    """``n_jobs`` submission documents cycling over ``n_unique`` distinct
+    synthetic instances (deterministic seeds)."""
+    docs = []
+    for k in range(n_unique):
+        netlist = random_netlist(5 + k % 3, seed=1000 + k)
+        docs.append({
+            "kind": "floorplan",
+            "netlist": netlist_to_dict(netlist),
+            "config": {"seed_size": 3, "group_size": 2,
+                       "subproblem_time_limit": 10.0},
+        })
+    return [dict(docs[i % n_unique]) for i in range(n_jobs)]
+
+
+def _client_worker(base_url: str, jobs: list[dict],
+                   latencies: list[float], failures: list[str]) -> None:
+    """One client thread: submit each assigned job, then long-poll it to a
+    terminal status, recording the submit-to-done latency."""
+    for doc in jobs:
+        started = time.perf_counter()
+        body = json.dumps(doc).encode("utf-8")
+        request = urllib.request.Request(
+            base_url + "/v1/jobs", data=body, method="POST",
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request, timeout=300) as resp:
+                submitted = json.loads(resp.read())
+            job_id = submitted["job_id"]
+            while True:
+                with urllib.request.urlopen(
+                        base_url + f"/v1/jobs/{job_id}?wait=60",
+                        timeout=300) as resp:
+                    status = json.loads(resp.read())
+                if status["status"] not in ("queued", "running"):
+                    break
+            if status["status"] != "done":
+                failures.append(f"{job_id}: {status['status']} "
+                                f"{status.get('error')}")
+        except Exception as exc:  # noqa: BLE001 - a bench failure, not a crash
+            failures.append(f"client error: {exc!r}")
+        latencies.append(time.perf_counter() - started)
+
+
+def _run_load(n_jobs: int, n_unique: int, service_workers: int,
+              client_threads: int, cache_dir: str) -> dict:
+    config = FloorplanConfig(service_workers=service_workers,
+                             service_queue_size=max(256, n_unique * 2),
+                             cache_dir=cache_dir)
+    service = FloorplanService(config)
+    service.start()
+    httpd = make_server(service)
+    server_thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    server_thread.start()
+    host, port = httpd.server_address[:2]
+    base_url = f"http://{host}:{port}"
+    try:
+        docs = _submissions(n_jobs, n_unique)
+        shards = [docs[i::client_threads] for i in range(client_threads)]
+        latencies: list[float] = []
+        failures: list[str] = []
+        threads = [threading.Thread(target=_client_worker,
+                                    args=(base_url, shard, latencies,
+                                          failures))
+                   for shard in shards if shard]
+        wall_started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_seconds = time.perf_counter() - wall_started
+        stats = service.stats_doc()
+        # Solve-tier counters, summed over the executed (unique) jobs.
+        cache_hits = cache_misses = 0
+        with service._lock:
+            jobs = list(service._jobs.values())
+        for job in jobs:
+            if job.result is not None:
+                summary = job.result.get("summary", {})
+                cache_hits += summary.get("cache_hits", 0)
+                cache_misses += summary.get("cache_misses", 0)
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        service.stop()
+        server_thread.join(timeout=10.0)
+
+    latencies.sort()
+    warm_hit_rate = (stats["deduplicated"] / stats["submissions"]
+                     if stats["submissions"] else 0.0)
+    return {
+        "n_jobs": n_jobs,
+        "n_unique": n_unique,
+        "service_workers": service_workers,
+        "client_threads": client_threads,
+        "wall_seconds": round(wall_seconds, 3),
+        "throughput_jobs_per_s": round(n_jobs / wall_seconds, 2),
+        "latency_p50": round(_percentile(latencies, 0.50), 4),
+        "latency_p95": round(_percentile(latencies, 0.95), 4),
+        "latency_p99": round(_percentile(latencies, 0.99), 4),
+        "submissions": stats["submissions"],
+        "deduplicated": stats["deduplicated"],
+        "executed": stats["executed"],
+        "warm_hit_rate": round(warm_hit_rate, 4),
+        "cache_hits": cache_hits,
+        "cache_misses": cache_misses,
+        "failures": failures,
+    }
+
+
+def test_service_load(benchmark, results_dir):
+    if quick_mode():
+        params = dict(n_jobs=48, n_unique=6, service_workers=4,
+                      client_threads=8)
+    else:
+        params = dict(n_jobs=2000, n_unique=40, service_workers=8,
+                      client_threads=32)
+    cache_dir = tempfile.mkdtemp(prefix="repro-service-cache-")
+    try:
+        result = benchmark.pedantic(_run_load, rounds=1, iterations=1,
+                                    kwargs={**params,
+                                            "cache_dir": cache_dir})
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    mode = "quick" if quick_mode() else "full"
+    row = {k: v for k, v in result.items() if k != "failures"}
+    emit(results_dir, "service_load.txt",
+         format_table([row], title=f"Service load ({mode} mode): "
+                                   f"{result['n_jobs']} jobs, "
+                                   f"{result['n_unique']} unique instances"))
+    artifact = {
+        "version": 1,
+        "rev": bench_rev(),
+        "mode": mode,
+        "backend": "highs",
+        "presolve": True,
+        "fixtures": {
+            "service-load": {
+                "wall_seconds": result["wall_seconds"],
+                "throughput_jobs_per_s": result["throughput_jobs_per_s"],
+                "latency_p50": result["latency_p50"],
+                "latency_p95": result["latency_p95"],
+                "latency_p99": result["latency_p99"],
+                "warm_hit_rate": result["warm_hit_rate"],
+                "submissions": result["submissions"],
+                "deduplicated": result["deduplicated"],
+                "executed": result["executed"],
+                "cache_hits": result["cache_hits"],
+                "cache_misses": result["cache_misses"],
+            },
+        },
+    }
+    (results_dir / f"BENCH_service_{bench_rev()}.json").write_text(
+        json.dumps(artifact, indent=1, sort_keys=True) + "\n")
+
+    assert not result["failures"], result["failures"][:5]
+    assert result["executed"] == result["n_unique"], \
+        "identical submissions must coalesce into exactly one solve each"
+    assert result["warm_hit_rate"] >= WARM_HIT_RATE_FLOOR, (
+        f"warm-hit rate {result['warm_hit_rate']:.1%} fell below the "
+        f"{WARM_HIT_RATE_FLOOR:.0%} floor")

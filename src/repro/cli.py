@@ -243,6 +243,22 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    config = FloorplanConfig(
+        backend=args.backend,
+        subproblem_time_limit=args.time_limit,
+        cache_dir=args.cache_dir,
+        service_workers=args.service_workers,
+        service_queue_size=args.queue_size,
+        service_default_deadline=args.default_deadline,
+        service_execution=args.execution,
+    )
+    serve(config, host=args.host, port=args.port)
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     config = FloorplanConfig(subproblem_time_limit=args.time_limit)
     if "1" in args.series:
@@ -328,6 +344,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_fz.add_argument("--out", help="write the report JSON here "
                                     "(default: stdout)")
     p_fz.set_defaults(fn=_cmd_fuzz)
+
+    p_sv = sub.add_parser(
+        "serve",
+        help="run the floorplanning job service (HTTP/JSON, priority "
+             "queue, idempotent submission, shared solve-cache tier)")
+    p_sv.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_sv.add_argument("--port", type=int, default=8765,
+                      help="bind port (0 = ephemeral)")
+    p_sv.add_argument("--service-workers", type=int, default=2,
+                      help="worker threads draining the job queue")
+    p_sv.add_argument("--queue-size", type=int, default=256,
+                      help="max queued jobs before submissions get 429")
+    p_sv.add_argument("--default-deadline", type=float, default=None,
+                      metavar="SECONDS",
+                      help="deadline applied to jobs that name none")
+    p_sv.add_argument("--execution", default="inline",
+                      choices=["inline", "process"],
+                      help="run jobs in the worker thread (inline) or in "
+                           "a forked child that can die without taking "
+                           "the server down (process)")
+    p_sv.add_argument("--backend", default="highs",
+                      choices=["highs", "bnb", "portfolio"],
+                      help="default MILP backend for jobs")
+    p_sv.add_argument("--time-limit", type=float, default=30.0,
+                      help="default per-subproblem MILP time limit")
+    p_sv.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="shared on-disk solve-cache directory (default: "
+                           "$REPRO_CACHE_DIR, else "
+                           "~/.cache/repro-floorplan)")
+    p_sv.set_defaults(fn=_cmd_serve)
 
     p_ex = sub.add_parser("experiments", help="run the paper's series")
     p_ex.add_argument("--series", nargs="+", default=["1", "2", "3"],

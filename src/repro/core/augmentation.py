@@ -11,7 +11,7 @@ module count (Series 1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.core.config import FloorplanConfig, Objective
 from repro.core.envelopes import margins_for
@@ -125,7 +125,8 @@ class AugmentationResult:
 
 
 def run_augmentation(netlist: Netlist, config: FloorplanConfig,
-                     preplaced: dict[str, Placement] | None = None
+                     preplaced: dict[str, Placement] | None = None,
+                     on_step: Callable[[AugmentationStep], None] | None = None
                      ) -> AugmentationResult:
     """Execute the Figure-3 procedure on ``netlist``.
 
@@ -138,6 +139,11 @@ def run_augmentation(netlist: Netlist, config: FloorplanConfig,
             polygon fills the space *below* every placed module, so floating
             preplaced macros reserve their full column — anchor them to the
             chip bottom where possible.
+        on_step: optional observer invoked with each
+            :class:`AugmentationStep` right after it is appended to the
+            trace — the progress-event hook the job service streams from.
+            An exception raised by the observer aborts the run and
+            propagates to the caller (cooperative cancellation).
 
     Returns:
         Placements for every module, the fixed chip width, the reached chip
@@ -172,7 +178,7 @@ def run_augmentation(netlist: Netlist, config: FloorplanConfig,
 
     if seed_names:
         placed += _solve_step(netlist, config, chip_width, seed_names,
-                              placed, trace, step_index=0)
+                              placed, trace, step_index=0, on_step=on_step)
 
     step = 1
     while remaining:
@@ -180,7 +186,7 @@ def run_augmentation(netlist: Netlist, config: FloorplanConfig,
                            config.group_size)
         remaining = [n for n in remaining if n not in set(group)]
         placed += _solve_step(netlist, config, chip_width, group, placed,
-                              trace, step_index=step)
+                              trace, step_index=step, on_step=on_step)
         step += 1
 
     chip_height = max((p.envelope.y2 for p in placed), default=0.0)
@@ -208,7 +214,9 @@ def _resolve_chip_width(netlist: Netlist, config: FloorplanConfig) -> float:
 
 def _solve_step(netlist: Netlist, config: FloorplanConfig, chip_width: float,
                 group: Sequence[str], placed: list[Placement],
-                trace: AugmentationTrace, step_index: int) -> list[Placement]:
+                trace: AugmentationTrace, step_index: int,
+                on_step: Callable[[AugmentationStep], None] | None = None
+                ) -> list[Placement]:
     """Formulate, solve, and decode one subproblem; append its trace record."""
     window = [netlist.module(name) for name in group]
     obstacles, polygon = _cover_partial_floorplan(placed, chip_width, config)
@@ -279,6 +287,8 @@ def _solve_step(netlist: Netlist, config: FloorplanConfig, chip_width: float,
         telemetry=solution.telemetry,
         certification=certification,
     ))
+    if on_step is not None:
+        on_step(trace.steps[-1])
     return new_placements
 
 

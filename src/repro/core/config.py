@@ -134,6 +134,21 @@ class FloorplanConfig:
         cache_dir: directory of the on-disk cache tier shared across
             processes (parallel width workers) and runs.  None falls back to
             ``$REPRO_CACHE_DIR``, else ``~/.cache/repro-floorplan``.
+        service_workers: worker threads of the floorplanning job service
+            (:mod:`repro.service`) — each drains the priority queue and
+            executes one job at a time (jobs themselves may fan out across
+            processes via :mod:`repro.parallel`).
+        service_queue_size: capacity of the service job queue; submissions
+            beyond it are rejected with HTTP 429.
+        service_default_deadline: default per-job deadline in seconds
+            applied when a submission names none; None means jobs never
+            expire unless they ask to.
+        service_execution: how a service worker executes a job —
+            ``"inline"`` runs it in the worker thread (step events and
+            cooperative cancellation come straight from the augmentation
+            observer), ``"process"`` isolates it in a forked child so a
+            dying worker process fails or requeues the job instead of
+            taking the server down.
     """
 
     chip_width: float | None = None
@@ -166,6 +181,10 @@ class FloorplanConfig:
     warm_start: bool = True
     solve_cache: bool = True
     cache_dir: str | None = None
+    service_workers: int = 2
+    service_queue_size: int = 256
+    service_default_deadline: float | None = None
+    service_execution: str = "inline"
 
     def __post_init__(self) -> None:
         if self.seed_size < 1:
@@ -182,6 +201,16 @@ class FloorplanConfig:
             raise ValueError("int_tol must be positive")
         if self.node_limit is not None and self.node_limit < 1:
             raise ValueError("node_limit must be >= 1")
+        if self.service_workers < 1:
+            raise ValueError("service_workers must be >= 1")
+        if self.service_queue_size < 1:
+            raise ValueError("service_queue_size must be >= 1")
+        if self.service_default_deadline is not None \
+                and self.service_default_deadline <= 0:
+            raise ValueError("service_default_deadline must be positive")
+        if self.service_execution not in ("inline", "process"):
+            raise ValueError(
+                "service_execution must be 'inline' or 'process'")
         self.objective = Objective(self.objective)
         self.ordering = Ordering(self.ordering)
         self.linearization = Linearization(self.linearization)

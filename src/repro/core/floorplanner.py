@@ -9,9 +9,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
-from repro.core.augmentation import AugmentationTrace, run_augmentation
+from repro.core.augmentation import AugmentationStep, AugmentationTrace, \
+    run_augmentation
 from repro.core.config import FloorplanConfig, Linearization
 from repro.core.placement import Placement
 from repro.core.topology import derive_relations, optimize_topology
@@ -148,7 +149,9 @@ class Floorplanner:
 
     def __init__(self, netlist: Netlist,
                  config: FloorplanConfig | None = None, *,
-                 preplaced: Mapping[str, Placement] | None = None) -> None:
+                 preplaced: Mapping[str, Placement] | None = None,
+                 on_step: "Callable[[AugmentationStep], None] | None" = None
+                 ) -> None:
         """
         Args:
             netlist: the circuit to floorplan.
@@ -156,17 +159,23 @@ class Floorplanner:
             preplaced: modules fixed at given positions (pads, hard macros);
                 the rest of the chip is planned around them and they are
                 pinned in place through legalization too.
+            on_step: optional per-step observer forwarded to
+                :func:`repro.core.augmentation.run_augmentation` — the job
+                service uses it to stream progress events and to cancel a
+                running floorplan cooperatively (the observer raises).
         """
         self.netlist = netlist
         self.config = config or FloorplanConfig()
         self.preplaced = dict(preplaced or {})
+        self.on_step = on_step
 
     def run(self) -> Floorplan:
         """Run successive augmentation (+ optional LP compaction) and return
         the floorplan."""
         start = time.perf_counter()
         result = run_augmentation(self.netlist, self.config,
-                                  preplaced=self.preplaced)
+                                  preplaced=self.preplaced,
+                                  on_step=self.on_step)
         placements = result.placements
         chip_width = result.chip_width
         chip_height = result.chip_height

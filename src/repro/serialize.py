@@ -279,6 +279,22 @@ def _config_from_dict(data: dict[str, Any]) -> FloorplanConfig:
     return FloorplanConfig(**fields)
 
 
+def config_to_dict(config: FloorplanConfig) -> dict[str, Any]:
+    """A JSON-safe representation of a run configuration.
+
+    The same codec embedded floorplan documents use; the job service
+    round-trips request/response configurations through it.  Service-level
+    knobs (queue, pool, deadlines) are deliberately not part of the
+    document — they describe the server, not the floorplan.
+    """
+    return _config_to_dict(config)
+
+
+def config_from_dict(data: dict[str, Any]) -> FloorplanConfig:
+    """Rebuild a configuration from :func:`config_to_dict` output."""
+    return _config_from_dict(data)
+
+
 def floorplan_to_dict(plan: Floorplan) -> dict[str, Any]:
     """A self-contained JSON-safe representation of a floorplan."""
     return {

@@ -1,0 +1,36 @@
+"""Floorplanning-as-a-service: async job server over the pipeline.
+
+Public surface:
+
+* :class:`~repro.service.server.FloorplanService` — queue + worker pool +
+  idempotent submission;
+* :func:`~repro.service.server.make_server` /
+  :func:`~repro.service.server.serve` — the HTTP/JSON front;
+* :mod:`~repro.service.jobs` — job lifecycle and the priority queue;
+* :mod:`~repro.service.keys` — canonical request hashing (dedup keys);
+* :mod:`~repro.service.runner` — the job kinds (``floorplan``,
+  ``width_search``, ``solve``).
+"""
+
+from repro.service.jobs import (Job, JobCancelled, JobExpired, JobStatus,
+                                PriorityJobQueue, QueueFull)
+from repro.service.keys import canonical_request_text, request_key
+from repro.service.runner import JOB_RUNNERS, BadRequest, JobContext
+from repro.service.server import FloorplanService, make_server, serve
+
+__all__ = [
+    "BadRequest",
+    "FloorplanService",
+    "JOB_RUNNERS",
+    "Job",
+    "JobCancelled",
+    "JobContext",
+    "JobExpired",
+    "JobStatus",
+    "PriorityJobQueue",
+    "QueueFull",
+    "canonical_request_text",
+    "make_server",
+    "request_key",
+    "serve",
+]

@@ -1,0 +1,271 @@
+"""Jobs and the priority queue of the floorplanning service.
+
+A :class:`Job` is one submitted unit of work: a request document, a dedup
+key, a priority, an optional deadline, and the machinery that makes it
+observable — a monotonically growing event log plus a condition variable so
+pollers (HTTP long-poll, the event stream, worker threads) can *wait* for
+state changes instead of sleeping.
+
+:class:`PriorityJobQueue` orders pending jobs by priority (higher first),
+FIFO within a priority.  Cancellation and deadline expiry of *queued* jobs
+are lazy: the job's status flips immediately (so pollers see it), and the
+stale heap entry is discarded when a worker pops it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+
+class JobCancelled(Exception):
+    """Raised inside a running job when its cancellation was requested."""
+
+
+class JobExpired(Exception):
+    """Raised inside a running job when its deadline passed."""
+
+
+class JobStatus(str, Enum):
+    """Lifecycle of a service job.
+
+    ``QUEUED -> RUNNING -> DONE`` is the happy path; ``FAILED`` carries a
+    structured error document, ``CANCELLED`` and ``EXPIRED`` are the two
+    caller-visible early exits (explicit cancel vs deadline).  A job whose
+    worker process died may transition ``RUNNING -> QUEUED`` once (requeue)
+    before failing for good.
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    EXPIRED = "expired"
+
+    @property
+    def terminal(self) -> bool:
+        """True when the job will never change state again."""
+        return self in (JobStatus.DONE, JobStatus.FAILED,
+                        JobStatus.CANCELLED, JobStatus.EXPIRED)
+
+
+def new_job_id() -> str:
+    """A fresh opaque job identifier."""
+    return uuid.uuid4().hex
+
+
+@dataclass
+class Job:
+    """One submitted job and its observable state.
+
+    All mutation happens under :attr:`cond`; every mutation appends an
+    event and notifies, so any number of waiters (status long-polls, event
+    streams, the dedup coalescing path) wake without polling loops.
+    """
+
+    id: str
+    key: str
+    kind: str
+    request: dict[str, Any]
+    priority: int = 0
+    deadline_seconds: float | None = None
+    #: Absolute ``time.monotonic()`` deadline; None = never expires.
+    deadline: float | None = None
+    status: JobStatus = JobStatus.QUEUED
+    result: dict[str, Any] | None = None
+    error: dict[str, Any] | None = None
+    attempts: int = 0
+    created_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    events: list[dict[str, Any]] = field(default_factory=list)
+    cond: threading.Condition = field(default_factory=threading.Condition)
+    cancel_requested: threading.Event = field(default_factory=threading.Event)
+
+    # -- events ---------------------------------------------------------------
+
+    def emit(self, event_type: str, **data: Any) -> None:
+        """Append one event and wake every waiter."""
+        with self.cond:
+            self.events.append({
+                "seq": len(self.events),
+                "type": event_type,
+                "job_id": self.id,
+                **data,
+            })
+            self.cond.notify_all()
+
+    def events_since(self, since: int) -> list[dict[str, Any]]:
+        """Events with ``seq >= since`` (a snapshot copy)."""
+        with self.cond:
+            return list(self.events[since:])
+
+    def wait_events(self, since: int, timeout: float
+                    ) -> list[dict[str, Any]]:
+        """Block until an event with ``seq >= since`` exists (or the job is
+        terminal, or ``timeout`` elapses); returns the new events."""
+        deadline = time.monotonic() + timeout
+        with self.cond:
+            while len(self.events) <= since and not self.status.terminal:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self.cond.wait(remaining):
+                    break
+            return list(self.events[since:])
+
+    def wait_terminal(self, timeout: float) -> JobStatus:
+        """Block until the job reaches a terminal status (or ``timeout``)."""
+        deadline = time.monotonic() + timeout
+        with self.cond:
+            while not self.status.terminal:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self.cond.wait(remaining):
+                    break
+            return self.status
+
+    # -- transitions ----------------------------------------------------------
+
+    def transition(self, status: JobStatus, *,
+                   result: dict[str, Any] | None = None,
+                   error: dict[str, Any] | None = None,
+                   event: str | None = None, **event_data: Any) -> None:
+        """Move to ``status`` (recording result/error/timestamps) and emit
+        the matching event."""
+        with self.cond:
+            self.status = status
+            if result is not None:
+                self.result = result
+            if error is not None:
+                self.error = error
+            now = time.time()
+            if status is JobStatus.RUNNING:
+                self.started_at = now
+            elif status.terminal:
+                self.finished_at = now
+            self.cond.notify_all()
+        payload = dict(event_data)
+        if error is not None:
+            payload["error"] = error
+        self.emit(event or status.value, **payload)
+
+    def request_cancel(self) -> bool:
+        """Cancel a queued job immediately, or ask a running one to stop.
+
+        Returns True when the request had any effect (the job was not
+        already terminal).  A queued job flips to ``CANCELLED`` on the
+        spot; a running job gets :attr:`cancel_requested` set — the
+        augmentation observer (inline execution) or the parent's child
+        monitor (process execution) acts on it.
+        """
+        with self.cond:
+            if self.status.terminal:
+                return False
+            queued = self.status is JobStatus.QUEUED
+        self.cancel_requested.set()
+        if queued:
+            self.transition(JobStatus.CANCELLED,
+                            error={"kind": "cancelled",
+                                   "message": "cancelled while queued"})
+        else:
+            self.emit("cancel_requested")
+        return True
+
+    def expired_now(self) -> bool:
+        """True when a deadline exists and has passed."""
+        return self.deadline is not None and time.monotonic() > self.deadline
+
+    def expire(self, where: str) -> None:
+        """Flip to ``EXPIRED`` with the structured timeout document."""
+        self.transition(JobStatus.EXPIRED, error={
+            "kind": "deadline",
+            "message": f"deadline of {self.deadline_seconds}s exceeded "
+                       f"({where})",
+            "deadline_seconds": self.deadline_seconds,
+            "where": where,
+        })
+
+    # -- documents ------------------------------------------------------------
+
+    def status_doc(self) -> dict[str, Any]:
+        """The JSON document of ``GET /v1/jobs/<id>``."""
+        with self.cond:
+            return {
+                "job_id": self.id,
+                "key": self.key,
+                "kind": self.kind,
+                "status": self.status.value,
+                "priority": self.priority,
+                "deadline_seconds": self.deadline_seconds,
+                "attempts": self.attempts,
+                "created_at": self.created_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "n_events": len(self.events),
+                "error": self.error,
+            }
+
+
+class QueueFull(Exception):
+    """The queue is at capacity; the submission is rejected (HTTP 429)."""
+
+
+class PriorityJobQueue:
+    """A bounded max-priority queue of jobs with condition-based waiting.
+
+    Higher :attr:`Job.priority` pops first; equal priorities pop in
+    submission order.  ``maxsize`` counts *live queued* jobs — entries whose
+    job was cancelled or expired while waiting are skipped on pop and do
+    not count against capacity once their status flipped.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._heap: list[tuple[int, int, Job]] = []
+        self._cond = threading.Condition()
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return sum(1 for _p, _s, job in self._heap
+                       if job.status is JobStatus.QUEUED)
+
+    def put(self, job: Job) -> None:
+        """Enqueue ``job``; raises :class:`QueueFull` at capacity."""
+        with self._cond:
+            if sum(1 for _p, _s, j in self._heap
+                   if j.status is JobStatus.QUEUED) >= self.maxsize:
+                raise QueueFull(
+                    f"job queue is full ({self.maxsize} queued jobs)")
+            heapq.heappush(self._heap, (-job.priority, next(self._seq), job))
+            self._cond.notify()
+
+    def get(self, timeout: float) -> Job | None:
+        """Pop the highest-priority *live* job, waiting up to ``timeout``.
+
+        Entries whose job was cancelled while queued are discarded; entries
+        whose deadline passed are flipped to ``EXPIRED`` here (the
+        structured timeout status) and discarded too.  Returns None on
+        timeout.
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                while self._heap:
+                    _prio, _seq, job = heapq.heappop(self._heap)
+                    if job.status is not JobStatus.QUEUED:
+                        continue  # cancelled (or requeued copy superseded)
+                    if job.expired_now():
+                        job.expire("queued")
+                        continue
+                    return job
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    return None

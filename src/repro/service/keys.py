@@ -1,0 +1,63 @@
+"""Idempotent submission keys.
+
+Identical requests from different users must coalesce into one in-flight
+solve, so a submission's identity has to be *structural*: two payloads that
+describe the same computation must hash identically even when float noise
+or key order differ.  This module reuses the canonical-hashing discipline
+of the solve cache (:mod:`repro.milp.cache`): every float is quantized to
+the cache's :data:`~repro.milp.cache.KEY_SIGFIGS` significant digits with
+the same :func:`~repro.milp.cache._q` quantizer, mappings are key-sorted,
+and the result is SHA-256 hashed.
+
+Two tiers of dedup follow from this:
+
+* **request-level** — the key below coalesces whole submissions (one job,
+  one execution, every caller polls the same job id);
+* **solve-level** — inside an execution, every MILP goes through the
+  canonical solve cache keyed by :func:`repro.milp.cache.canonical_form_key`
+  over the model's standard form, so even *different* requests that reach
+  structurally identical subproblems share solves via the on-disk warm
+  tier.
+
+Quality-of-service fields (priority, deadline, force) are excluded: they
+change *when* a job runs, never *what* it computes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.milp.cache import _q
+
+#: Submission fields that do not affect the computed result and therefore
+#: stay out of the dedup key.
+QOS_FIELDS = frozenset({"priority", "deadline_seconds", "force"})
+
+
+def _canon(value: Any) -> Any:
+    """Recursively quantize floats and normalize containers."""
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return _q(value)
+    if isinstance(value, dict):
+        return {str(k): _canon(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    raise TypeError(f"unhashable request value of type {type(value).__name__}")
+
+
+def canonical_request_text(request: dict[str, Any]) -> str:
+    """The canonical pre-hash text of a submission (QoS fields stripped,
+    floats quantized, keys sorted).  Exposed so tests can assert that
+    distinct keys correspond exactly to distinct canonical texts."""
+    doc = {k: _canon(v) for k, v in request.items() if k not in QOS_FIELDS}
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def request_key(request: dict[str, Any]) -> str:
+    """SHA-256 hex digest of :func:`canonical_request_text`."""
+    text = canonical_request_text(request)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -1,0 +1,97 @@
+"""Shared helpers for the service test suites: an in-process server on an
+ephemeral port plus a tiny JSON client over stdlib urllib."""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Iterator
+
+from repro.core.config import FloorplanConfig
+from repro.service import FloorplanService, make_server
+
+
+class ServiceClient:
+    """A minimal JSON client against one service base URL."""
+
+    def __init__(self, base_url: str) -> None:
+        self.base_url = base_url
+
+    def raw(self, method: str, path: str, body: bytes | None = None,
+            timeout: float = 60.0) -> tuple[int, bytes]:
+        """One request; returns ``(status_code, body_bytes)`` even for
+        error statuses."""
+        request = urllib.request.Request(
+            self.base_url + path, method=method, data=body,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as resp:
+                return resp.status, resp.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read()
+
+    def call(self, method: str, path: str, doc: Any = None,
+             timeout: float = 60.0) -> tuple[int, Any]:
+        body = None if doc is None else json.dumps(doc).encode("utf-8")
+        code, raw = self.raw(method, path, body, timeout)
+        return code, json.loads(raw)
+
+    # -- conveniences ---------------------------------------------------------
+
+    def submit(self, doc: dict[str, Any]) -> tuple[int, Any]:
+        return self.call("POST", "/v1/jobs", doc)
+
+    def status(self, job_id: str, wait: float = 0.0) -> tuple[int, Any]:
+        suffix = f"?wait={wait}" if wait else ""
+        return self.call("GET", f"/v1/jobs/{job_id}{suffix}")
+
+    def result(self, job_id: str, wait: float = 0.0) -> tuple[int, Any]:
+        suffix = f"?wait={wait}" if wait else ""
+        return self.call("GET", f"/v1/jobs/{job_id}/result{suffix}")
+
+    def result_bytes(self, job_id: str) -> tuple[int, bytes]:
+        return self.raw("GET", f"/v1/jobs/{job_id}/result")
+
+    def events(self, job_id: str, since: int = 0,
+               wait: float = 0.0) -> tuple[int, Any]:
+        return self.call(
+            "GET", f"/v1/jobs/{job_id}/events?since={since}&wait={wait}")
+
+    def stream_events(self, job_id: str, since: int = 0,
+                      timeout: float = 60.0) -> list[dict[str, Any]]:
+        """Consume the NDJSON follow stream until the server closes it."""
+        request = urllib.request.Request(
+            self.base_url + f"/v1/jobs/{job_id}/events?follow=1&since={since}")
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return [json.loads(line) for line in resp.read().splitlines()]
+
+    def cancel(self, job_id: str) -> tuple[int, Any]:
+        return self.call("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def stats(self) -> dict[str, Any]:
+        return self.call("GET", "/v1/stats")[1]
+
+
+@contextlib.contextmanager
+def running_service(config: FloorplanConfig | None = None, *,
+                    runners: dict[str, Callable[..., dict[str, Any]]]
+                    | None = None
+                    ) -> Iterator[tuple[FloorplanService, ServiceClient]]:
+    """A started service + HTTP server on an ephemeral port, torn down on
+    exit."""
+    service = FloorplanService(config, runners=runners)
+    service.start()
+    httpd = make_server(service)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    try:
+        yield service, ServiceClient(f"http://{host}:{port}")
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        service.stop()
+        thread.join(timeout=10.0)

@@ -1,5 +1,8 @@
-"""Failure-injection tests: solver limits, retries, and degraded inputs."""
+"""Failure-injection tests: solver limits, retries, degraded inputs, and
+service-level faults (dying worker processes, corrupt cache blobs)."""
 
+
+import os
 
 import pytest
 
@@ -141,3 +144,116 @@ class TestDegradedInputs:
                                              group_size=1))
         assert plan.is_legal
         assert plan.chip_height <= 1000.0
+
+
+def _always_dies(request, ctx, cache_dir=None):
+    """A worker that dies mid-job without reporting anything."""
+    os._exit(3)
+
+
+def _dies_once(request, ctx, cache_dir=None):
+    """Dies on the first attempt, succeeds on the requeued one (the marker
+    file carries the attempt count across processes)."""
+    marker = request["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w") as f:
+            f.write("died\n")
+        os._exit(5)
+    return {"survived": True}
+
+
+class TestServiceWorkerDeath:
+    """Process-mode execution: a worker process dying mid-solve must
+    requeue the job once or fail it with a structured status — the queue
+    keeps draining either way."""
+
+    def _process_config(self, tmp_path) -> FloorplanConfig:
+        return FloorplanConfig(service_workers=1,
+                               service_execution="process",
+                               cache_dir=str(tmp_path / "cache"))
+
+    def test_worker_died_requeues_once_then_fails(self, tmp_path,
+                                                  tiny_netlist):
+        from repro.serialize import netlist_to_dict
+        from service_helpers import running_service
+
+        with running_service(
+                self._process_config(tmp_path),
+                runners={"die": _always_dies}) as (_service, client):
+            _code, doc = client.submit({"kind": "die", "payload": 1})
+            _code, status = client.status(doc["job_id"], wait=60.0)
+            assert status["status"] == "failed"
+            assert status["error"]["kind"] == "worker-died"
+            assert status["error"]["exitcode"] == 3
+            assert status["attempts"] == 2  # original + one requeue
+            _code, events = client.events(doc["job_id"])
+            types = [e["type"] for e in events["events"]]
+            assert types.count("requeued") == 1
+            assert types.count("started") == 2
+
+            # The queue is not wedged: a healthy job still completes.
+            _code, doc2 = client.submit({
+                "kind": "floorplan",
+                "netlist": netlist_to_dict(tiny_netlist),
+                "config": {"seed_size": 2, "group_size": 1}})
+            _code, status2 = client.status(doc2["job_id"], wait=120.0)
+            assert status2["status"] == "done"
+            stats = client.stats()
+        assert stats["requeued"] == 1
+        assert stats["jobs"]["failed"] == 1
+        assert stats["jobs"]["done"] == 1
+
+    def test_transient_death_recovers_via_requeue(self, tmp_path):
+        from service_helpers import running_service
+
+        marker = str(tmp_path / "first-attempt-died")
+        with running_service(
+                self._process_config(tmp_path),
+                runners={"flaky": _dies_once}) as (_service, client):
+            _code, doc = client.submit({"kind": "flaky", "marker": marker})
+            _code, status = client.status(doc["job_id"], wait=60.0)
+            assert status["status"] == "done"
+            assert status["attempts"] == 2
+            _code, res = client.result(doc["job_id"])
+            stats = client.stats()
+        assert res["result"] == {"survived": True}
+        assert stats["requeued"] == 1
+
+
+class TestServiceCorruptCache:
+    def test_corrupt_disk_blob_degrades_to_cold_solve(self, tmp_path,
+                                                      tiny_netlist):
+        """Corrupting every on-disk cache blob between two identical
+        service solves must yield a cold re-solve with an identical
+        floorplan — misses and unlinks, never a 500 or a failed job."""
+        from repro.serialize import netlist_to_dict
+        from service_helpers import running_service
+
+        cache_dir = tmp_path / "cache"
+        config = FloorplanConfig(service_workers=1,
+                                 service_execution="process",
+                                 cache_dir=str(cache_dir))
+        submission = {"kind": "floorplan",
+                      "netlist": netlist_to_dict(tiny_netlist),
+                      "config": {"seed_size": 2, "group_size": 1}}
+        with running_service(config) as (_service, client):
+            _code, first = client.submit(submission)
+            _code, res1 = client.result(first["job_id"], wait=120.0)
+
+            blobs = sorted(cache_dir.glob("*.json"))
+            assert blobs, "first solve should have written disk blobs"
+            for blob in blobs:
+                blob.write_text("{corrupt garbage")
+
+            _code, forced = client.submit(dict(submission, force=True))
+            _code, status = client.status(forced["job_id"], wait=120.0)
+            assert status["status"] == "done"
+            _code, res2 = client.result(forced["job_id"])
+            warm = client.events(forced["job_id"])[1]["events"]
+        steps = [e["cache"] for e in warm if e["type"] == "step"]
+        assert steps and all(not c["hit"] for c in steps)  # cold re-solve
+        assert res1["result"]["floorplan"]["placements"] == \
+            res2["result"]["floorplan"]["placements"]
+        # Corrupt blobs were unlinked and replaced by fresh ones.
+        for blob in sorted(cache_dir.glob("*.json")):
+            assert "corrupt" not in blob.read_text()
