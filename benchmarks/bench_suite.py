@@ -14,6 +14,9 @@ and either mode writes the per-solve telemetry of every instance to
 ``REPRO_BENCH_PRESOLVE=0`` disables the MILP presolve + warm-start layer,
 producing the baseline half of the CI presolve-parity diff
 (``benchmarks/diff_objectives.py`` compares the two canonical artifacts).
+``REPRO_BENCH_FORMULATION=unary`` runs the whole suite under the unary
+non-overlap encoding — the formulation-parity job's end-to-end leg (its
+per-solve parity gates live in ``bench_formulations.py``).
 
 The canonical solve cache is on by default; with ``REPRO_CACHE_DIR`` set,
 consecutive suite runs share the on-disk tier, and the per-instance hit
@@ -70,6 +73,15 @@ PRESOLVE_ENV = "REPRO_BENCH_PRESOLVE"
 #: and seeded incumbents bite hardest.
 BACKEND_ENV = "REPRO_BENCH_BACKEND"
 
+#: Environment variable selecting the non-overlap formulation (default
+#: ``bigm``).  The formulation-parity job sets ``unary`` to prove the
+#: stronger encoding carries the full pipeline end to end; trajectories
+#: are *not* diffed across formulations (equally-optimal subproblem
+#: vertices legitimately steer the greedy augmentation differently — the
+#: per-solve parity gates live in ``bench_formulations.py`` and
+#: ``tests/test_formulations_parity.py``).
+FORMULATION_ENV = "REPRO_BENCH_FORMULATION"
+
 #: Environment variable asserting a warmed solve cache: ``1`` requires the
 #: suite-wide cache hit rate to reach :data:`WARM_HIT_RATE_FLOOR`.
 EXPECT_WARM_ENV = "REPRO_BENCH_EXPECT_WARM"
@@ -94,6 +106,11 @@ def suite_backend() -> str:
     return os.environ.get(BACKEND_ENV, "").strip() or "highs"
 
 
+def suite_formulation() -> str:
+    """The non-overlap formulation the suite runs on (default ``bigm``)."""
+    return os.environ.get(FORMULATION_ENV, "").strip() or "bigm"
+
+
 def expect_warm() -> bool:
     """True when this run must find a warmed cache (CI's second run)."""
     return os.environ.get(EXPECT_WARM_ENV, "").strip() not in ("", "0")
@@ -111,6 +128,7 @@ def _run_one(make, time_limit: float, presolve: bool) -> dict:
                              use_envelopes=True, technology=technology,
                              subproblem_time_limit=time_limit,
                              backend=suite_backend(),
+                             formulation=suite_formulation(),
                              presolve=presolve, warm_start=presolve)
     plan = Floorplanner(netlist, config).run()
     routed = route_and_adjust(plan.placements, plan.chip, netlist,
@@ -231,6 +249,7 @@ def test_full_suite(benchmark, results_dir):
         "version": 1,
         "mode": mode,
         "presolve": presolve_mode(),
+        "formulation": suite_formulation(),
         "cache": {"hits": total_hits, "lookups": total_lookups,
                   "hit_rate": suite_hit_rate, "instances": cache_rows},
         "instances": [r["telemetry"] for r in results],
@@ -243,6 +262,7 @@ def test_full_suite(benchmark, results_dir):
         "version": 1,
         "mode": mode,
         "presolve": presolve_mode(),
+        "formulation": suite_formulation(),
         "instances": [canonicalize_telemetry(r["telemetry"])
                       for r in results],
     }
@@ -262,6 +282,7 @@ def test_full_suite(benchmark, results_dir):
         "mode": mode,
         "backend": suite_backend(),
         "presolve": presolve_mode(),
+        "formulation": suite_formulation(),
         "fixtures": fixtures,
     }
     (results_dir / f"BENCH_{bench_rev()}.json").write_text(

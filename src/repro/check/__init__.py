@@ -20,8 +20,10 @@ from repro.check.fuzz import (
     Disagreement,
     FuzzCase,
     FuzzReport,
+    compare_encodings,
     compare_results,
     fuzz,
+    generate_case,
     generate_model,
     replay_reproducer,
     run_differential,
@@ -49,8 +51,10 @@ __all__ = [
     "check_cover",
     "check_floorplan",
     "check_placements",
+    "compare_encodings",
     "compare_results",
     "fuzz",
+    "generate_case",
     "generate_model",
     "replay_reproducer",
     "run_differential",

@@ -1,14 +1,25 @@
 """Cross-backend differential fuzzing of the MILP solver stack.
 
-With three independent solving paths (HiGHS via SciPy, the from-scratch
-branch-and-bound, the pure-NumPy simplex) plus a racing portfolio, subtle
-disagreements are the expected failure mode — exactly what Huchette et al.
-observe across floor-layout formulation variants.  This harness generates
-seeded random instances (pure LPs, boxed random MILPs, and floorplan-shaped
-subproblems straight from :class:`SubproblemBuilder`), runs every applicable
-backend on the identical model — each both raw and through the presolve
-layer (``"<backend>+presolve"``) — cross-checks the claims, and greedily
-shrinks any disagreement to a minimal JSON reproducer.
+With four independent solving paths (HiGHS via SciPy, the from-scratch
+branch-and-bound, the pure-NumPy simplex, the LP-free difference-logic
+``smt`` search) plus a racing portfolio, subtle disagreements are the
+expected failure mode — exactly what Huchette et al. observe across
+floor-layout formulation variants.  This harness generates seeded random
+instances (pure LPs, boxed random MILPs, and floorplan-shaped subproblems
+straight from :class:`SubproblemBuilder`), runs every applicable backend on
+the identical model — each both raw and through the presolve layer
+(``"<backend>+presolve"``) — cross-checks the claims, and greedily shrinks
+any disagreement to a minimal JSON reproducer.
+
+With the formulation axis on (the default), every floorplan-shaped case is
+generated *twice from the same random state* — once per registered
+non-overlap encoding (``bigm`` and ``unary``) — and the full
+backend x presolve variant matrix runs on each.  The encodings share the
+instance, so beyond the per-encoding consistency rules below, any two
+OPTIMAL claims across encodings must agree on the objective, and an
+INFEASIBLE claim under one encoding contradicts an OPTIMAL claim under the
+other.  Variable spaces differ across encodings, so assignments are never
+compared — only claims.
 
 Comparison semantics (all instances have finite variable boxes, so
 ``UNBOUNDED`` is never legitimate):
@@ -38,6 +49,7 @@ from repro.milp.expr import VarKind, lin_sum
 from repro.milp.model import Model, ObjectiveSense
 from repro.milp.solution import Solution, SolveStatus
 from repro.milp.solvers.registry import available_backends, solve_many
+from repro.milp.solvers.smt_dl import supports_model as _smt_supports
 from repro.serialize import model_from_dict, model_to_dict
 
 #: Relative tolerance when comparing objective claims across backends.
@@ -59,6 +71,33 @@ def generate_model(rng: random.Random) -> Model:
     if roll < 0.8:
         return _random_boxed(rng, integers=True)
     return _floorplan_shaped(rng)
+
+
+def generate_case(rng: random.Random, *,
+                  formulation_axis: bool = True) -> dict[str, Model]:
+    """One seeded case as ``{encoding label: model}``.
+
+    Random LPs/MILPs have no encoding axis and come back under the single
+    empty label.  Floorplan-shaped cases with ``formulation_axis`` are
+    built once per registered non-overlap encoding *from the identical
+    random state*, so the pair models the same instance and the optimal
+    objectives must coincide.
+    """
+    roll = rng.random()
+    if roll < 0.4:
+        return {"": _random_boxed(rng, integers=False)}
+    if roll < 0.8:
+        return {"": _random_boxed(rng, integers=True)}
+    if not formulation_axis:
+        return {"": _floorplan_shaped(rng)}
+    from repro.core.config import FORMULATIONS
+
+    state = rng.getstate()
+    case: dict[str, Model] = {}
+    for formulation in FORMULATIONS:
+        rng.setstate(state)
+        case[formulation] = _floorplan_shaped(rng, formulation=formulation)
+    return case
 
 
 def _random_boxed(rng: random.Random, *, integers: bool) -> Model:
@@ -107,10 +146,11 @@ def _random_boxed(rng: random.Random, *, integers: bool) -> Model:
     return model
 
 
-def _floorplan_shaped(rng: random.Random) -> Model:
+def _floorplan_shaped(rng: random.Random, *,
+                      formulation: str = "bigm") -> Model:
     """A small real subproblem from :class:`SubproblemBuilder`: 1-2 window
     modules over 0-2 covering rectangles on a chip wide enough to be
-    feasible."""
+    feasible, non-overlap encoded per ``formulation``."""
     from repro.core.config import FloorplanConfig
     from repro.core.formulation import SubproblemBuilder
     from repro.geometry.rect import Rect
@@ -144,6 +184,7 @@ def _floorplan_shaped(rng: random.Random) -> Model:
         allow_rotation=rng.random() < 0.5,
         use_envelopes=False,
         record_snapshots=False,
+        formulation=formulation,
     )
     builder = SubproblemBuilder(window, obstacles, chip_width, config)
     return builder.model
@@ -177,10 +218,17 @@ class Disagreement:
 def backends_for(model: Model,
                  backends: Sequence[str] | None = None) -> tuple[str, ...]:
     """The registered backends applicable to ``model`` (the pure-LP-only
-    simplex is excluded for integer models)."""
+    simplex is excluded for integer models; the difference-logic ``smt``
+    search is excluded for models outside its fragment)."""
     names = tuple(backends) if backends else available_backends()
-    return tuple(b for b in names
-                 if b != "simplex" or model.is_pure_lp())
+    out = []
+    for name in names:
+        if name == "simplex" and not model.is_pure_lp():
+            continue
+        if name == "smt" and not _smt_supports(model):
+            continue
+        out.append(name)
+    return tuple(out)
 
 
 def _variant_plan(model: Model, backends: Sequence[str] | None,
@@ -357,6 +405,55 @@ def compare_results(model: Model, results: dict[str, Solution], *,
     return disagreements
 
 
+def compare_encodings(results_by_encoding: dict[str, dict[str, Solution]], *,
+                      obj_tol: float = CROSS_OBJ_TOL) -> list[Disagreement]:
+    """Cross-check claims across alternative encodings of one instance.
+
+    The encodings model the identical placement instance, so their optimal
+    objective values must coincide even though their variable spaces do
+    not: any two OPTIMAL claims must agree within tolerance, and an
+    INFEASIBLE claim under one encoding contradicts an OPTIMAL claim under
+    another.  Per-encoding certificate and consistency checks are
+    :func:`compare_results`'s job — this only compares *across*.
+    """
+    optimal: dict[str, float] = {}
+    optimal_encoding: dict[str, str] = {}
+    infeasible: list[tuple[str, str]] = []
+    for encoding, results in results_by_encoding.items():
+        for label, sol in results.items():
+            key = f"{encoding}:{label}"
+            if sol.status is SolveStatus.OPTIMAL:
+                optimal[key] = sol.objective
+                optimal_encoding[key] = encoding
+            elif sol.status is SolveStatus.INFEASIBLE:
+                infeasible.append((encoding, key))
+
+    disagreements: list[Disagreement] = []
+    cross_infeasible = [key for encoding, key in infeasible
+                        if any(enc != encoding
+                               for enc in optimal_encoding.values())]
+    if cross_infeasible and optimal:
+        names = sorted(optimal)
+        disagreements.append(Disagreement(
+            "encoding-status",
+            f"{', '.join(sorted(cross_infeasible))} claim INFEASIBLE but "
+            f"another encoding proved OPTIMAL ({', '.join(names)})",
+            tuple(sorted(cross_infeasible)) + tuple(names)))
+    if len(set(optimal_encoding.values())) >= 2:
+        names = sorted(optimal)
+        lo_name = min(names, key=lambda k: optimal[k])
+        hi_name = max(names, key=lambda k: optimal[k])
+        spread = optimal[hi_name] - optimal[lo_name]
+        scale = max(1.0, abs(optimal[lo_name]), abs(optimal[hi_name]))
+        if spread > obj_tol * scale:
+            disagreements.append(Disagreement(
+                "encoding-objective",
+                f"OPTIMAL objectives disagree across encodings: {lo_name} = "
+                f"{optimal[lo_name]:.9g} vs {hi_name} = "
+                f"{optimal[hi_name]:.9g}", (lo_name, hi_name)))
+    return disagreements
+
+
 # ---------------------------------------------------------------------------
 # shrinking
 # ---------------------------------------------------------------------------
@@ -480,60 +577,97 @@ def fuzz(n: int = 25, seed: int = 0, *,
          obj_tol: float = CROSS_OBJ_TOL, shrink_budget: int = 200,
          artifact_dir: str | Path | None = None,
          presolve_axis: bool = True,
+         formulation_axis: bool = True,
          workers: int | None = 1) -> FuzzReport:
     """Run a differential-fuzzing campaign of ``n`` seeded cases.
 
-    All ``n`` instances are generated up front and pushed through one
+    All ``n`` cases are generated up front and pushed through one
     :func:`run_differential_batch` call, so canonicalization is amortized
     per instance and ``workers`` can spread the solves over processes.
     Every disagreement is shrunk to a minimal reproducer; with
     ``artifact_dir`` set, each reproducer is also written to
     ``fuzz_repro_seed<seed>_case<i>.json`` there.  ``presolve_axis``
     doubles every backend into raw / ``+presolve`` variants (see
-    :func:`run_differential`).
+    :func:`run_differential`); ``formulation_axis`` builds every
+    floorplan-shaped case once per non-overlap encoding from the same
+    random state and cross-checks the encodings' claims
+    (:func:`compare_encodings`).  Multi-encoding failures embed all
+    encodings in the reproducer and skip shrinking — shrinking one
+    encoding in isolation would break the shared-instance invariant the
+    cross-check relies on.
     """
     report = FuzzReport(seed=seed, n_cases=n,
                         backends=tuple(backends) if backends
                         else available_backends())
     inconclusive = {SolveStatus.LIMIT, SolveStatus.TIMEOUT, SolveStatus.ERROR}
     case_seeds = [seed * 1_000_003 + i for i in range(n)]
-    models = [generate_model(random.Random(s)) for s in case_seeds]
+    cases = [generate_case(random.Random(s),
+                           formulation_axis=formulation_axis)
+             for s in case_seeds]
+    flat_models: list[Model] = []
+    layouts: list[dict[str, int]] = []
+    for case in cases:
+        layout = {}
+        for label, model in case.items():
+            layout[label] = len(flat_models)
+            flat_models.append(model)
+        layouts.append(layout)
     outcomes = run_differential_batch(
-        models, backends=backends, time_limit=time_limit, obj_tol=obj_tol,
-        presolve_axis=presolve_axis, workers=workers)
-    for i, (model, case_seed, (results, disagreements)) in enumerate(
-            zip(models, case_seeds, outcomes)):
+        flat_models, backends=backends, time_limit=time_limit,
+        obj_tol=obj_tol, presolve_axis=presolve_axis, workers=workers)
+    for i, (case, case_seed, layout) in enumerate(
+            zip(cases, case_seeds, layouts)):
+        results: dict[str, Solution] = {}
+        disagreements: list[Disagreement] = []
+        for label, flat_idx in layout.items():
+            enc_results, enc_disagreements = outcomes[flat_idx]
+            prefix = f"{label}:" if label else ""
+            results.update({prefix + k: v for k, v in enc_results.items()})
+            disagreements.extend(
+                Disagreement(d.kind, f"[{label}] {d.detail}" if label
+                             else d.detail,
+                             tuple(prefix + b for b in d.backends))
+                for d in enc_disagreements)
+        if len(layout) > 1:
+            disagreements.extend(compare_encodings(
+                {label: outcomes[flat_idx][0]
+                 for label, flat_idx in layout.items()}, obj_tol=obj_tol))
         report.n_inconclusive += sum(
             1 for s in results.values() if s.status in inconclusive)
         if not disagreements:
             continue
 
-        data = model_to_dict(model)
+        if len(layout) > 1:
+            data: dict[str, Any] = {"encodings": {
+                label: model_to_dict(model) for label, model in case.items()}}
+            minimized, evals = data, 0
+        else:
+            data = model_to_dict(case[""])
 
-        def still_fails(candidate: dict[str, Any]) -> bool:
-            try:
-                rebuilt = model_from_dict(candidate)
-                _, found = run_differential(rebuilt, backends=backends,
-                                            time_limit=time_limit,
-                                            obj_tol=obj_tol,
-                                            presolve_axis=presolve_axis)
-            except Exception:  # noqa: BLE001 — malformed shrink candidate
-                return False
-            return bool(found)
+            def still_fails(candidate: dict[str, Any]) -> bool:
+                try:
+                    rebuilt = model_from_dict(candidate)
+                    _, found = run_differential(rebuilt, backends=backends,
+                                                time_limit=time_limit,
+                                                obj_tol=obj_tol,
+                                                presolve_axis=presolve_axis)
+                except Exception:  # noqa: BLE001 — malformed shrink candidate
+                    return False
+                return bool(found)
 
-        minimized, evals = shrink_model(data, still_fails,
-                                        max_evals=shrink_budget)
-        case = FuzzCase(
+            minimized, evals = shrink_model(data, still_fails,
+                                            max_evals=shrink_budget)
+        case_record = FuzzCase(
             index=i, case_seed=case_seed, disagreements=disagreements,
             results={b: _solution_summary(s) for b, s in results.items()},
             model=data, minimized=minimized, shrink_evals=evals)
-        report.failures.append(case)
+        report.failures.append(case_record)
         if artifact_dir is not None:
             path = Path(artifact_dir)
             path.mkdir(parents=True, exist_ok=True)
             out = path / f"fuzz_repro_seed{seed}_case{i}.json"
             with open(out, "w") as f:
-                json.dump(case.to_dict(), f, indent=1)
+                json.dump(case_record.to_dict(), f, indent=1)
             report.artifacts.append(str(out))
     return report
 
@@ -543,15 +677,35 @@ def replay_reproducer(data: dict[str, Any], *, minimized: bool = True,
                       ) -> tuple[dict[str, Solution], list[Disagreement]]:
     """Re-run the backends on a saved reproducer artifact.
 
+    Multi-encoding reproducers (``{"encodings": {label: model}}`` documents
+    from formulation-axis cases) replay every encoding and append the
+    cross-encoding findings; result keys come back ``"<label>:<variant>"``.
+
     Args:
         data: a loaded :meth:`FuzzCase.to_dict` document (or a bare
             :func:`~repro.serialize.model_to_dict` document).
         minimized: replay the minimized model rather than the original.
         time_limit: per-backend time limit.
     """
-    if "variables" in data:       # bare model document
+    if "variables" in data or "encodings" in data:  # bare (multi-)model doc
         model_data = data
     else:
         model_data = data["minimized"] if minimized else data["model"]
+    if "encodings" in model_data:
+        results: dict[str, Solution] = {}
+        disagreements: list[Disagreement] = []
+        per_encoding: dict[str, dict[str, Solution]] = {}
+        for label, doc in model_data["encodings"].items():
+            enc_results, enc_disagreements = run_differential(
+                model_from_dict(doc), time_limit=time_limit)
+            per_encoding[label] = enc_results
+            results.update(
+                {f"{label}:{k}": v for k, v in enc_results.items()})
+            disagreements.extend(
+                Disagreement(d.kind, f"[{label}] {d.detail}",
+                             tuple(f"{label}:{b}" for b in d.backends))
+                for d in enc_disagreements)
+        disagreements.extend(compare_encodings(per_encoding))
+        return results, disagreements
     model = model_from_dict(model_data)
     return run_differential(model, time_limit=time_limit)

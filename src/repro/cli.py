@@ -15,7 +15,7 @@ import json
 import sys
 from pathlib import Path
 
-from repro.core.config import FloorplanConfig, Objective, Ordering
+from repro.core.config import FORMULATIONS, FloorplanConfig, Objective, Ordering
 from repro.core.floorplanner import Floorplanner
 from repro.eval.experiments import run_series1, run_series2, run_series3
 from repro.eval.report import format_table
@@ -58,6 +58,7 @@ def _config_from(args: argparse.Namespace) -> FloorplanConfig:
         technology=technology,
         subproblem_time_limit=args.time_limit,
         backend=args.backend,
+        formulation=getattr(args, "formulation", "bigm"),
         presolve=not getattr(args, "no_presolve", False),
         warm_start=not getattr(args, "no_warm_start", False),
         solve_cache=not getattr(args, "no_solve_cache", False),
@@ -85,9 +86,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--time-limit", type=float, default=30.0,
                         help="per-subproblem MILP time limit (seconds)")
     parser.add_argument("--backend", default="highs",
-                        choices=["highs", "bnb", "portfolio"],
+                        choices=["highs", "bnb", "portfolio", "smt"],
                         help="MILP backend (portfolio races highs vs the "
-                             "self-contained branch-and-bound)")
+                             "self-contained branch-and-bound; smt is the "
+                             "LP-free difference-logic solver for rigid "
+                             "area/perimeter instances)")
+    parser.add_argument("--formulation", default="bigm",
+                        choices=list(FORMULATIONS),
+                        help="non-overlap encoding: bigm is the paper's "
+                             "eq. (2) two-binary big-M encoding; unary is "
+                             "the stronger one-hot encoding with tightened "
+                             "big-Ms and valid inequalities (same optima, "
+                             "fewer branch-and-bound nodes)")
     parser.add_argument("--no-presolve", action="store_true",
                         help="skip the solver-independent MILP presolve "
                              "layer (bound tightening, big-M reduction, "
@@ -227,7 +237,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
     report = fuzz(n=args.n, seed=args.seed, time_limit=args.time_limit,
                   shrink_budget=args.shrink_budget,
-                  artifact_dir=args.artifact_dir)
+                  artifact_dir=args.artifact_dir,
+                  formulation_axis=not args.no_formulation_axis)
     text = json.dumps(report.to_dict(), indent=1)
     if args.out:
         Path(args.out).write_text(text + "\n")
@@ -248,6 +259,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     config = FloorplanConfig(
         backend=args.backend,
+        formulation=args.formulation,
         subproblem_time_limit=args.time_limit,
         cache_dir=args.cache_dir,
         service_workers=args.service_workers,
@@ -339,6 +351,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fz.add_argument("--shrink-budget", type=int, default=200,
                       help="max solver evaluations spent minimizing a "
                            "failing case")
+    p_fz.add_argument("--no-formulation-axis", action="store_true",
+                      help="restrict floorplan-shaped cases to the bigm "
+                           "encoding (skip the cross-formulation parity "
+                           "axis)")
     p_fz.add_argument("--artifact-dir", default=".",
                       help="directory for minimized reproducer JSON files")
     p_fz.add_argument("--out", help="write the report JSON here "
@@ -364,9 +380,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run jobs in the worker thread (inline) or in "
                            "a forked child that can die without taking "
                            "the server down (process)")
+    # smt is deliberately absent: a server default must accept any job,
+    # and the difference-logic backend rejects flexible/wirelength models.
     p_sv.add_argument("--backend", default="highs",
                       choices=["highs", "bnb", "portfolio"],
                       help="default MILP backend for jobs")
+    p_sv.add_argument("--formulation", default="bigm",
+                      choices=list(FORMULATIONS),
+                      help="default non-overlap encoding for jobs")
     p_sv.add_argument("--time-limit", type=float, default=30.0,
                       help="default per-subproblem MILP time limit")
     p_sv.add_argument("--cache-dir", default=None, metavar="DIR",

@@ -415,7 +415,8 @@ def _solve_with_retry(builder: SubproblemBuilder, config: FloorplanConfig,
     rebuild a structurally identical model, which the cache recognizes and
     serves (after re-certification) instead of re-solving.
     """
-    extra: dict = {"presolve": config.presolve}
+    extra: dict = {"presolve": config.presolve,
+                   "formulation": config.formulation}
     if config.presolve:
         extra["symmetry_groups"] = builder.symmetry_groups()
     if config.solve_cache:
@@ -423,7 +424,7 @@ def _solve_with_retry(builder: SubproblemBuilder, config: FloorplanConfig,
 
         extra["cache"] = get_cache(config.cache_dir)
     if warm_start is None and config.warm_start and (
-            config.presolve or config.backend in ("bnb", "portfolio")):
+            config.presolve or config.backend in ("bnb", "portfolio", "smt")):
         warm_start = builder.warm_start_stacked()
     if warm_start is not None:
         extra["warm_start"] = warm_start

@@ -24,6 +24,19 @@ def _default_technology() -> "Technology":
     return Technology.over_the_cell()
 
 
+#: Registered non-overlap formulations (the ``formulation=`` axis).
+#:
+#: ``"bigm"`` is the paper's eq. (2) encoding: two binaries per pair and four
+#: global big-M rows.  ``"unary"`` is the Huchette–Dey–Vielma-style unary
+#: encoding: four one-hot direction indicators per pair with per-direction
+#: tightened big-Ms plus valid inequalities that strengthen the LP
+#: relaxation.  Both describe the same feasible geometry, so optimal
+#: objectives are identical — the cross-formulation parity suite pins that
+#: down.  Defined here (not in :mod:`repro.core.formulation`) so the config
+#: can validate without importing the model-building layer.
+FORMULATIONS: tuple[str, ...] = ("bigm", "unary")
+
+
 class Objective(str, Enum):
     """Objective functions.
 
@@ -97,7 +110,18 @@ class FloorplanConfig:
         record_snapshots: store each augmentation step's partial floorplan
             (placements + covering rectangles) in the trace, enabling
             Figure-2-style step visualizations.
-        backend: MILP solver backend (``highs`` / ``bnb`` / ``portfolio``).
+        backend: MILP solver backend (``highs`` / ``bnb`` / ``portfolio`` /
+            ``smt``).  The ``smt`` backend is the LP-free difference-logic
+            solver (:mod:`repro.milp.solvers.smt_dl`); it covers the
+            rigid-module fragment of the formulation (no flexible modules,
+            no wirelength terms).
+        formulation: non-overlap encoding of the eq. (2) disjunctions — one
+            of :data:`FORMULATIONS`.  ``"bigm"`` (default) is the paper's
+            two-binary big-M encoding and reproduces today's golden traces
+            byte-for-byte; ``"unary"`` is the stronger
+            Huchette–Dey–Vielma-style one-hot encoding with tightened
+            big-Ms and valid inequalities (same optimal objectives, fewer
+            branch-and-bound nodes).
         subproblem_time_limit: per-MILP wall-clock limit in seconds.
         mip_rel_gap: per-MILP relative gap tolerance.
         int_tol: integrality tolerance of the own branch-and-bound
@@ -171,6 +195,7 @@ class FloorplanConfig:
     legalize: bool = True
     record_snapshots: bool = False
     backend: str = "highs"
+    formulation: str = "bigm"
     subproblem_time_limit: float | None = 30.0
     mip_rel_gap: float = 1e-4
     int_tol: float = 1e-6
@@ -211,6 +236,10 @@ class FloorplanConfig:
         if self.service_execution not in ("inline", "process"):
             raise ValueError(
                 "service_execution must be 'inline' or 'process'")
+        if self.formulation not in FORMULATIONS:
+            raise ValueError(
+                f"formulation must be one of {FORMULATIONS}, "
+                f"got {self.formulation!r}")
         self.objective = Objective(self.objective)
         self.ordering = Ordering(self.ordering)
         self.linearization = Linearization(self.linearization)
@@ -234,6 +263,10 @@ class FloorplanConfig:
                 options["node_limit"] = self.node_limit
             if self.lp_engine is not None:
                 options["lp_engine"] = self.lp_engine
+        elif self.backend == "smt":
+            options["int_tol"] = self.int_tol
+            if self.node_limit is not None:
+                options["node_limit"] = self.node_limit
         elif self.backend == "highs" and self.node_limit is not None:
             options["node_limit"] = self.node_limit
         return options

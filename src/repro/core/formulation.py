@@ -8,8 +8,19 @@ wirelength term.
 
 Constraint systems implemented:
 
-* eq. (2): pairwise non-overlap via two binaries ``(p_ij, q_ij)`` per pair
-  and four big-M inequalities, exactly one active per binary combination;
+* eq. (2): pairwise non-overlap.  Two interchangeable encodings are
+  registered (:data:`repro.core.config.FORMULATIONS`, selected by
+  ``config.formulation``):
+
+  - ``"bigm"`` — the paper's encoding: two binaries ``(p_ij, q_ij)`` per
+    pair and four big-M inequalities, exactly one active per binary
+    combination;
+  - ``"unary"`` — the Huchette–Dey–Vielma-style unary encoding: four
+    one-hot direction indicators per pair (``left/right/below/above``)
+    with per-direction tightened big-Ms plus valid inequalities
+    (indicator-scaled position lower bounds and chip-packing cuts) that
+    strengthen the LP relaxation without changing the feasible geometry;
+
 * eq. (4)-(5): optional 90-degree rotation of rigid modules via a binary
   ``z_i`` interpolating the effective width/height;
 * eq. (6)-(8): flexible modules via the linearized height model of
@@ -130,6 +141,12 @@ class SubproblemBuilder:
         self._window: dict[str, _WindowModule] = {}
         self._pair_binaries: dict[tuple[str, str], tuple[Variable, Variable]] = {}
         self._obstacle_binaries: dict[tuple[str, int], tuple[Variable, Variable]] = {}
+        # Unary-encoding one-hot direction indicators, ordered
+        # (left, right, below, above); empty under the big-M encoding.
+        self._pair_unary: dict[tuple[str, str],
+                               tuple[Variable, Variable, Variable, Variable]] = {}
+        self._obstacle_unary: dict[tuple[str, int],
+                                   tuple[Variable, Variable, Variable, Variable]] = {}
         self._wirelength_expr: LinExpr = LinExpr()
         # |a - b| linearization triples (aux_var, expr_a, expr_b): the aux
         # variable is >= both signed differences, so encode() can complete a
@@ -326,19 +343,159 @@ class SubproblemBuilder:
             [f"no[{tag}]:left", f"no[{tag}]:right",
              f"no[{tag}]:below", f"no[{tag}]:above"])
 
+    def _unary_binaries(self, tag: str
+                        ) -> tuple[Variable, Variable, Variable, Variable]:
+        """The four one-hot direction indicators of the unary encoding."""
+        return (self.model.add_binary(f"left[{tag}]"),
+                self.model.add_binary(f"right[{tag}]"),
+                self.model.add_binary(f"below[{tag}]"),
+                self.model.add_binary(f"above[{tag}]"))
+
+    def _unary_rows(self, tag: str, specs: list[tuple[
+            list[tuple[Variable | None, float]], float, str]],
+            names: list[str]) -> None:
+        """Emit one COO block of unary-encoding rows (same splicing path as
+        the big-M block builder)."""
+        columns: dict[Variable, int] = {}
+        rows: list[dict[int, float]] = []
+        rhs: list[float] = []
+        senses: list[str] = []
+        for terms, b, sense in specs:
+            entries: dict[int, float] = {}
+            for var, coef in terms:
+                if var is not None and coef != 0.0:
+                    entries[columns.setdefault(var, len(columns))] = coef
+            rows.append(entries)
+            rhs.append(b)
+            senses.append(sense)
+        coeffs = [[r.get(j, 0.0) for j in range(len(columns))] for r in rows]
+        self.model.add_rows(list(columns), coeffs, senses, rhs, names)
+
+    def _unary_pair_rows(self, tag: str, wi: _WindowModule, wj: _WindowModule,
+                         z: tuple[Variable, Variable, Variable, Variable]
+                         ) -> None:
+        """The unary encoding of one window-module pair.
+
+        One-hot choice over the four separating directions, each direction's
+        big-M row deactivated by its own indicator, plus the
+        Huchette–Dey–Vielma-style valid inequalities: indicator-scaled
+        position lower bounds (``x_j >= min_w_i * left``) and chip-packing
+        cuts that pull the chip-extent variables up in the LP relaxation
+        (``y_i + h_i + min_h_j * below <= y``).  All inequalities reason
+        over *minimum* effective dimensions, so they hold for every
+        rotation / flexible-width choice.
+        """
+        zl, zr, zb, za = z
+        mw, mh = self._width_big_m, self._height_big_m
+        wvar_i, wc_i, w0_i = self._affine1(wi.width)
+        hvar_i, hc_i, h0_i = self._affine1(wi.height)
+        wvar_j, wc_j, w0_j = self._affine1(wj.width)
+        hvar_j, hc_j, h0_j = self._affine1(wj.height)
+        wv = self.width_var
+        cap = self._chip_width_cap
+        specs: list[tuple[list[tuple[Variable | None, float]], float, str]] = [
+            ([(zl, 1.0), (zr, 1.0), (zb, 1.0), (za, 1.0)], 1.0, "=="),
+            ([(wi.x, 1.0), (wvar_i, wc_i), (wj.x, -1.0), (zl, mw)],
+             mw - w0_i, "<="),
+            ([(wj.x, 1.0), (wvar_j, wc_j), (wi.x, -1.0), (zr, mw)],
+             mw - w0_j, "<="),
+            ([(wi.y, 1.0), (hvar_i, hc_i), (wj.y, -1.0), (zb, mh)],
+             mh - h0_i, "<="),
+            ([(wj.y, 1.0), (hvar_j, hc_j), (wi.y, -1.0), (za, mh)],
+             mh - h0_j, "<="),
+        ]
+        names = [f"no[{tag}]:onehot", f"no[{tag}]:left", f"no[{tag}]:right",
+                 f"no[{tag}]:below", f"no[{tag}]:above"]
+        self._unary_rows(tag, specs, names)
+
+        cuts: list[tuple[list[tuple[Variable | None, float]], float, str]] = []
+        cut_names: list[str] = []
+        for dir_name, zv, other, min_dim in (
+                ("left", zl, wj.x, wi.min_width),
+                ("right", zr, wi.x, wj.min_width),
+                ("below", zb, wj.y, wi.min_height),
+                ("above", za, wi.y, wj.min_height)):
+            if min_dim > GEOM_EPS:
+                cuts.append(([(other, 1.0), (zv, -min_dim)], 0.0, ">="))
+                cut_names.append(f"vi[{tag}]:{dir_name}")
+        # Chip-packing cuts: when the pair separates along an axis, both
+        # extents stack inside the chip along it.
+        for dir_name, zv, wm, other_min in (("left", zl, wi, wj.min_width),
+                                            ("right", zr, wj, wi.min_width)):
+            wvar, wc, w0 = self._affine1(wm.width)
+            terms: list[tuple[Variable | None, float]] = [
+                (wm.x, 1.0), (wvar, wc), (zv, other_min)]
+            if wv is not None:
+                terms.append((wv, -1.0))
+                cuts.append((terms, -w0, "<="))
+            else:
+                cuts.append((terms, cap - w0, "<="))
+            cut_names.append(f"vi[{tag}]:packw-{dir_name}")
+        for dir_name, zv, wm, other_min in (("below", zb, wi, wj.min_height),
+                                            ("above", za, wj, wi.min_height)):
+            hvar, hc, h0 = self._affine1(wm.height)
+            cuts.append(([(wm.y, 1.0), (hvar, hc), (zv, other_min),
+                          (self.height_var, -1.0)], -h0, "<="))
+            cut_names.append(f"vi[{tag}]:packh-{dir_name}")
+        if cuts:
+            self._unary_rows(tag, cuts, cut_names)
+
+    def _unary_obstacle_rows(self, tag: str, wm: _WindowModule, obs: Rect,
+                             z: tuple[Variable, Variable, Variable, Variable]
+                             ) -> None:
+        """The unary encoding of one module-vs-fixed-obstacle disjunction.
+
+        The obstacle's geometry is constant, so every direction gets the
+        *tightest* valid big-M: the ``right``/``above`` rows collapse to the
+        indicator-scaled bounds ``x >= obs.x2 * right`` / ``y >= obs.y2 *
+        above`` (their big-M equals the obstacle edge itself), and the
+        ``left``/``below`` rows are slack only by the remaining chip extent
+        beyond the obstacle — all strictly tighter than the global big-Ms of
+        the ``"bigm"`` encoding.
+        """
+        zl, zr, zb, za = z
+        wvar, wc, w0 = self._affine1(wm.width)
+        hvar, hc, h0 = self._affine1(wm.height)
+        ml = max(self._chip_width_cap - obs.x, 0.0)
+        mb = max(self._height_bound - obs.y, 0.0)
+        specs: list[tuple[list[tuple[Variable | None, float]], float, str]] = [
+            ([(zl, 1.0), (zr, 1.0), (zb, 1.0), (za, 1.0)], 1.0, "=="),
+            ([(wm.x, 1.0), (wvar, wc), (zl, ml)], obs.x + ml - w0, "<="),
+            ([(wm.x, 1.0), (zr, -obs.x2)], 0.0, ">="),
+            ([(wm.y, 1.0), (hvar, hc), (zb, mb)], obs.y + mb - h0, "<="),
+            ([(wm.y, 1.0), (za, -obs.y2)], 0.0, ">="),
+        ]
+        names = [f"no[{tag}]:onehot", f"no[{tag}]:left", f"no[{tag}]:right",
+                 f"no[{tag}]:below", f"no[{tag}]:above"]
+        self._unary_rows(tag, specs, names)
+
     def _add_pairwise_non_overlap(self) -> None:
+        unary = self.config.formulation == "unary"
         names = list(self._window)
         for a in range(len(names)):
             for b in range(a + 1, len(names)):
                 wi = self._window[names[a]]
                 wj = self._window[names[b]]
+                pair = (wi.module.name, wj.module.name)
+                tag = f"{wi.module.name}|{wj.module.name}"
+                side_by_side_dead = self._prune_dominated and \
+                    wi.min_width + wj.min_width > self._chip_width_cap + GEOM_EPS
+                if unary:
+                    z = self._unary_binaries(f"{pair[0]},{pair[1]}")
+                    self._pair_unary[pair] = z
+                    self._unary_pair_rows(tag, wi, wj, z)
+                    if side_by_side_dead:
+                        # Both horizontal one-hot branches are dead: fixing
+                        # their indicators to 0 preserves the feasible set
+                        # exactly and lets presolve drop the columns.
+                        z[0].ub = 0.0
+                        z[1].ub = 0.0
+                    continue
                 p = self.model.add_binary(f"p[{wi.module.name},{wj.module.name}]")
                 q = self.model.add_binary(f"q[{wi.module.name},{wj.module.name}]")
-                self._pair_binaries[(wi.module.name, wj.module.name)] = (p, q)
-                tag = f"{wi.module.name}|{wj.module.name}"
+                self._pair_binaries[pair] = (p, q)
                 self._non_overlap_rows(tag, wi, p, q, wj=wj)
-                if self._prune_dominated and \
-                        wi.min_width + wj.min_width > self._chip_width_cap + GEOM_EPS:
+                if side_by_side_dead:
                     # The pair cannot sit side by side inside the chip even
                     # at minimum widths: both horizontal disjuncts are dead,
                     # so every feasible point has q = 1 (vertical
@@ -347,13 +504,10 @@ class SubproblemBuilder:
                     q.lb = 1.0
 
     def _add_obstacle_non_overlap(self, prune_floor: bool) -> None:
+        unary = self.config.formulation == "unary"
         for name, wm in self._window.items():
             for k, obs in enumerate(self.obstacles):
-                p = self.model.add_binary(f"p[{name},obs{k}]")
-                q = self.model.add_binary(f"q[{name},obs{k}]")
-                self._obstacle_binaries[(name, k)] = (p, q)
                 tag = f"{name}|obs{k}"
-                self._non_overlap_rows(tag, wm, p, q, obs=obs)
                 # Dominated relative-position branches: a branch whose
                 # geometry cannot be realized for any module shape is cut or
                 # (when a whole axis dies) fixed.  All three tests reason
@@ -366,6 +520,25 @@ class SubproblemBuilder:
                 below_dead = (prune_floor and obs.y <= GEOM_EPS) or (
                     self._prune_dominated
                     and wm.min_height > obs.y + GEOM_EPS)
+                if unary:
+                    z = self._unary_binaries(f"{name},obs{k}")
+                    self._obstacle_unary[(name, k)] = z
+                    self._unary_obstacle_rows(tag, wm, obs, z)
+                    # Dead one-hot branches fix their indicators directly —
+                    # no cut rows needed in the unary encoding.
+                    if left_dead:
+                        z[0].ub = 0.0
+                    if right_dead:
+                        z[1].ub = 0.0
+                    if below_dead:
+                        z[2].ub = 0.0
+                    if left_dead and right_dead and below_dead:
+                        z[3].lb = 1.0  # only "module above obstacle" remains
+                    continue
+                p = self.model.add_binary(f"p[{name},obs{k}]")
+                q = self.model.add_binary(f"q[{name},obs{k}]")
+                self._obstacle_binaries[(name, k)] = (p, q)
+                self._non_overlap_rows(tag, wm, p, q, obs=obs)
                 if left_dead and right_dead:
                     # No horizontal branch fits: vertical separation forced.
                     q.lb = 1.0
@@ -677,6 +850,18 @@ class SubproblemBuilder:
             if combo is None:
                 return None
             values[p], values[q] = combo
+        for (a, b), z in self._pair_unary.items():
+            onehot = self._choose_direction(dims[a], dims[b], z, tol)
+            if onehot is None:
+                return None
+            values.update(zip(z, onehot))
+        for (name, k), z in self._obstacle_unary.items():
+            obs = self.obstacles[k]
+            onehot = self._choose_direction(
+                dims[name], (obs.x, obs.y, obs.w, obs.h), z, tol)
+            if onehot is None:
+                return None
+            values.update(zip(z, onehot))
 
         for aux, ea, eb in self._abs_pairs:
             values[aux] = abs(ea.value(values) - eb.value(values))
@@ -716,6 +901,35 @@ class SubproblemBuilder:
         for p_val, q_val in candidates:
             if p.lb <= p_val <= p.ub and q.lb <= q_val <= q.ub:
                 return p_val, q_val
+        return None
+
+    @staticmethod
+    def _choose_direction(da: tuple[float, float, float, float],
+                          db: tuple[float, float, float, float],
+                          z: tuple[Variable, Variable, Variable, Variable],
+                          tol: float
+                          ) -> tuple[float, float, float, float] | None:
+        """The one-hot (left, right, below, above) values of the first
+        geometric separation consistent with the indicators' bounds
+        (dominance pruning may have fixed some of them); None when the
+        rectangles overlap."""
+        ax, ay, aw, ah = da
+        bx, by, bw, bh = db
+        # Same preference order as _choose_separation: "a above b" is the
+        # branch dominance pruning never kills.
+        candidates: list[int] = []
+        if by + bh <= ay + tol:
+            candidates.append(3)  # a above b
+        if ay + ah <= by + tol:
+            candidates.append(2)  # a below b
+        if ax + aw <= bx + tol:
+            candidates.append(0)  # a left of b
+        if bx + bw <= ax + tol:
+            candidates.append(1)  # a right of b
+        for idx in candidates:
+            if z[idx].ub >= 0.5 and all(
+                    z[j].lb <= 0.5 for j in range(4) if j != idx):
+                return tuple(1.0 if j == idx else 0.0 for j in range(4))
         return None
 
     # -- decoding ----------------------------------------------------------------------

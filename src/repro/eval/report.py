@@ -129,6 +129,10 @@ def canonicalize_telemetry(doc: dict[str, Any]) -> dict[str, Any]:
             telemetry["cache"] = None
             telemetry["frontier"] = None
             telemetry["batch"] = None
+            # Removed (not nulled): goldens recorded before the formulation
+            # axis existed have no such key, and the default-"bigm" pipeline
+            # must keep canonicalizing byte-identically to them.
+            telemetry.pop("formulation", None)
     return out
 
 

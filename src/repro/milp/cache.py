@@ -19,9 +19,13 @@ Canonicalization (see :func:`canonical_form_text`):
 * the variable-class vector (kind, lb, ub per column) and the objective
   (unscaled — scaling the objective changes its value) complete the key;
 * a caller-supplied *context* tuple (backend, presolve flag, warm-start
-  presence, tolerances) is folded in, because those choices change which
-  optimal vertex a deterministic backend returns even when the model
-  doesn't.
+  presence, tolerances, and the non-overlap ``formulation`` identity) is
+  folded in, because those choices change which optimal vertex a
+  deterministic backend returns even when the model doesn't.  The
+  formulation entry also guards the axis structurally: two encodings of
+  the same instance already canonicalize to different texts (different
+  binaries and rows), but the explicit context keeps them apart even if a
+  future encoding were canonically ambiguous.
 
 Safety discipline (the reason this lives next to :mod:`repro.check`): a
 cache that serves a stale or mis-keyed solution is worse than no cache, so

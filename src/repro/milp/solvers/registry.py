@@ -26,6 +26,7 @@ import numpy as np
 from repro.milp.expr import Variable
 from repro.milp.model import Model, StandardForm
 from repro.milp.solution import Solution, SolveStatus
+from repro.milp.telemetry import DEFAULT_FORMULATION
 
 if TYPE_CHECKING:
     from repro.milp.cache import SolveCache
@@ -55,24 +56,32 @@ def _solve_portfolio(model: Model, **options) -> Solution:
     return solve_portfolio(model, **options)
 
 
+def _solve_smt(model: Model, **options) -> Solution:
+    from repro.milp.solvers.smt_dl import solve_smt
+
+    return solve_smt(model, **options)
+
+
 _BACKENDS: dict[str, Callable[..., Solution]] = {
     "highs": _solve_highs,
     "bnb": _solve_bnb,
     "simplex": _solve_simplex,
     "portfolio": _solve_portfolio,
+    "smt": _solve_smt,
 }
 
 #: Backends that accept a ``warm_start`` incumbent (HiGHS via scipy exposes
 #: no warm-start API; for it the warm start still powers the presolve
 #: objective cutoff).
-_WARM_START_BACKENDS = frozenset({"bnb", "portfolio"})
+_WARM_START_BACKENDS = frozenset({"bnb", "portfolio", "smt"})
 
 #: Backends whose LP relaxations benefit from Savelsbergh coefficient
 #: tightening.  HiGHS runs its own (stronger) presolve and its heuristics
 #: measurably degrade on pre-shrunk big-M rows, so it gets bound
 #: propagation, row/column elimination, and the cutoff row — but keeps the
-#: original coefficients.
-_COEF_TIGHTEN_BACKENDS = frozenset({"bnb", "portfolio", "simplex"})
+#: original coefficients.  The smt backend's interval propagation prunes
+#: harder on the tightened rows too.
+_COEF_TIGHTEN_BACKENDS = frozenset({"bnb", "portfolio", "simplex", "smt"})
 
 
 def available_backends() -> tuple[str, ...]:
@@ -151,6 +160,7 @@ def solve(model: Model, backend: str = "highs", *,
           symmetry_groups: Sequence[Sequence[Variable]] = (),
           cache: "SolveCache | None" = None,
           form: StandardForm | None = None,
+          formulation: str | None = None,
           **options) -> Solution:
     """Solve ``model`` with the named backend.
 
@@ -158,9 +168,12 @@ def solve(model: Model, backend: str = "highs", *,
         model: the model to solve.
         backend: one of :func:`available_backends` — ``"highs"`` (HiGHS via
             SciPy; the default), ``"bnb"`` (from-scratch branch-and-bound),
-            ``"simplex"`` (pure-NumPy simplex; LPs only), or ``"portfolio"``
+            ``"simplex"`` (pure-NumPy simplex; LPs only), ``"portfolio"``
             (race HiGHS against the self-contained branch-and-bound and
-            keep the first proven-optimal result).
+            keep the first proven-optimal result), or ``"smt"`` (the LP-free
+            difference-logic case-split solver of
+            :mod:`repro.milp.solvers.smt_dl`; rejects models outside its
+            fragment).
         presolve: run the solver-independent presolve layer
             (:mod:`repro.milp.presolve`) and hand the backend the reduced
             form; the solution is postsolved to the original space and its
@@ -182,6 +195,12 @@ def solve(model: Model, backend: str = "highs", *,
         form: a precomputed ``model.to_standard_form()``; batching callers
             (:func:`solve_many`) pass it so canonicalization and cache-key
             hashing happen once per instance, not once per variant.
+        formulation: the non-overlap encoding that produced ``model``
+            (:data:`repro.core.config.FORMULATIONS`), recorded as telemetry
+            provenance and folded into the cache key — two encodings of the
+            same instance canonicalize differently anyway, but the explicit
+            key context keeps that invariant independent of canonicalization
+            details.  None for models without a formulation identity.
         **options: backend-specific options such as ``time_limit``,
             ``mip_rel_gap``, ``node_limit``, ``lp_engine``, ``int_tol``.
 
@@ -206,7 +225,8 @@ def solve(model: Model, backend: str = "highs", *,
         cache_key = cache_mod.canonical_form_key(form, context=(
             backend, bool(presolve), warm_start is not None,
             cache_mod._q(float(options.get("mip_rel_gap", 1e-4))),
-            cache_mod._q(float(options.get("int_tol", 1e-6)))))
+            cache_mod._q(float(options.get("int_tol", 1e-6))),
+            formulation))
         key_seconds = time.perf_counter() - started
         cache.stats.key_seconds += key_seconds
         served = cache_mod.serve_cached(
@@ -215,17 +235,30 @@ def solve(model: Model, backend: str = "highs", *,
             mip_rel_gap=float(options.get("mip_rel_gap", 1e-4)),
             key_seconds=key_seconds)
         if served is not None:
+            _stamp_formulation(served, formulation)
             return served
 
     solution = _solve_uncached(fn, model, backend, form,
                                presolve=presolve, warm_start=warm_start,
                                symmetry_groups=symmetry_groups, **options)
+    _stamp_formulation(solution, formulation)
     if cache is not None and cache_key is not None and form is not None:
         from repro.milp import cache as cache_mod
 
         cache_mod.record_store(cache, cache_key, solution, form,
                                key_seconds=key_seconds)
     return solution
+
+
+def _stamp_formulation(solution: Solution, formulation: str | None) -> None:
+    """Record formulation provenance on the solution's telemetry.
+
+    The default encoding is left as None — None *means* the default — so a
+    document round-trip (which omits the default) restores an equal record.
+    """
+    if (formulation is not None and formulation != DEFAULT_FORMULATION
+            and solution.telemetry is not None):
+        solution.telemetry.formulation = formulation
 
 
 def _solve_uncached(fn: Callable[..., Solution], model: Model, backend: str,
@@ -333,6 +366,7 @@ def _batch_worker(payload: dict) -> dict:
                          presolve=payload["presolve"],
                          warm_start=payload["warm_start"],
                          symmetry_groups=payload["symmetry_groups"],
+                         formulation=payload["formulation"],
                          **payload["options"])
     except Exception as exc:  # noqa: BLE001 — surfaced per-item by caller
         if payload["on_error"] != "capture":
@@ -348,6 +382,7 @@ def solve_many(models: Sequence[Model], backend: str = "highs", *,
                cache: "SolveCache | None" = None,
                workers: int | None = 1,
                on_error: str = "raise",
+               formulation: str | None = None,
                **options) -> list[Solution]:
     """Solve a vector of independent models through one batched entry point.
 
@@ -381,6 +416,7 @@ def solve_many(models: Sequence[Model], backend: str = "highs", *,
             ``"capture"`` converts a crashed item into a synthetic ERROR
             :class:`~repro.milp.solution.Solution` (the differential
             fuzzer's mode — a crash is a finding, not an abort).
+        formulation: as :func:`solve`, applied to every instance.
         **options: backend options forwarded to every instance.
 
     Returns:
@@ -414,7 +450,8 @@ def solve_many(models: Sequence[Model], backend: str = "highs", *,
                 solutions[i] = solve(model, backend=backend,
                                      presolve=presolve, warm_start=warm,
                                      symmetry_groups=sym, cache=cache,
-                                     form=form, **options)
+                                     form=form, formulation=formulation,
+                                     **options)
             except Exception as exc:  # noqa: BLE001 — per-item capture
                 if on_error != "capture":
                     raise
@@ -429,7 +466,8 @@ def solve_many(models: Sequence[Model], backend: str = "highs", *,
                 cache_keys[i] = cache_mod.canonical_form_key(form, context=(
                     backend, bool(presolve), warm_list[i] is not None,
                     cache_mod._q(float(options.get("mip_rel_gap", 1e-4))),
-                    cache_mod._q(float(options.get("int_tol", 1e-6)))))
+                    cache_mod._q(float(options.get("int_tol", 1e-6))),
+                    formulation))
                 key_seconds = time.perf_counter() - started
                 cache.stats.key_seconds += key_seconds
                 solutions[i] = cache_mod.serve_cached(
@@ -437,11 +475,14 @@ def solve_many(models: Sequence[Model], backend: str = "highs", *,
                     int_tol=float(options.get("int_tol", 1e-6)),
                     mip_rel_gap=float(options.get("mip_rel_gap", 1e-4)),
                     key_seconds=key_seconds)
+                if solutions[i] is not None:
+                    _stamp_formulation(solutions[i], formulation)
         pending = [i for i in range(n) if solutions[i] is None]
         payloads = [{
             "model": model_list[i], "backend": backend, "presolve": presolve,
             "warm_start": warm_list[i], "symmetry_groups": sym_list[i],
             "options": options, "on_error": on_error,
+            "formulation": formulation,
         } for i in pending]
         packed = parallel_map(_batch_worker, payloads, workers=n_workers)
         for i, doc in zip(pending, packed):

@@ -14,6 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+#: The default non-overlap encoding (the paper's big-M formulation).  It is
+#: the one every golden document was recorded under, so provenance treats it
+#: as the unmarked case: None in memory, absent in serialized telemetry.
+#: Mirrors the first entry of :data:`repro.core.config.FORMULATIONS` (the
+#: config layer sits above this module, so the name is duplicated here).
+DEFAULT_FORMULATION = "bigm"
+
 
 @dataclass(frozen=True)
 class IncumbentEvent:
@@ -61,6 +68,12 @@ class SolveTelemetry:
             :func:`repro.milp.solvers.registry.solve_many` —
             ``{"size": int, "index": int}`` — else None.  Also stripped by
             canonicalization.
+        formulation: non-overlap encoding that produced the model
+            (:data:`repro.core.config.FORMULATIONS`) when the caller
+            declared a non-default one, else None (None *means* the default
+            :data:`DEFAULT_FORMULATION`).  Never serialized at the default
+            and removed by canonicalization, so golden documents predating
+            the axis stay byte-identical and round-trips are exact.
     """
 
     backend: str = ""
@@ -77,6 +90,7 @@ class SolveTelemetry:
     cache: dict[str, Any] | None = None
     frontier: dict[str, Any] | None = None
     batch: dict[str, Any] | None = None
+    formulation: str | None = None
 
     def record_incumbent(self, seconds: float, objective: float) -> None:
         """Append one incumbent improvement."""
@@ -86,7 +100,7 @@ class SolveTelemetry:
         """A JSON-safe representation (``inf`` gaps become ``None``)."""
         import math
 
-        return {
+        out = {
             "backend": self.backend,
             "status": self.status,
             "lp_calls": self.lp_calls,
@@ -102,6 +116,13 @@ class SolveTelemetry:
             "frontier": self.frontier,
             "batch": self.batch,
         }
+        # Omitted when absent or at the default encoding, so serialized
+        # documents recorded before the formulation axis existed stay
+        # byte-identical (same discipline as the config serializer).
+        if (self.formulation is not None
+                and self.formulation != DEFAULT_FORMULATION):
+            out["formulation"] = self.formulation
+        return out
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "SolveTelemetry":
@@ -123,4 +144,5 @@ class SolveTelemetry:
             cache=data.get("cache"),
             frontier=data.get("frontier"),
             batch=data.get("batch"),
+            formulation=data.get("formulation"),
         )

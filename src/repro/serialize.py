@@ -236,7 +236,7 @@ def _rect_from_list(values: list[float]) -> Rect:
 
 
 def _config_to_dict(config: FloorplanConfig) -> dict[str, Any]:
-    return {
+    out = {
         "chip_width": config.chip_width,
         "whitespace_factor": config.whitespace_factor,
         "chip_aspect": config.chip_aspect,
@@ -268,6 +268,12 @@ def _config_to_dict(config: FloorplanConfig) -> dict[str, Any]:
         "solve_cache": config.solve_cache,
         "cache_dir": config.cache_dir,
     }
+    # Omitted at the default so documents recorded before the formulation
+    # axis existed — including the committed goldens — keep round-tripping
+    # byte-identically; FloorplanConfig restores the default on load.
+    if config.formulation != "bigm":
+        out["formulation"] = config.formulation
+    return out
 
 
 def _config_from_dict(data: dict[str, Any]) -> FloorplanConfig:

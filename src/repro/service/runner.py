@@ -75,7 +75,8 @@ CONFIG_FIELDS = frozenset(
 
 
 def config_from_request(doc: dict[str, Any] | None, *,
-                        cache_dir: str | None = None) -> FloorplanConfig:
+                        cache_dir: str | None = None,
+                        formulation: str | None = None) -> FloorplanConfig:
     """Build the run configuration of one job.
 
     Args:
@@ -84,12 +85,17 @@ def config_from_request(doc: dict[str, Any] | None, *,
         cache_dir: the service's shared warm-tier directory, applied when
             the submission names none — this is what makes every worker
             (and worker process) hit the same on-disk cache.
+        formulation: the server's default non-overlap encoding
+            (``repro-floorplan serve --formulation``), applied when the
+            submission names none.
     """
     doc = dict(doc or {})
     unknown = set(doc) - CONFIG_FIELDS
     if unknown:
         raise BadRequest(f"unknown config fields: {sorted(unknown)}")
     doc.setdefault("cache_dir", cache_dir)
+    if formulation is not None:
+        doc.setdefault("formulation", formulation)
     try:
         return FloorplanConfig(**doc)
     except (ValueError, TypeError) as exc:
@@ -150,12 +156,14 @@ def _summary(plan) -> dict[str, Any]:
 
 
 def run_floorplan(request: dict[str, Any], ctx: JobContext,
-                  cache_dir: str | None = None) -> dict[str, Any]:
+                  cache_dir: str | None = None,
+                  formulation: str | None = None) -> dict[str, Any]:
     """The ``floorplan`` kind: one netlist through the full pipeline."""
     from repro.serialize import config_to_dict, floorplan_to_dict
 
     netlist = _parse_netlist(request)
-    config = config_from_request(request.get("config"), cache_dir=cache_dir)
+    config = config_from_request(request.get("config"), cache_dir=cache_dir,
+                                 formulation=formulation)
 
     def on_step(step) -> None:
         ctx.check()
@@ -173,7 +181,8 @@ def run_floorplan(request: dict[str, Any], ctx: JobContext,
 
 
 def run_width_search(request: dict[str, Any], ctx: JobContext,
-                     cache_dir: str | None = None) -> dict[str, Any]:
+                     cache_dir: str | None = None,
+                     formulation: str | None = None) -> dict[str, Any]:
     """The ``width_search`` kind: shard candidate chip widths across
     processes and keep the best floorplan.
 
@@ -185,7 +194,8 @@ def run_width_search(request: dict[str, Any], ctx: JobContext,
     from repro.serialize import config_to_dict, floorplan_to_dict
 
     netlist = _parse_netlist(request)
-    config = config_from_request(request.get("config"), cache_dir=cache_dir)
+    config = config_from_request(request.get("config"), cache_dir=cache_dir,
+                                 formulation=formulation)
     params = dict(request.get("width_search") or {})
     unknown = set(params) - {"n_candidates", "spread", "aspect_weight",
                              "workers"}
@@ -225,9 +235,16 @@ def run_width_search(request: dict[str, Any], ctx: JobContext,
 
 
 def run_solve(request: dict[str, Any], ctx: JobContext,
-              cache_dir: str | None = None) -> dict[str, Any]:
+              cache_dir: str | None = None,
+              formulation: str | None = None) -> dict[str, Any]:
     """The ``solve`` kind: a batch of raw MILP models through
-    :func:`~repro.milp.solvers.registry.solve_many`."""
+    :func:`~repro.milp.solvers.registry.solve_many`.
+
+    The server's default ``formulation`` is ignored here — raw model
+    documents were built by the client, so the server cannot know their
+    encoding; a request-level ``"formulation"`` is recorded as provenance.
+    """
+    from repro.core.config import FORMULATIONS
     from repro.milp.solvers.registry import available_backends, solve_many
     from repro.serialize import model_from_dict
 
@@ -243,6 +260,11 @@ def run_solve(request: dict[str, Any], ctx: JobContext,
     if backend not in available_backends():
         raise BadRequest(f"unknown backend {backend!r}; available: "
                          f"{available_backends()}")
+    request_formulation = request.get("formulation")
+    if request_formulation is not None \
+            and request_formulation not in FORMULATIONS:
+        raise BadRequest(f"unknown formulation {request_formulation!r}; "
+                         f"available: {list(FORMULATIONS)}")
 
     cache = None
     if request.get("solve_cache", True):
@@ -259,6 +281,7 @@ def run_solve(request: dict[str, Any], ctx: JobContext,
                            presolve=bool(request.get("presolve", True)),
                            cache=cache,
                            workers=request.get("workers", 1),
+                           formulation=request_formulation,
                            on_error="capture", **options)
     out = []
     for index, (model, solution) in enumerate(zip(models, solutions)):
@@ -293,7 +316,8 @@ JOB_RUNNERS: dict[str, Callable[..., dict[str, Any]]] = {
 
 def validate_request(kind: str, request: dict[str, Any], *,
                      runners: dict[str, Callable[..., dict[str, Any]]],
-                     cache_dir: str | None = None) -> None:
+                     cache_dir: str | None = None,
+                     formulation: str | None = None) -> None:
     """Reject a malformed submission at submit time (HTTP 400), before it
     costs a queue slot — execution re-parses, so this only checks what is
     cheap to check."""
@@ -302,7 +326,8 @@ def validate_request(kind: str, request: dict[str, Any], *,
                          f"available: {sorted(runners)}")
     if kind in ("floorplan", "width_search"):
         _parse_netlist(request)
-        config_from_request(request.get("config"), cache_dir=cache_dir)
+        config_from_request(request.get("config"), cache_dir=cache_dir,
+                            formulation=formulation)
     elif kind == "solve":
         docs = request.get("models")
         if not isinstance(docs, list) or not docs:

@@ -61,7 +61,7 @@ _CHILD_POLL_SECONDS = 0.05
 
 def _child_main(runner: Callable[..., dict[str, Any]],
                 request: dict[str, Any], cache_dir: str | None,
-                conn) -> None:
+                formulation: str | None, conn) -> None:
     """Entry point of a forked worker process.
 
     Sends ``("event", type, data)`` tuples while running and exactly one
@@ -76,7 +76,8 @@ def _child_main(runner: Callable[..., dict[str, Any]],
     ctx = JobContext(emit=lambda event_type, **data:
                      conn.send(("event", event_type, data)))
     try:
-        result = runner(request, ctx, cache_dir=cache_dir)
+        result = runner(request, ctx, cache_dir=cache_dir,
+                        formulation=formulation)
         conn.send(("result", result))
     except BadRequest as exc:
         conn.send(("error", {"kind": "bad-request", "message": str(exc)}))
@@ -93,10 +94,11 @@ class FloorplanService:
 
     Args:
         config: service knobs (``service_*`` fields) plus the shared
-            ``cache_dir`` applied to jobs that name none.
+            ``cache_dir`` and default ``formulation`` applied to jobs that
+            name none.
         runners: overrides/extends the default kind registry
             (:data:`~repro.service.runner.JOB_RUNNERS`); every runner is
-            called as ``runner(request, ctx, cache_dir=...)``.
+            called as ``runner(request, ctx, cache_dir=..., formulation=...)``.
     """
 
     def __init__(self, config: FloorplanConfig | None = None, *,
@@ -169,7 +171,8 @@ class FloorplanService:
             if deadline_seconds < 0:
                 raise BadRequest("'deadline_seconds' must be >= 0")
         validate_request(kind, doc, runners=self.runners,
-                         cache_dir=self.config.cache_dir)
+                         cache_dir=self.config.cache_dir,
+                         formulation=self.config.formulation)
         key = request_key(doc)
         with self._lock:
             self._submissions += 1
@@ -252,7 +255,8 @@ class FloorplanService:
                          deadline=job.deadline)
         try:
             result = runner(job.request, ctx,
-                            cache_dir=self.config.cache_dir)
+                            cache_dir=self.config.cache_dir,
+                            formulation=self.config.formulation)
         except JobCancelled:
             job.transition(JobStatus.CANCELLED, error={
                 "kind": "cancelled", "message": "cancelled while running"})
@@ -275,7 +279,7 @@ class FloorplanService:
         parent_conn, child_conn = mp.Pipe(duplex=False)
         proc = mp.Process(target=_child_main,
                           args=(runner, job.request, self.config.cache_dir,
-                                child_conn),
+                                self.config.formulation, child_conn),
                           daemon=True)
         proc.start()
         child_conn.close()

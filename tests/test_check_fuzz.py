@@ -9,13 +9,16 @@ import random
 import pytest
 
 from repro.check import (
+    compare_encodings,
     compare_results,
     fuzz,
+    generate_case,
     generate_model,
     replay_reproducer,
     run_differential,
     shrink_model,
 )
+from repro.check.fuzz import backends_for
 from repro.milp.model import Model
 from repro.milp.solution import Solution, SolveStatus
 from repro.serialize import model_from_dict, model_to_dict
@@ -47,6 +50,58 @@ class TestGenerateModel:
         model = generate_model(random.Random(3))
         back = model_from_dict(model_to_dict(model))
         assert model_to_dict(back) == model_to_dict(model)
+
+
+class TestGenerateCase:
+    def _paired_seed(self) -> int:
+        """A seed whose roll lands on the floorplan-shaped branch."""
+        for seed in range(100):
+            if len(generate_case(random.Random(seed))) > 1:
+                return seed
+        raise AssertionError("no floorplan-shaped case in 100 seeds")
+
+    def test_paired_encodings_share_the_instance(self):
+        seed = self._paired_seed()
+        case = generate_case(random.Random(seed))
+        assert set(case) == {"bigm", "unary"}
+        # same modules, same window: identical continuous variable names
+        names = {label: {v.name for v in model.variables
+                         if v.name.startswith(("x[", "y["))}
+                 for label, model in case.items()}
+        assert names["bigm"] == names["unary"]
+
+    def test_axis_off_yields_single_models(self):
+        seed = self._paired_seed()
+        case = generate_case(random.Random(seed), formulation_axis=False)
+        assert set(case) == {""}
+
+    def test_random_models_have_no_axis(self):
+        for seed in range(30):
+            case = generate_case(random.Random(seed))
+            if "" in case:
+                assert len(case) == 1
+
+    def test_deterministic_for_seed(self):
+        seed = self._paired_seed()
+        first = {label: model_to_dict(m) for label, m
+                 in generate_case(random.Random(seed)).items()}
+        second = {label: model_to_dict(m) for label, m
+                  in generate_case(random.Random(seed)).items()}
+        assert first == second
+
+
+class TestBackendsFor:
+    def test_smt_included_on_rigid_case(self):
+        assert "smt" in backends_for(tiny_milp())
+
+    def test_smt_excluded_outside_fragment(self):
+        m = Model("wide")
+        x = m.add_continuous("x", lb=0.0, ub=5.0)
+        y = m.add_continuous("y", lb=0.0, ub=5.0)
+        z = m.add_continuous("z", lb=0.0, ub=5.0)
+        m.add_constraint(x + y + 2.0 * z >= 1.0)
+        m.set_objective(x + y + z)
+        assert "smt" not in backends_for(m)
 
 
 class TestRunDifferential:
@@ -118,6 +173,41 @@ class TestCompareResults:
         name = sorted(results)[0]
         results[name] = Solution(status=SolveStatus.LIMIT, backend=name)
         assert not compare_results(model, results)
+
+
+class TestCompareEncodings:
+    def _optimal(self, value: float, name: str) -> Solution:
+        return Solution(status=SolveStatus.OPTIMAL, objective=value,
+                        bound=value, backend=name)
+
+    def test_agreeing_encodings_are_clean(self):
+        results = {"bigm": {"highs": self._optimal(5.0, "highs")},
+                   "unary": {"highs": self._optimal(5.0, "highs")}}
+        assert not compare_encodings(results)
+
+    def test_cross_encoding_objective_gap_detected(self):
+        results = {"bigm": {"highs": self._optimal(5.0, "highs")},
+                   "unary": {"highs": self._optimal(6.0, "highs")}}
+        found = compare_encodings(results)
+        assert any(d.kind == "encoding-objective" for d in found)
+
+    def test_cross_encoding_infeasible_detected(self):
+        results = {
+            "bigm": {"highs": self._optimal(5.0, "highs")},
+            "unary": {"highs": Solution(status=SolveStatus.INFEASIBLE,
+                                        backend="highs")}}
+        found = compare_encodings(results)
+        assert any(d.kind == "encoding-status" for d in found)
+
+    def test_single_encoding_optimal_is_not_cross_checked(self):
+        """An INFEASIBLE next to an OPTIMAL *within one encoding* is
+        compare_results' finding, not a cross-encoding one."""
+        results = {
+            "bigm": {"highs": self._optimal(5.0, "highs"),
+                     "bnb": Solution(status=SolveStatus.INFEASIBLE,
+                                     backend="bnb")},
+            "unary": {}}
+        assert not compare_encodings(results)
 
 
 class TestShrinkModel:

@@ -39,7 +39,7 @@ def _knapsack() -> tuple[Model, list]:
 class TestRegistry:
     def test_backends_listed(self):
         assert set(available_backends()) == {"highs", "bnb", "simplex",
-                                             "portfolio"}
+                                             "portfolio", "smt"}
 
     def test_unknown_backend_rejected(self):
         m, _ = _lp_model()

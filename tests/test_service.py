@@ -33,7 +33,7 @@ def _blocking_runner(gate: threading.Event):
     """A job kind that parks until ``gate`` is set (checking for
     cancellation), so tests control exactly when the worker is busy."""
 
-    def run(request, ctx, cache_dir=None):
+    def run(request, ctx, cache_dir=None, formulation=None):
         while not gate.wait(timeout=0.05):
             ctx.check()
         ctx.check()
@@ -372,3 +372,31 @@ class TestConfigValidation:
         assert args.port == 0
         assert args.service_workers == 3
         assert args.execution == "process"
+        assert args.formulation == "bigm"
+
+
+class TestServerFormulationDefault:
+    def test_default_formulation_reaches_jobs(self, tiny_netlist):
+        """``serve --formulation unary`` must apply to jobs that name no
+        encoding of their own — the plan document records it."""
+        config = FloorplanConfig(seed_size=2, group_size=1,
+                                 formulation="unary")
+        with running_service(config) as (_service, client):
+            _code, doc = client.submit(_floorplan_submission(tiny_netlist))
+            code, status = client.status(doc["job_id"], wait=60.0)
+            assert code == 200 and status["status"] == "done"
+            _code, res = client.result(doc["job_id"])
+        assert res["result"]["config"]["formulation"] == "unary"
+        assert res["result"]["floorplan"]["config"]["formulation"] == "unary"
+
+    def test_job_config_overrides_server_default(self, tiny_netlist):
+        config = FloorplanConfig(seed_size=2, group_size=1,
+                                 formulation="unary")
+        with running_service(config) as (_service, client):
+            _code, doc = client.submit(_floorplan_submission(
+                tiny_netlist, formulation="bigm"))
+            code, status = client.status(doc["job_id"], wait=60.0)
+            assert code == 200 and status["status"] == "done"
+            _code, res = client.result(doc["job_id"])
+        # bigm is the default encoding, so the document omits the field
+        assert "formulation" not in res["result"]["config"]

@@ -197,6 +197,31 @@ class TestRegistryIntegration:
         other = solve(model, backend="bnb", cache=cache)
         assert other.telemetry.cache["hit"] is False
 
+    def test_formulations_do_not_share_entries(self):
+        """Regression: the formulation identity must be part of the key
+        context.  Two encodings can canonicalize to different structural
+        keys anyway, but the *same* structure solved under different
+        declared formulations must never alias — the cached telemetry
+        provenance (and any encoding-specific postsolve) would leak."""
+        model = _small_model()
+        cache = SolveCache()
+        first = solve(model, backend="highs", cache=cache,
+                      formulation="bigm")
+        other = solve(model, backend="highs", cache=cache,
+                      formulation="unary")
+        assert first.telemetry.cache["hit"] is False
+        assert other.telemetry.cache["hit"] is False
+        again = solve(model, backend="highs", cache=cache,
+                      formulation="unary")
+        assert again.telemetry.cache["hit"] is True
+        assert again.telemetry.formulation == "unary"
+
+    def test_formulation_context_splits_keys(self):
+        form = _form()
+        base = ("highs", True, False, 0, 0)
+        assert canonical_form_key(form, context=base + ("bigm",)) != \
+            canonical_form_key(form, context=base + ("unary",))
+
     def test_values_rebound_to_requesting_model(self):
         """A hit's values must be keyed by the *new* model's Variables."""
         cache = SolveCache()
