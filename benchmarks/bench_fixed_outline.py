@@ -1,0 +1,141 @@
+"""Fixed-outline feasibility-search benchmark.
+
+The outline search turns "pack into this exact die" into a short sequence
+of height-capped augmentation solves (probes).  The number the mode lives
+or dies on is *probe economy*: tight whitespace budgets must not blow up
+into long probe sequences, and the search's area certificate must keep
+impossible dies at zero solves.  This bench sweeps one instance family
+across whitespace budgets from generous to provably impossible and records
+feasibility-search iterations, branch-and-bound effort, and wall time per
+budget point.
+
+Run gates:
+
+* every budget point at or above the instance's area lower bound returns
+  ``FEASIBLE`` and the plan fits the die;
+* budgets below the area bound are certified ``INFEASIBLE_OUTLINE`` with
+  zero probes (the certificate short-circuit);
+* no feasible point spends more than ``MAX_PROBES`` probes.
+
+``REPRO_BENCH_QUICK=1`` (the CI smoke invocation) trims the sweep to three
+budget points on the small instance.
+
+Artifacts: ``results/fixed_outline.txt`` (the table) and
+``results/BENCH_fixed_outline_<rev>.json`` (the per-revision record CI
+uploads, shaped like the other ``BENCH_*_<rev>.json`` files).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+
+import pytest
+
+from benchmarks.bench_suite import bench_rev, quick_mode
+from benchmarks.conftest import emit
+from repro.core import FEASIBLE, INFEASIBLE_OUTLINE, solve_fixed_outline
+from repro.core.config import FloorplanConfig
+from repro.eval.report import format_table
+from repro.netlist.generators import random_netlist
+
+#: Probe ceiling passed to the search; also the per-point run gate.
+MAX_PROBES = 6
+
+#: Whitespace budgets swept, as die-area multiples of total module area.
+#: ``0.85`` is below the packing bound — it must certify infeasible free.
+#: ``1.6`` sits on the augmentation's feasibility frontier (rand8 packs,
+#: rand6 does not) and is recorded but not gated.
+FULL_SLACKS = (2.5, 2.0, 1.8, 1.6, 0.85)
+QUICK_SLACKS = (2.0, 1.8, 0.85)
+
+#: Budgets at or above this slack must pack on every instance — the
+#: augmentation-based search is heuristic, so the gate sits above the
+#: exact packing bound by design.
+GENEROUS_FLOOR = 1.8
+
+
+def _instances() -> dict[str, int]:
+    """Instance name -> module count (seeded random rigid-ish netlists)."""
+    if quick_mode():
+        return {"rand6": 6}
+    return {"rand6": 6, "rand8": 8}
+
+
+def _die_for(netlist, slack: float) -> tuple[float, float]:
+    """A near-square die with ``slack`` times the module area, wide enough
+    for the widest module."""
+    area = sum(m.area for m in netlist.modules)
+    widest = max(max(m.width, m.height) for m in netlist.modules)
+    width = max(widest, round(math.sqrt(area * slack), 2))
+    height = round(area * slack / width, 2)
+    return width, height
+
+
+def _search_point(name: str, n: int, slack: float) -> dict:
+    netlist = random_netlist(n, seed=7, flexible_fraction=0.0)
+    outline = _die_for(netlist, slack)
+    config = FloorplanConfig(outline=outline, seed_size=3, group_size=2,
+                             use_envelopes=False, solve_cache=False,
+                             subproblem_time_limit=60.0)
+    start = time.perf_counter()
+    result = solve_fixed_outline(netlist, config, max_probes=MAX_PROBES)
+    elapsed = time.perf_counter() - start
+
+    if slack < 1.0:
+        assert result.status == INFEASIBLE_OUTLINE, (name, slack)
+        assert result.n_probes == 0, "area certificate must pre-empt solves"
+        assert result.certificate["proven"] is True
+    elif slack >= GENEROUS_FLOOR:
+        assert result.status == FEASIBLE, (name, slack, result.certificate)
+    if result.status == FEASIBLE:
+        assert result.n_probes <= MAX_PROBES
+        plan = result.plan
+        assert plan.chip_width <= outline[0] + 1e-9
+        assert plan.chip_height <= outline[1] + 1e-9
+
+    return {
+        "instance": name,
+        "slack": slack,
+        "die": f"{outline[0]}x{outline[1]}",
+        "status": result.status,
+        "probes": result.n_probes,
+        "nodes": sum(p.nodes or 0 for p in result.probes),
+        "whitespace": round(result.whitespace, 4),
+        "used_whitespace": (round(result.used_whitespace, 4)
+                            if result.plan is not None else None),
+        "seconds": round(elapsed, 3),
+    }
+
+
+@pytest.mark.parametrize("slack", QUICK_SLACKS)
+def test_fixed_outline_point(benchmark, slack):
+    row = benchmark.pedantic(_search_point, args=("rand6", 6, slack),
+                             rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {k: row[k] for k in ("status", "probes", "nodes")})
+
+
+def test_fixed_outline_table(benchmark, results_dir):
+    slacks = QUICK_SLACKS if quick_mode() else FULL_SLACKS
+
+    def run():
+        return [_search_point(name, n, slack)
+                for name, n in _instances().items()
+                for slack in slacks]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(results_dir, "fixed_outline.txt",
+         format_table(rows, title="Fixed-outline feasibility search vs "
+                                  "whitespace budget", floatfmt=".3f"))
+
+    artifact = {
+        "version": 1,
+        "rev": bench_rev(),
+        "quick": quick_mode(),
+        "max_probes": MAX_PROBES,
+        "points": rows,
+    }
+    (results_dir / f"BENCH_fixed_outline_{bench_rev()}.json").write_text(
+        json.dumps(artifact, indent=1, sort_keys=True) + "\n")

@@ -33,6 +33,7 @@ from repro.check.geometry import (
     GeometryReport,
     check_cover,
     check_floorplan,
+    check_outline,
     check_placements,
     uncovered_area,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "check_certificate",
     "check_cover",
     "check_floorplan",
+    "check_outline",
     "check_placements",
     "compare_encodings",
     "compare_results",

@@ -74,29 +74,36 @@ def generate_model(rng: random.Random) -> Model:
 
 
 def generate_case(rng: random.Random, *,
-                  formulation_axis: bool = True) -> dict[str, Model]:
+                  formulation_axis: bool = True,
+                  outline_axis: bool = True) -> dict[str, Model]:
     """One seeded case as ``{encoding label: model}``.
 
     Random LPs/MILPs have no encoding axis and come back under the single
     empty label.  Floorplan-shaped cases with ``formulation_axis`` are
     built once per registered non-overlap encoding *from the identical
     random state*, so the pair models the same instance and the optimal
-    objectives must coincide.
+    objectives must coincide.  With ``outline_axis``, half the
+    floorplan-shaped cases (rolled *before* the shared state is captured,
+    so every encoding sees the same die) carry a fixed-outline chip-height
+    cap — the cap makes INFEASIBLE a legitimate claim, which every
+    backend and encoding must then agree on.
     """
     roll = rng.random()
     if roll < 0.4:
         return {"": _random_boxed(rng, integers=False)}
     if roll < 0.8:
         return {"": _random_boxed(rng, integers=True)}
+    use_outline = outline_axis and rng.random() < 0.5
     if not formulation_axis:
-        return {"": _floorplan_shaped(rng)}
+        return {"": _floorplan_shaped(rng, outline=use_outline)}
     from repro.core.config import FORMULATIONS
 
     state = rng.getstate()
     case: dict[str, Model] = {}
     for formulation in FORMULATIONS:
         rng.setstate(state)
-        case[formulation] = _floorplan_shaped(rng, formulation=formulation)
+        case[formulation] = _floorplan_shaped(rng, formulation=formulation,
+                                              outline=use_outline)
     return case
 
 
@@ -147,10 +154,13 @@ def _random_boxed(rng: random.Random, *, integers: bool) -> Model:
 
 
 def _floorplan_shaped(rng: random.Random, *,
-                      formulation: str = "bigm") -> Model:
+                      formulation: str = "bigm",
+                      outline: bool = False) -> Model:
     """A small real subproblem from :class:`SubproblemBuilder`: 1-2 window
     modules over 0-2 covering rectangles on a chip wide enough to be
-    feasible, non-overlap encoded per ``formulation``."""
+    feasible, non-overlap encoded per ``formulation``.  With ``outline``,
+    the subproblem carries a random fixed-outline height cap — tight
+    enough to make some instances genuinely infeasible."""
     from repro.core.config import FloorplanConfig
     from repro.core.formulation import SubproblemBuilder
     from repro.geometry.rect import Rect
@@ -186,7 +196,9 @@ def _floorplan_shaped(rng: random.Random, *,
         record_snapshots=False,
         formulation=formulation,
     )
-    builder = SubproblemBuilder(window, obstacles, chip_width, config)
+    outline_height = float(rng.randint(2, 7)) if outline else None
+    builder = SubproblemBuilder(window, obstacles, chip_width, config,
+                                outline_height=outline_height)
     return builder.model
 
 
@@ -578,6 +590,7 @@ def fuzz(n: int = 25, seed: int = 0, *,
          artifact_dir: str | Path | None = None,
          presolve_axis: bool = True,
          formulation_axis: bool = True,
+         outline_axis: bool = True,
          workers: int | None = 1) -> FuzzReport:
     """Run a differential-fuzzing campaign of ``n`` seeded cases.
 
@@ -594,7 +607,9 @@ def fuzz(n: int = 25, seed: int = 0, *,
     (:func:`compare_encodings`).  Multi-encoding failures embed all
     encodings in the reproducer and skip shrinking — shrinking one
     encoding in isolation would break the shared-instance invariant the
-    cross-check relies on.
+    cross-check relies on.  ``outline_axis`` gives half the
+    floorplan-shaped cases a fixed-outline height cap (shared across
+    encodings), exercising the INFEASIBLE paths of every backend.
     """
     report = FuzzReport(seed=seed, n_cases=n,
                         backends=tuple(backends) if backends
@@ -602,7 +617,8 @@ def fuzz(n: int = 25, seed: int = 0, *,
     inconclusive = {SolveStatus.LIMIT, SolveStatus.TIMEOUT, SolveStatus.ERROR}
     case_seeds = [seed * 1_000_003 + i for i in range(n)]
     cases = [generate_case(random.Random(s),
-                           formulation_axis=formulation_axis)
+                           formulation_axis=formulation_axis,
+                           outline_axis=outline_axis)
              for s in case_seeds]
     flat_models: list[Model] = []
     layouts: list[dict[str, int]] = []

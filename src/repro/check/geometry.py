@@ -250,13 +250,69 @@ def _check_one_placement(p: "Placement", chip: Rect, eps: float,
                 f"{want_w:.6g}x{want_h:.6g}"))
 
 
+def check_outline(placements: Sequence["Placement"],
+                  outline: tuple[float, float], *,
+                  claimed_whitespace: float | None = None,
+                  eps: float = CHECK_EPS) -> GeometryReport:
+    """Fixed-outline audits: containment in the die and whitespace accounting.
+
+    Checks, independently of the formulation and the feasibility search:
+
+    * every module rectangle lies inside the fixed die ``(0,0)-(W,H)``;
+    * the die is at least as large as the total placed module area (a
+      violated packing bound means the geometry is lying somewhere);
+    * when a whitespace figure is claimed, it matches
+      ``(W*H - module_area) / (W*H)`` recomputed from the placements.
+
+    Args:
+        placements: the realized placements.
+        outline: the fixed die ``(W, H)``.
+        claimed_whitespace: the whitespace fraction the result claims for
+            the die, audited against the recomputed value when given.
+        eps: geometric tolerance.
+    """
+    width, height = outline
+    die = Rect(0.0, 0.0, width, height)
+    report = GeometryReport(n_placements=len(placements))
+    span = max(1.0, width, height)
+
+    for p in placements:
+        rect = p.rect
+        worst = max(die.x - rect.x, die.y - rect.y,
+                    rect.x2 - die.x2, rect.y2 - die.y2)
+        if worst > eps * span:
+            report.violations.append(Violation(
+                "geometry", p.name, worst,
+                f"module {p.name} extends {worst:.4g} outside the fixed "
+                f"outline {width:.6g}x{height:.6g}"))
+
+    module_area = sum(p.rect.area for p in placements)
+    die_area = width * height
+    if module_area > die_area + eps * max(1.0, die_area):
+        report.violations.append(Violation(
+            "geometry", "outline", module_area - die_area,
+            f"total module area {module_area:.6g} exceeds the die area "
+            f"{die_area:.6g}"))
+
+    if claimed_whitespace is not None and die_area > 0:
+        actual = (die_area - module_area) / die_area
+        drift = abs(actual - claimed_whitespace)
+        if drift > max(eps, 1e-9 * max(1.0, die_area)):
+            report.violations.append(Violation(
+                "geometry", "whitespace", drift,
+                f"claimed whitespace {claimed_whitespace:.6g} does not "
+                f"match the recomputed {actual:.6g}"))
+    return report
+
+
 def check_floorplan(plan: "Floorplan", eps: float = CHECK_EPS) -> GeometryReport:
     """Full independent validation of a completed floorplan.
 
     Combines :func:`check_placements` over the final geometry with the
-    completeness check (every netlist module placed) and, when the trace
-    recorded snapshots, a per-step :func:`check_cover` of the covering
-    rectangles each subproblem was solved against.
+    completeness check (every netlist module placed), the fixed-outline
+    audits (:func:`check_outline`) when the config declares a die, and,
+    when the trace recorded snapshots, a per-step :func:`check_cover` of
+    the covering rectangles each subproblem was solved against.
     """
     report = check_placements(list(plan.placements.values()), plan.chip,
                               eps=eps)
@@ -270,6 +326,11 @@ def check_floorplan(plan: "Floorplan", eps: float = CHECK_EPS) -> GeometryReport
         report.violations.append(Violation(
             "completeness", name, math.inf,
             f"placement {name} does not correspond to a netlist module"))
+
+    if plan.config.outline is not None:
+        outline_report = check_outline(list(plan.placements.values()),
+                                       plan.config.outline, eps=eps)
+        report.violations.extend(outline_report.violations)
 
     for step in plan.trace.steps:
         if step.snapshot is None or step.snapshot_obstacles is None:

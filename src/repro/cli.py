@@ -44,6 +44,20 @@ def _load_netlist(args: argparse.Namespace) -> Netlist:
     return _BENCHMARKS[args.benchmark]()
 
 
+def _parse_outline(text: str) -> tuple[float, float]:
+    """Parse a ``WxH`` die string (e.g. ``"40x25"``)."""
+    parts = text.lower().replace(" ", "").split("x")
+    try:
+        width, height = (float(p) for p in parts)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"outline must look like WxH (e.g. 40x25), got {text!r}") from None
+    if width <= 0 or height <= 0:
+        raise argparse.ArgumentTypeError(
+            f"outline dimensions must be positive, got {text!r}")
+    return (width, height)
+
+
 def _config_from(args: argparse.Namespace) -> FloorplanConfig:
     technology = Technology.around_the_cell() if getattr(args, "around", False) \
         else Technology.over_the_cell()
@@ -51,6 +65,8 @@ def _config_from(args: argparse.Namespace) -> FloorplanConfig:
         seed_size=args.seed_size,
         group_size=args.group_size,
         whitespace_factor=args.whitespace,
+        outline=getattr(args, "outline", None),
+        whitespace_target=getattr(args, "whitespace_target", None),
         objective=Objective(args.objective),
         ordering=Ordering(args.ordering),
         ordering_seed=args.seed,
@@ -79,6 +95,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="augmentation group size e")
     parser.add_argument("--whitespace", type=float, default=1.20,
                         help="chip-width area headroom factor")
+    parser.add_argument("--outline", type=_parse_outline, default=None,
+                        metavar="WxH",
+                        help="fixed die outline, e.g. 40x25: run in "
+                             "fixed-outline mode (feasibility search under "
+                             "the die instead of open-outline height "
+                             "minimization)")
+    parser.add_argument("--whitespace-target", type=float, default=None,
+                        metavar="FRACTION",
+                        help="fixed-outline whitespace budget in [0,1); "
+                             "derives a die when --outline is not given and "
+                             "stops the feasibility search once the used "
+                             "region is at least this tight")
     parser.add_argument("--objective", default="area",
                         choices=[o.value for o in Objective])
     parser.add_argument("--ordering", default="connectivity",
@@ -116,10 +144,49 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 def _cmd_floorplan(args: argparse.Namespace) -> int:
     netlist = _load_netlist(args)
-    plan = Floorplanner(netlist, _config_from(args)).run()
+    config = _config_from(args)
+    if config.outline_mode:
+        return _run_fixed_outline(netlist, config, args)
+    plan = Floorplanner(netlist, config).run()
     print(f"{netlist.name}: chip {plan.chip_width:.1f} x {plan.chip_height:.1f}"
           f"  area {plan.chip_area:.1f}  utilization {plan.utilization:.1%}"
           f"  time {plan.elapsed_seconds:.1f}s")
+    problems = plan.validate()
+    if problems:
+        print("VIOLATIONS:", *problems, sep="\n  ")
+        return 1
+    if args.ascii:
+        print(render_ascii(plan.placements, plan.chip))
+    if args.svg:
+        Path(args.svg).write_text(render_svg(plan.placements, plan.chip))
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def _run_fixed_outline(netlist: Netlist, config: FloorplanConfig,
+                       args: argparse.Namespace) -> int:
+    """Fixed-outline mode of the ``floorplan`` command: run the feasibility
+    search and report the structured result (exit 1 on INFEASIBLE_OUTLINE,
+    never a traceback)."""
+    from repro.core.outline import solve_fixed_outline
+
+    result = solve_fixed_outline(netlist, config)
+    width, height = result.outline
+    if not result.feasible:
+        cert = result.certificate or {}
+        print(f"{netlist.name}: INFEASIBLE_OUTLINE for die "
+              f"{width:.1f} x {height:.1f} "
+              f"({cert.get('reason', 'unknown')}"
+              f"{', proven' if cert.get('proven') else ''}; "
+              f"{result.n_probes} probes)")
+        print(json.dumps(result.to_dict(), indent=1), file=sys.stderr)
+        return 1
+    plan = result.plan
+    assert plan is not None
+    print(f"{netlist.name}: die {width:.1f} x {height:.1f}  realized height "
+          f"{plan.chip_height:.1f}  whitespace {result.whitespace:.1%} "
+          f"(used region {result.used_whitespace:.1%})  "
+          f"{result.n_probes} probes  time {plan.elapsed_seconds:.1f}s")
     problems = plan.validate()
     if problems:
         print("VIOLATIONS:", *problems, sep="\n  ")
@@ -238,7 +305,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     report = fuzz(n=args.n, seed=args.seed, time_limit=args.time_limit,
                   shrink_budget=args.shrink_budget,
                   artifact_dir=args.artifact_dir,
-                  formulation_axis=not args.no_formulation_axis)
+                  formulation_axis=not args.no_formulation_axis,
+                  outline_axis=not args.no_outline_axis)
     text = json.dumps(report.to_dict(), indent=1)
     if args.out:
         Path(args.out).write_text(text + "\n")
@@ -260,6 +328,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = FloorplanConfig(
         backend=args.backend,
         formulation=args.formulation,
+        outline=args.outline,
         subproblem_time_limit=args.time_limit,
         cache_dir=args.cache_dir,
         service_workers=args.service_workers,
@@ -355,6 +424,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="restrict floorplan-shaped cases to the bigm "
                            "encoding (skip the cross-formulation parity "
                            "axis)")
+    p_fz.add_argument("--no-outline-axis", action="store_true",
+                      help="keep every floorplan-shaped case open-outline "
+                           "(skip the fixed-outline height-cap axis)")
     p_fz.add_argument("--artifact-dir", default=".",
                       help="directory for minimized reproducer JSON files")
     p_fz.add_argument("--out", help="write the report JSON here "
@@ -388,6 +460,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sv.add_argument("--formulation", default="bigm",
                       choices=list(FORMULATIONS),
                       help="default non-overlap encoding for jobs")
+    p_sv.add_argument("--outline", type=_parse_outline, default=None,
+                      metavar="WxH",
+                      help="default fixed die applied to floorplan jobs "
+                           "that declare no outline of their own")
     p_sv.add_argument("--time-limit", type=float, default=30.0,
                       help="default per-subproblem MILP time limit")
     p_sv.add_argument("--cache-dir", default=None, metavar="DIR",

@@ -15,10 +15,22 @@ from repro.core.config import FloorplanConfig, Objective, Ordering, Linearizatio
 from repro.core.floorplanner import Floorplanner, Floorplan, Placement, floorplan
 from repro.core.topology import derive_relations, optimize_topology, Relation
 from repro.core.augmentation import AugmentationStep, AugmentationTrace
+from repro.core.outline import (
+    FEASIBLE,
+    INFEASIBLE_OUTLINE,
+    OutlineProbe,
+    OutlineResult,
+    solve_fixed_outline,
+)
 from repro.core.width_search import WidthSearchResult, search_chip_width
 from repro.core.shape_refine import RefinementResult, refine_shapes
 
 __all__ = [
+    "FEASIBLE",
+    "INFEASIBLE_OUTLINE",
+    "OutlineProbe",
+    "OutlineResult",
+    "solve_fixed_outline",
     "WidthSearchResult",
     "search_chip_width",
     "RefinementResult",

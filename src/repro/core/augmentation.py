@@ -36,7 +36,18 @@ if TYPE_CHECKING:
 
 
 class FloorplanError(RuntimeError):
-    """A subproblem could not be solved to a feasible placement."""
+    """A subproblem could not be solved to a feasible placement.
+
+    ``status`` carries the failing solve's final
+    :class:`~repro.milp.solution.SolveStatus` value (``"infeasible"``,
+    ``"limit"``, ...) when one is known — the fixed-outline feasibility
+    search uses it to distinguish a proven-impossible height cap from an
+    inconclusive one.
+    """
+
+    def __init__(self, message: str, *, status: str | None = None) -> None:
+        super().__init__(message)
+        self.status = status
 
 
 @dataclass(frozen=True)
@@ -126,8 +137,8 @@ class AugmentationResult:
 
 def run_augmentation(netlist: Netlist, config: FloorplanConfig,
                      preplaced: dict[str, Placement] | None = None,
-                     on_step: Callable[[AugmentationStep], None] | None = None
-                     ) -> AugmentationResult:
+                     on_step: Callable[[AugmentationStep], None] | None = None,
+                     height_cap: float | None = None) -> AugmentationResult:
     """Execute the Figure-3 procedure on ``netlist``.
 
     Args:
@@ -144,6 +155,10 @@ def run_augmentation(netlist: Netlist, config: FloorplanConfig,
             trace — the progress-event hook the job service streams from.
             An exception raised by the observer aborts the run and
             propagates to the caller (cooperative cancellation).
+        height_cap: fixed-outline chip-height cap forwarded to every
+            subproblem (:class:`~repro.core.formulation.SubproblemBuilder`
+            ``outline_height``).  None falls back to the configuration's
+            resolved outline height (open-outline configs cap nothing).
 
     Returns:
         Placements for every module, the fixed chip width, the reached chip
@@ -164,12 +179,21 @@ def run_augmentation(netlist: Netlist, config: FloorplanConfig,
                                         config.ordering_seed)
              if n not in preplaced]
     chip_width = _resolve_chip_width(netlist, config)
+    if height_cap is None:
+        outline = resolve_outline(netlist, config)
+        if outline is not None:
+            height_cap = outline[1]
     for name, placement in preplaced.items():
         if placement.envelope.x < -1e-9 or \
                 placement.envelope.x2 > chip_width + 1e-9:
             raise ValueError(
                 f"preplaced module {name!r} lies outside the chip width "
                 f"{chip_width:.3f}")
+        if height_cap is not None and \
+                placement.envelope.y2 > height_cap + 1e-9:
+            raise ValueError(
+                f"preplaced module {name!r} lies outside the fixed outline "
+                f"height {height_cap:.3f}")
 
     seed_names = order[:config.seed_size]
     remaining = order[config.seed_size:]
@@ -178,7 +202,8 @@ def run_augmentation(netlist: Netlist, config: FloorplanConfig,
 
     if seed_names:
         placed += _solve_step(netlist, config, chip_width, seed_names,
-                              placed, trace, step_index=0, on_step=on_step)
+                              placed, trace, step_index=0, on_step=on_step,
+                              height_cap=height_cap)
 
     step = 1
     while remaining:
@@ -186,7 +211,8 @@ def run_augmentation(netlist: Netlist, config: FloorplanConfig,
                            config.group_size)
         remaining = [n for n in remaining if n not in set(group)]
         placed += _solve_step(netlist, config, chip_width, group, placed,
-                              trace, step_index=step, on_step=on_step)
+                              trace, step_index=step, on_step=on_step,
+                              height_cap=height_cap)
         step += 1
 
     chip_height = max((p.envelope.y2 for p in placed), default=0.0)
@@ -197,8 +223,10 @@ def run_augmentation(netlist: Netlist, config: FloorplanConfig,
                               chip_height=chip_height, trace=trace)
 
 
-def _resolve_chip_width(netlist: Netlist, config: FloorplanConfig) -> float:
-    """Fixed chip width from envelope-inflated module statistics."""
+def module_statistics(netlist: Netlist,
+                      config: FloorplanConfig) -> tuple[float, float]:
+    """Envelope-inflated ``(total area, widest extent)`` of the modules —
+    the statistics chip-width and outline derivation work from."""
     total = 0.0
     widest = 0.0
     for m in netlist.modules:
@@ -209,14 +237,31 @@ def _resolve_chip_width(netlist: Netlist, config: FloorplanConfig) -> float:
             if not m.flexible else \
             (m.width_max + margins.horizontal) * (m.area / m.width_max + margins.vertical)
         widest = max(widest, width + margins.horizontal)
+    return total, widest
+
+
+def _resolve_chip_width(netlist: Netlist, config: FloorplanConfig) -> float:
+    """Fixed chip width from envelope-inflated module statistics."""
+    total, widest = module_statistics(netlist, config)
     return config.resolved_chip_width(total, widest_module=widest)
+
+
+def resolve_outline(netlist: Netlist,
+                    config: FloorplanConfig) -> tuple[float, float] | None:
+    """The fixed die ``(W, H)`` of this run — explicit, or derived from the
+    same envelope-inflated statistics the chip width uses — or None for an
+    open-outline configuration."""
+    if not config.outline_mode:
+        return None
+    total, widest = module_statistics(netlist, config)
+    return config.resolved_outline(total, widest_module=widest)
 
 
 def _solve_step(netlist: Netlist, config: FloorplanConfig, chip_width: float,
                 group: Sequence[str], placed: list[Placement],
                 trace: AugmentationTrace, step_index: int,
-                on_step: Callable[[AugmentationStep], None] | None = None
-                ) -> list[Placement]:
+                on_step: Callable[[AugmentationStep], None] | None = None,
+                height_cap: float | None = None) -> list[Placement]:
     """Formulate, solve, and decode one subproblem; append its trace record."""
     window = [netlist.module(name) for name in group]
     obstacles, polygon = _cover_partial_floorplan(placed, chip_width, config)
@@ -246,7 +291,8 @@ def _solve_step(netlist: Netlist, config: FloorplanConfig, chip_width: float,
                                  pair_length_bounds=pair_bounds,
                                  anchor_length_bounds=anchor_bounds,
                                  flex_linearizations=overrides,
-                                 base_height=base_height)
+                                 base_height=base_height,
+                                 outline_height=height_cap)
 
     builder = build()
     solution = _solve_with_retry(builder, config)
@@ -417,6 +463,8 @@ def _solve_with_retry(builder: SubproblemBuilder, config: FloorplanConfig,
     """
     extra: dict = {"presolve": config.presolve,
                    "formulation": config.formulation}
+    if builder.outline_height is not None:
+        extra["outline"] = (builder.chip_width, builder.outline_height)
     if config.presolve:
         extra["symmetry_groups"] = builder.symmetry_groups()
     if config.solve_cache:
@@ -442,4 +490,5 @@ def _solve_with_retry(builder: SubproblemBuilder, config: FloorplanConfig,
             return solution
     raise FloorplanError(
         f"subproblem with {builder.n_integer_variables} binaries is "
-        f"{solution.status.value}: {solution.message or 'no solution found'}")
+        f"{solution.status.value}: {solution.message or 'no solution found'}",
+        status=solution.status.value)

@@ -82,6 +82,23 @@ class FloorplanConfig:
             the total module area (see :meth:`resolved_chip_width`).
         whitespace_factor: area head-room used when deriving the chip width.
         chip_aspect: target chip aspect ratio (W/H) used when deriving W.
+        outline: fixed die outline ``(W, H)`` — setting it switches the run
+            into fixed-outline mode: every placement is constrained to the
+            ``W x H`` die, the open-ended height minimization becomes an
+            outline-feasibility search
+            (:func:`repro.core.outline.solve_fixed_outline`), and an
+            impossible outline comes back as a structured
+            ``INFEASIBLE_OUTLINE`` result rather than an exception.  None
+            (the default) keeps the paper's open-outline behavior.
+        outline_aspect: convenience for fixed-outline mode without explicit
+            dimensions: derive the outline from the total module area at
+            this W/H aspect ratio (head-room from ``whitespace_target``,
+            else ``whitespace_factor``).  Ignored when :attr:`outline` is
+            set explicitly.
+        whitespace_target: target whitespace fraction of fixed-outline mode,
+            in [0, 1).  It sizes a derived outline (area head-room
+            ``1 / (1 - target)``) and stops the feasibility search early
+            once a placement meets the target within its used region.
         seed_size: ``m`` — modules placed by the first MILP (Figure 3 step 1).
         group_size: ``e`` — modules added per augmentation step.
         objective: chip area, or chip area + wirelength.
@@ -178,6 +195,9 @@ class FloorplanConfig:
     chip_width: float | None = None
     whitespace_factor: float = 1.20
     chip_aspect: float = 1.0
+    outline: tuple[float, float] | None = None
+    outline_aspect: float | None = None
+    whitespace_target: float | None = None
     seed_size: int = 6
     group_size: int = 4
     objective: Objective = Objective.AREA
@@ -220,6 +240,24 @@ class FloorplanConfig:
             raise ValueError("whitespace_factor must be >= 1.0")
         if self.chip_width is not None and self.chip_width <= 0:
             raise ValueError("chip_width must be positive")
+        if self.outline is not None:
+            # Service requests arrive as JSON, where the pair is a list.
+            outline = tuple(float(v) for v in self.outline)
+            if len(outline) != 2:
+                raise ValueError("outline must be a (width, height) pair")
+            if outline[0] <= 0 or outline[1] <= 0:
+                raise ValueError("outline dimensions must be positive")
+            self.outline = outline
+            if self.chip_width is not None and \
+                    abs(self.chip_width - outline[0]) > 1e-9:
+                raise ValueError(
+                    f"chip_width {self.chip_width} conflicts with the fixed "
+                    f"outline width {outline[0]}; set only one of them")
+        if self.outline_aspect is not None and self.outline_aspect <= 0:
+            raise ValueError("outline_aspect must be positive")
+        if self.whitespace_target is not None and not (
+                0.0 <= self.whitespace_target < 1.0):
+            raise ValueError("whitespace_target must be in [0, 1)")
         if self.relinearization_rounds < 0:
             raise ValueError("relinearization_rounds must be >= 0")
         if self.int_tol <= 0:
@@ -271,16 +309,59 @@ class FloorplanConfig:
             options["node_limit"] = self.node_limit
         return options
 
+    @property
+    def outline_mode(self) -> bool:
+        """True when this run is a fixed-outline run (an explicit outline,
+        or enough convenience knobs to derive one)."""
+        return (self.outline is not None or self.outline_aspect is not None
+                or self.whitespace_target is not None)
+
+    def _outline_headroom(self) -> float:
+        """Area head-room of a derived outline: the whitespace target when
+        given (``area / (1 - target)`` fills to exactly the target), else
+        the open-outline whitespace factor."""
+        if self.whitespace_target is not None:
+            return 1.0 / (1.0 - self.whitespace_target)
+        return self.whitespace_factor
+
+    def resolved_outline(self, total_module_area: float,
+                         widest_module: float = 0.0
+                         ) -> tuple[float, float] | None:
+        """The fixed die ``(W, H)`` of this run, or None in open-outline
+        mode.
+
+        An explicit :attr:`outline` is returned as-is.  Otherwise the
+        outline is derived from the total module area: ``W * H = area *
+        headroom`` at the :attr:`outline_aspect` (default
+        :attr:`chip_aspect`) ratio, widened to the widest module when
+        needed (the height shrinks to keep the area).
+        """
+        if self.outline is not None:
+            return self.outline
+        if not self.outline_mode:
+            return None
+        area = total_module_area * self._outline_headroom()
+        aspect = self.outline_aspect if self.outline_aspect is not None \
+            else self.chip_aspect
+        width = max(math.sqrt(area * aspect), widest_module)
+        return (width, area / width)
+
     def resolved_chip_width(self, total_module_area: float,
                             widest_module: float = 0.0) -> float:
         """The fixed chip width ``W``.
 
         When :attr:`chip_width` is None, ``W = sqrt(area * headroom * aspect)``
         — a chip of the target aspect ratio with whitespace head-room — and at
-        least as wide as the widest module.
+        least as wide as the widest module.  A fixed outline pins the width
+        to the die's.
         """
+        if self.outline is not None:
+            return self.outline[0]
         if self.chip_width is not None:
             return self.chip_width
+        if self.outline_mode:
+            return self.resolved_outline(total_module_area,
+                                         widest_module)[0]
         width = math.sqrt(total_module_area * self.whitespace_factor
                           * self.chip_aspect)
         return max(width, widest_module)

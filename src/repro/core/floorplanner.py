@@ -150,8 +150,8 @@ class Floorplanner:
     def __init__(self, netlist: Netlist,
                  config: FloorplanConfig | None = None, *,
                  preplaced: Mapping[str, Placement] | None = None,
-                 on_step: "Callable[[AugmentationStep], None] | None" = None
-                 ) -> None:
+                 on_step: "Callable[[AugmentationStep], None] | None" = None,
+                 height_cap: float | None = None) -> None:
         """
         Args:
             netlist: the circuit to floorplan.
@@ -163,11 +163,16 @@ class Floorplanner:
                 :func:`repro.core.augmentation.run_augmentation` — the job
                 service uses it to stream progress events and to cancel a
                 running floorplan cooperatively (the observer raises).
+            height_cap: explicit chip-height cap overriding the one the
+                config's outline implies — the fixed-outline feasibility
+                search (:mod:`repro.core.outline`) probes tighter caps than
+                the die height through this knob.
         """
         self.netlist = netlist
         self.config = config or FloorplanConfig()
         self.preplaced = dict(preplaced or {})
         self.on_step = on_step
+        self.height_cap = height_cap
 
     def run(self) -> Floorplan:
         """Run successive augmentation (+ optional LP compaction) and return
@@ -175,7 +180,8 @@ class Floorplanner:
         start = time.perf_counter()
         result = run_augmentation(self.netlist, self.config,
                                   preplaced=self.preplaced,
-                                  on_step=self.on_step)
+                                  on_step=self.on_step,
+                                  height_cap=self.height_cap)
         placements = result.placements
         chip_width = result.chip_width
         chip_height = result.chip_height

@@ -109,7 +109,8 @@ class SubproblemBuilder:
                  anchor_length_bounds: Sequence[AnchorLengthBound] = (),
                  flex_linearizations: Mapping[str, FlexLinearization] | None = None,
                  base_height: float = 0.0,
-                 prune_floor_obstacles: bool = True) -> None:
+                 prune_floor_obstacles: bool = True,
+                 outline_height: float | None = None) -> None:
         """
         Args:
             window: the unpositioned modules of this step.
@@ -130,6 +131,12 @@ class SubproblemBuilder:
                 height variable is bounded below by it.
             prune_floor_obstacles: add the valid cut excluding the useless
                 "window module below a floor-level obstacle" branch.
+            outline_height: fixed-outline height cap ``H``.  Caps the chip
+                height variable (and with it the conservative vertical
+                big-M, so both encodings tighten automatically) — every
+                placement must fit the ``chip_width x H`` die.  A cap the
+                partial floorplan already exceeds makes the model provably
+                infeasible.  None keeps the open-outline bound.
         """
         if not window:
             raise ValueError("subproblem needs at least one window module")
@@ -168,16 +175,28 @@ class SubproblemBuilder:
 
         # Conservative vertical big-M: everything could stack on the current
         # floorplan (whose top is the taller of base_height and the
-        # obstacles' tops).
+        # obstacles' tops).  A fixed-outline height cap tightens the bound
+        # — and with it every big-M derived from it — in both encodings.
         floor_top = max([base_height] + [o.y2 for o in self.obstacles])
+        self.outline_height = outline_height
         self._height_bound = floor_top + sum(
             self._max_height_of(m) for m in window) + 1.0
+        if outline_height is not None:
+            self._height_bound = min(self._height_bound,
+                                     max(outline_height, floor_top))
         self._width_big_m = chip_width
         self._height_big_m = self._height_bound
 
         # The chip is at least as tall as the partial floorplan it extends.
         self.height_var = self.model.add_continuous(
             "chip_height", lb=floor_top, ub=self._height_bound)
+        if outline_height is not None and outline_height < floor_top - GEOM_EPS:
+            # The partial floorplan already pokes past the die: force a
+            # provable INFEASIBLE through a row (variable lb > ub behavior
+            # is backend-dependent, a contradictory row is not).
+            self.model.add_constraint(
+                self.height_var.to_expr() <= outline_height,
+                name="outline:cap")
         # PERIMETER mode: the chip width is a variable too (bounded above by
         # the configured width, below by what the obstacles already use).
         self.width_var: Variable | None = None

@@ -1,0 +1,304 @@
+"""Fixed-outline floorplanning: feasibility search over a fixed die.
+
+The paper's augmentation loop minimizes chip height at a fixed width — the
+outline is open at the top.  The modern problem statement fixes the die
+``(W, H)`` up front and asks for a feasible placement inside it, whitespace
+and wirelength permitting.  This module turns the open-outline engine into
+that mode: every probe runs the full augmentation flow under an explicit
+chip-height cap (see :class:`~repro.core.formulation.SubproblemBuilder`
+``outline_height``), and a binary search over the cap drives the realized
+height — equivalently the whitespace slack — down toward the packing bound.
+
+Infeasibility is *structured*, not exceptional: :func:`solve_fixed_outline`
+returns an :class:`OutlineResult` whose status is either
+:data:`FEASIBLE` or :data:`INFEASIBLE_OUTLINE`, the latter carrying a
+certificate dict.  Only the area certificate (total module area exceeds the
+die) is a proof about the instance; a solver-derived certificate says the
+*augmentation scheme* found no placement under the cap, which is sound to
+act on but not a proof of instance infeasibility (the covering-rectangle
+replacement is conservative).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.augmentation import FloorplanError, module_statistics, \
+    resolve_outline
+from repro.core.config import FloorplanConfig
+from repro.geometry.rect import GEOM_EPS
+from repro.netlist.netlist import Netlist
+
+if TYPE_CHECKING:
+    from repro.core.augmentation import AugmentationStep
+    from repro.core.floorplanner import Floorplan
+    from repro.core.placement import Placement
+
+#: Status of a successful fixed-outline solve.
+FEASIBLE = "FEASIBLE"
+
+#: Status of a fixed-outline solve that certified the die cannot be met.
+INFEASIBLE_OUTLINE = "INFEASIBLE_OUTLINE"
+
+
+@dataclass(frozen=True)
+class OutlineProbe:
+    """One feasibility probe of the search: a full augmentation run under
+    one chip-height cap."""
+
+    cap: float
+    feasible: bool
+    realized_height: float | None
+    status: str
+    seconds: float
+    nodes: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {"cap": self.cap, "feasible": self.feasible,
+                "realized_height": self.realized_height,
+                "status": self.status, "seconds": self.seconds,
+                "nodes": self.nodes}
+
+
+@dataclass
+class OutlineResult:
+    """Outcome of :func:`solve_fixed_outline`.
+
+    Attributes:
+        status: :data:`FEASIBLE` or :data:`INFEASIBLE_OUTLINE`.
+        outline: the fixed die ``(W, H)`` the search ran against.
+        plan: the best in-outline floorplan found (None when infeasible).
+        whitespace: whitespace fraction of the fixed die,
+            ``(W*H - module_area) / (W*H)`` (None when infeasible).
+        used_whitespace: whitespace of the *used* region ``W x h'`` where
+            ``h'`` is the realized height — the quantity the search drives
+            down (None when infeasible).
+        probes: every probe in search order.
+        certificate: infeasibility evidence when status is
+            :data:`INFEASIBLE_OUTLINE` — ``{"reason": "area"|"solver",
+            "proven": bool, ...}`` — else None.
+    """
+
+    status: str
+    outline: tuple[float, float]
+    plan: "Floorplan | None" = None
+    whitespace: float | None = None
+    used_whitespace: float | None = None
+    probes: list[OutlineProbe] = field(default_factory=list)
+    certificate: dict[str, Any] | None = None
+
+    @property
+    def feasible(self) -> bool:
+        """True when a certified in-outline floorplan was found."""
+        return self.status == FEASIBLE
+
+    @property
+    def n_probes(self) -> int:
+        """Number of feasibility probes the search ran."""
+        return len(self.probes)
+
+    def to_dict(self, *, include_plan: bool = True) -> dict[str, Any]:
+        """JSON-safe representation (the service's result payload)."""
+        out: dict[str, Any] = {
+            "status": self.status,
+            "outline": [self.outline[0], self.outline[1]],
+            "whitespace": self.whitespace,
+            "used_whitespace": self.used_whitespace,
+            "probes": [p.to_dict() for p in self.probes],
+        }
+        if self.certificate is not None:
+            out["certificate"] = self.certificate
+        if include_plan and self.plan is not None:
+            from repro.serialize import floorplan_to_dict
+
+            out["floorplan"] = floorplan_to_dict(self.plan)
+        return out
+
+
+def _outline_whitespace(plan: "Floorplan",
+                        outline: tuple[float, float]) -> float:
+    """Whitespace fraction of the fixed die under ``plan``."""
+    die = outline[0] * outline[1]
+    return (die - plan.module_area) / die if die > 0 else 0.0
+
+
+def _used_whitespace(plan: "Floorplan", width: float) -> float:
+    """Whitespace of the used region ``width x realized_height``."""
+    used = width * plan.chip_height
+    return (used - plan.module_area) / used if used > 0 else 0.0
+
+
+def _fits_outline(plan: "Floorplan", outline: tuple[float, float],
+                  eps: float = GEOM_EPS) -> bool:
+    """True when every placement (and the realized chip) is inside the die.
+
+    Checked on the *final* plan: legalization may grow the chip beyond the
+    augmentation cap, so the cap alone does not certify containment.
+    """
+    width, height = outline
+    if plan.chip_height > height + eps or plan.chip_width > width + eps:
+        return False
+    return all(p.rect.x >= -eps and p.rect.y >= -eps
+               and p.rect.x2 <= width + eps and p.rect.y2 <= height + eps
+               for p in plan.placements.values())
+
+
+def _probe(netlist: Netlist, config: FloorplanConfig,
+           outline: tuple[float, float], cap: float,
+           preplaced: "dict[str, Placement] | None",
+           on_step: "Callable[[AugmentationStep], None] | None"
+           ) -> tuple["Floorplan | None", OutlineProbe]:
+    """One feasibility probe: run the full flow under ``cap``.
+
+    Catches :class:`FloorplanError` only — cooperative-cancellation
+    exceptions raised by ``on_step`` (the service's ``JobCancelled`` /
+    ``JobExpired``) propagate to the caller.
+    """
+    from repro.core.floorplanner import Floorplanner
+
+    started = time.perf_counter()
+    try:
+        plan = Floorplanner(netlist, config, preplaced=preplaced,
+                            on_step=on_step, height_cap=cap).run()
+    except FloorplanError as exc:
+        return None, OutlineProbe(
+            cap=cap, feasible=False, realized_height=None,
+            status=exc.status or "infeasible",
+            seconds=time.perf_counter() - started)
+    fits = _fits_outline(plan, outline) and plan.is_legal
+    return (plan if fits else None), OutlineProbe(
+        cap=cap, feasible=fits, realized_height=plan.chip_height,
+        status="feasible" if fits else "outside_outline",
+        seconds=time.perf_counter() - started,
+        nodes=plan.trace.total_nodes)
+
+
+def solve_fixed_outline(netlist: Netlist,
+                        config: FloorplanConfig | None = None, *,
+                        preplaced: "dict[str, Placement] | None" = None,
+                        max_probes: int = 6,
+                        on_step: "Callable[[AugmentationStep], None] | None"
+                        = None) -> OutlineResult:
+    """Solve ``netlist`` inside the fixed die the config implies.
+
+    The search probes the full die height first (maximum freedom — if that
+    fails, no tighter cap can succeed under the same scheme), then binary
+    searches the chip-height cap between the area packing bound and the
+    best realized height, keeping the lowest in-outline plan.  The greedy
+    skyline packer's height seeds the first refinement cap, and a
+    configured ``whitespace_target`` stops the search as soon as the used
+    region is tight enough.
+
+    Args:
+        netlist: the circuit.
+        config: a configuration in outline mode (an explicit ``outline``,
+            or ``outline_aspect`` / ``whitespace_target`` to derive one).
+        preplaced: modules fixed before the run starts, as in
+            :class:`~repro.core.floorplanner.Floorplanner`.
+        max_probes: total augmentation runs the search may spend.
+        on_step: per-step observer threaded into every probe (service
+            progress streaming / cooperative cancellation).
+
+    Returns:
+        A structured :class:`OutlineResult` — never raises
+        :class:`~repro.core.augmentation.FloorplanError`.
+
+    Raises:
+        ValueError: when the config is not in outline mode.
+    """
+    config = config or FloorplanConfig()
+    outline = resolve_outline(netlist, config)
+    if outline is None:
+        raise ValueError("solve_fixed_outline requires an outline-mode "
+                         "config (outline, outline_aspect, or "
+                         "whitespace_target)")
+    width, height = outline
+
+    # Area certificate: more module area than die area is a proof, with no
+    # solving at all.  Uses the raw module areas (not envelope-inflated) —
+    # the certificate must hold for any margin setting.
+    module_area = sum(m.area for m in netlist.modules)
+    die_area = width * height
+    # Die-level whitespace is a pure function of the instance — reported on
+    # every result, feasible or not (negative when the die is undersized).
+    die_whitespace = (die_area - module_area) / die_area if die_area else 0.0
+    if module_area > die_area + GEOM_EPS:
+        return OutlineResult(
+            status=INFEASIBLE_OUTLINE, outline=outline,
+            whitespace=die_whitespace,
+            certificate={"reason": "area", "proven": True,
+                         "module_area": module_area,
+                         "outline_area": die_area})
+
+    result = OutlineResult(status=INFEASIBLE_OUTLINE, outline=outline,
+                           whitespace=die_whitespace)
+    best: "Floorplan | None" = None
+
+    def record(plan: "Floorplan | None", probe: OutlineProbe) -> None:
+        nonlocal best
+        result.probes.append(probe)
+        if plan is not None and (best is None
+                                 or plan.chip_height < best.chip_height):
+            best = plan
+
+    # Probe the full die first: every tighter cap is a restriction of it.
+    plan, probe = _probe(netlist, config, outline, height, preplaced, on_step)
+    record(plan, probe)
+    if best is None:
+        result.certificate = {
+            "reason": "solver", "proven": False,
+            "status": probe.status,
+            "detail": ("no placement fit the die at the full height cap "
+                       f"{height:g} (probe status {probe.status!r})"),
+        }
+        return result
+
+    # Refine: binary search the cap between the packing bound and the best
+    # realized height.  The envelope-inflated area bound is the tightest
+    # height no placement can beat at this width.
+    env_area, _ = module_statistics(netlist, config)
+    lo = env_area / width
+    hi = best.chip_height
+    target = config.whitespace_target
+
+    def tight_enough() -> bool:
+        return (target is not None
+                and _used_whitespace(best, width) <= target + 1e-9)
+
+    # Greedy skyline as a search hint: a constructive packing that already
+    # beats the incumbent tells the search where to probe first.
+    if len(result.probes) < max_probes and not tight_enough():
+        from repro.baselines.greedy import greedy_skyline_floorplan
+
+        greedy = greedy_skyline_floorplan(
+            netlist, width, allow_rotation=config.allow_rotation)
+        if lo + GEOM_EPS < greedy.chip_height < hi - GEOM_EPS:
+            plan, probe = _probe(netlist, config, outline,
+                                 greedy.chip_height, preplaced, on_step)
+            record(plan, probe)
+            if plan is not None:
+                hi = min(hi, plan.chip_height)
+            else:
+                lo = max(lo, greedy.chip_height)
+
+    while (len(result.probes) < max_probes and hi - lo > GEOM_EPS
+           and not tight_enough()):
+        mid = (lo + hi) / 2.0
+        if mid >= hi - GEOM_EPS:
+            break
+        plan, probe = _probe(netlist, config, outline, mid, preplaced,
+                             on_step)
+        record(plan, probe)
+        if plan is not None:
+            hi = min(hi, plan.chip_height)
+        else:
+            lo = mid
+
+    result.status = FEASIBLE
+    result.plan = best
+    result.whitespace = _outline_whitespace(best, outline)
+    result.used_whitespace = _used_whitespace(best, width)
+    return result

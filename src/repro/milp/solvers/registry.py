@@ -161,6 +161,7 @@ def solve(model: Model, backend: str = "highs", *,
           cache: "SolveCache | None" = None,
           form: StandardForm | None = None,
           formulation: str | None = None,
+          outline: tuple[float, float] | None = None,
           **options) -> Solution:
     """Solve ``model`` with the named backend.
 
@@ -201,6 +202,12 @@ def solve(model: Model, backend: str = "highs", *,
             same instance canonicalize differently anyway, but the explicit
             key context keeps that invariant independent of canonicalization
             details.  None for models without a formulation identity.
+        outline: the fixed die ``(W, H)`` the model was built against, or
+            None for an open-outline model.  Recorded as telemetry
+            provenance and folded into the cache key so a fixed-outline
+            solve never shares an entry with an open-outline solve of the
+            same netlist — the cap changes which optimum is reachable even
+            when the canonical forms happen to collide.
         **options: backend-specific options such as ``time_limit``,
             ``mip_rel_gap``, ``node_limit``, ``lp_engine``, ``int_tol``.
 
@@ -226,7 +233,7 @@ def solve(model: Model, backend: str = "highs", *,
             backend, bool(presolve), warm_start is not None,
             cache_mod._q(float(options.get("mip_rel_gap", 1e-4))),
             cache_mod._q(float(options.get("int_tol", 1e-6))),
-            formulation))
+            formulation, _outline_context(outline)))
         key_seconds = time.perf_counter() - started
         cache.stats.key_seconds += key_seconds
         served = cache_mod.serve_cached(
@@ -236,18 +243,41 @@ def solve(model: Model, backend: str = "highs", *,
             key_seconds=key_seconds)
         if served is not None:
             _stamp_formulation(served, formulation)
+            _stamp_outline(served, outline)
             return served
 
     solution = _solve_uncached(fn, model, backend, form,
                                presolve=presolve, warm_start=warm_start,
                                symmetry_groups=symmetry_groups, **options)
     _stamp_formulation(solution, formulation)
+    _stamp_outline(solution, outline)
     if cache is not None and cache_key is not None and form is not None:
         from repro.milp import cache as cache_mod
 
         cache_mod.record_store(cache, cache_key, solution, form,
                                key_seconds=key_seconds)
     return solution
+
+
+def _outline_context(outline: tuple[float, float] | None):
+    """The cache-key context entry of a fixed outline (quantized like the
+    tolerance entries, so float noise never splits genuinely equal keys)."""
+    if outline is None:
+        return None
+    from repro.milp import cache as cache_mod
+
+    return (cache_mod._q(float(outline[0])), cache_mod._q(float(outline[1])))
+
+
+def _stamp_outline(solution: Solution,
+                   outline: tuple[float, float] | None) -> None:
+    """Record fixed-outline provenance on the solution's telemetry.
+
+    Open-outline solves keep None — absent in serialized telemetry — so
+    documents recorded before the outline axis stay byte-identical.
+    """
+    if outline is not None and solution.telemetry is not None:
+        solution.telemetry.outline = (float(outline[0]), float(outline[1]))
 
 
 def _stamp_formulation(solution: Solution, formulation: str | None) -> None:
@@ -367,6 +397,7 @@ def _batch_worker(payload: dict) -> dict:
                          warm_start=payload["warm_start"],
                          symmetry_groups=payload["symmetry_groups"],
                          formulation=payload["formulation"],
+                         outline=payload["outline"],
                          **payload["options"])
     except Exception as exc:  # noqa: BLE001 — surfaced per-item by caller
         if payload["on_error"] != "capture":
@@ -383,6 +414,7 @@ def solve_many(models: Sequence[Model], backend: str = "highs", *,
                workers: int | None = 1,
                on_error: str = "raise",
                formulation: str | None = None,
+               outline: tuple[float, float] | None = None,
                **options) -> list[Solution]:
     """Solve a vector of independent models through one batched entry point.
 
@@ -417,6 +449,7 @@ def solve_many(models: Sequence[Model], backend: str = "highs", *,
             :class:`~repro.milp.solution.Solution` (the differential
             fuzzer's mode — a crash is a finding, not an abort).
         formulation: as :func:`solve`, applied to every instance.
+        outline: as :func:`solve`, applied to every instance.
         **options: backend options forwarded to every instance.
 
     Returns:
@@ -451,7 +484,7 @@ def solve_many(models: Sequence[Model], backend: str = "highs", *,
                                      presolve=presolve, warm_start=warm,
                                      symmetry_groups=sym, cache=cache,
                                      form=form, formulation=formulation,
-                                     **options)
+                                     outline=outline, **options)
             except Exception as exc:  # noqa: BLE001 — per-item capture
                 if on_error != "capture":
                     raise
@@ -467,7 +500,7 @@ def solve_many(models: Sequence[Model], backend: str = "highs", *,
                     backend, bool(presolve), warm_list[i] is not None,
                     cache_mod._q(float(options.get("mip_rel_gap", 1e-4))),
                     cache_mod._q(float(options.get("int_tol", 1e-6))),
-                    formulation))
+                    formulation, _outline_context(outline)))
                 key_seconds = time.perf_counter() - started
                 cache.stats.key_seconds += key_seconds
                 solutions[i] = cache_mod.serve_cached(
@@ -477,12 +510,13 @@ def solve_many(models: Sequence[Model], backend: str = "highs", *,
                     key_seconds=key_seconds)
                 if solutions[i] is not None:
                     _stamp_formulation(solutions[i], formulation)
+                    _stamp_outline(solutions[i], outline)
         pending = [i for i in range(n) if solutions[i] is None]
         payloads = [{
             "model": model_list[i], "backend": backend, "presolve": presolve,
             "warm_start": warm_list[i], "symmetry_groups": sym_list[i],
             "options": options, "on_error": on_error,
-            "formulation": formulation,
+            "formulation": formulation, "outline": outline,
         } for i in pending]
         packed = parallel_map(_batch_worker, payloads, workers=n_workers)
         for i, doc in zip(pending, packed):

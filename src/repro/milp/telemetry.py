@@ -74,6 +74,10 @@ class SolveTelemetry:
             :data:`DEFAULT_FORMULATION`).  Never serialized at the default
             and removed by canonicalization, so golden documents predating
             the axis stay byte-identical and round-trips are exact.
+        outline: fixed die ``(width, height)`` when the solve ran under a
+            fixed-outline cap, else None (None *means* the open-outline
+            mode).  Omitted from serialization when None, so open-outline
+            documents predating the axis stay byte-identical.
     """
 
     backend: str = ""
@@ -91,6 +95,7 @@ class SolveTelemetry:
     frontier: dict[str, Any] | None = None
     batch: dict[str, Any] | None = None
     formulation: str | None = None
+    outline: tuple[float, float] | None = None
 
     def record_incumbent(self, seconds: float, objective: float) -> None:
         """Append one incumbent improvement."""
@@ -122,6 +127,8 @@ class SolveTelemetry:
         if (self.formulation is not None
                 and self.formulation != DEFAULT_FORMULATION):
             out["formulation"] = self.formulation
+        if self.outline is not None:
+            out["outline"] = [self.outline[0], self.outline[1]]
         return out
 
     @classmethod
@@ -145,4 +152,6 @@ class SolveTelemetry:
             frontier=data.get("frontier"),
             batch=data.get("batch"),
             formulation=data.get("formulation"),
+            outline=(tuple(float(v) for v in data["outline"])
+                     if data.get("outline") is not None else None),
         )

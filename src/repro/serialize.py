@@ -273,6 +273,14 @@ def _config_to_dict(config: FloorplanConfig) -> dict[str, Any]:
     # byte-identically; FloorplanConfig restores the default on load.
     if config.formulation != "bigm":
         out["formulation"] = config.formulation
+    # The outline trio follows the same omit-at-default discipline: absent
+    # means the open-outline mode every pre-outline document was recorded in.
+    if config.outline is not None:
+        out["outline"] = [config.outline[0], config.outline[1]]
+    if config.outline_aspect is not None:
+        out["outline_aspect"] = config.outline_aspect
+    if config.whitespace_target is not None:
+        out["whitespace_target"] = config.whitespace_target
     return out
 
 

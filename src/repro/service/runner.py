@@ -76,7 +76,9 @@ CONFIG_FIELDS = frozenset(
 
 def config_from_request(doc: dict[str, Any] | None, *,
                         cache_dir: str | None = None,
-                        formulation: str | None = None) -> FloorplanConfig:
+                        formulation: str | None = None,
+                        outline: tuple[float, float] | None = None
+                        ) -> FloorplanConfig:
     """Build the run configuration of one job.
 
     Args:
@@ -88,6 +90,9 @@ def config_from_request(doc: dict[str, Any] | None, *,
         formulation: the server's default non-overlap encoding
             (``repro-floorplan serve --formulation``), applied when the
             submission names none.
+        outline: the server's default fixed die
+            (``repro-floorplan serve --outline``), applied when the
+            submission declares no outline of its own.
     """
     doc = dict(doc or {})
     unknown = set(doc) - CONFIG_FIELDS
@@ -96,6 +101,10 @@ def config_from_request(doc: dict[str, Any] | None, *,
     doc.setdefault("cache_dir", cache_dir)
     if formulation is not None:
         doc.setdefault("formulation", formulation)
+    if outline is not None and "outline" not in doc \
+            and doc.get("outline_aspect") is None \
+            and doc.get("whitespace_target") is None:
+        doc["outline"] = [outline[0], outline[1]]
     try:
         return FloorplanConfig(**doc)
     except (ValueError, TypeError) as exc:
@@ -157,19 +166,42 @@ def _summary(plan) -> dict[str, Any]:
 
 def run_floorplan(request: dict[str, Any], ctx: JobContext,
                   cache_dir: str | None = None,
-                  formulation: str | None = None) -> dict[str, Any]:
-    """The ``floorplan`` kind: one netlist through the full pipeline."""
+                  formulation: str | None = None,
+                  outline: tuple[float, float] | None = None
+                  ) -> dict[str, Any]:
+    """The ``floorplan`` kind: one netlist through the full pipeline.
+
+    An outline-mode configuration (its own, or the server default) routes
+    through the fixed-outline feasibility search
+    (:func:`repro.core.outline.solve_fixed_outline`); infeasibility comes
+    back as a *completed* job whose result carries the structured
+    ``INFEASIBLE_OUTLINE`` status — it is an answer, not an error.
+    """
     from repro.serialize import config_to_dict, floorplan_to_dict
 
     netlist = _parse_netlist(request)
     config = config_from_request(request.get("config"), cache_dir=cache_dir,
-                                 formulation=formulation)
+                                 formulation=formulation, outline=outline)
 
     def on_step(step) -> None:
         ctx.check()
         ctx.send("step", **step_event(step))
 
     ctx.check()
+    if config.outline_mode:
+        from repro.core.outline import solve_fixed_outline
+
+        result = solve_fixed_outline(netlist, config, on_step=on_step)
+        out: dict[str, Any] = {
+            "kind": "floorplan",
+            "netlist": netlist.name,
+            "config": config_to_dict(config),
+            "outline": result.to_dict(include_plan=False),
+        }
+        if result.plan is not None:
+            out["summary"] = _summary(result.plan)
+            out["floorplan"] = floorplan_to_dict(result.plan)
+        return out
     plan = Floorplanner(netlist, config, on_step=on_step).run()
     return {
         "kind": "floorplan",
@@ -182,13 +214,19 @@ def run_floorplan(request: dict[str, Any], ctx: JobContext,
 
 def run_width_search(request: dict[str, Any], ctx: JobContext,
                      cache_dir: str | None = None,
-                     formulation: str | None = None) -> dict[str, Any]:
+                     formulation: str | None = None,
+                     outline: tuple[float, float] | None = None
+                     ) -> dict[str, Any]:
     """The ``width_search`` kind: shard candidate chip widths across
     processes and keep the best floorplan.
 
     Candidate workers are separate processes (``repro.parallel``), so their
     solves share warmth only through the on-disk cache tier — exactly the
     service's shared-cache architecture in miniature.
+
+    The width search is inherently an open-outline job (the chip width is
+    what it sweeps), so an outline-mode config is rejected and the server's
+    default outline is deliberately *not* applied here.
     """
     from repro.core.width_search import search_chip_width
     from repro.serialize import config_to_dict, floorplan_to_dict
@@ -196,6 +234,9 @@ def run_width_search(request: dict[str, Any], ctx: JobContext,
     netlist = _parse_netlist(request)
     config = config_from_request(request.get("config"), cache_dir=cache_dir,
                                  formulation=formulation)
+    if config.outline_mode:
+        raise BadRequest("width_search is an open-outline job; submit a "
+                         "'floorplan' job for fixed-outline runs")
     params = dict(request.get("width_search") or {})
     unknown = set(params) - {"n_candidates", "spread", "aspect_weight",
                              "workers"}
@@ -236,13 +277,15 @@ def run_width_search(request: dict[str, Any], ctx: JobContext,
 
 def run_solve(request: dict[str, Any], ctx: JobContext,
               cache_dir: str | None = None,
-              formulation: str | None = None) -> dict[str, Any]:
+              formulation: str | None = None,
+              outline: tuple[float, float] | None = None) -> dict[str, Any]:
     """The ``solve`` kind: a batch of raw MILP models through
     :func:`~repro.milp.solvers.registry.solve_many`.
 
-    The server's default ``formulation`` is ignored here — raw model
-    documents were built by the client, so the server cannot know their
-    encoding; a request-level ``"formulation"`` is recorded as provenance.
+    The server's default ``formulation`` and ``outline`` are ignored here —
+    raw model documents were built by the client, so the server cannot know
+    their encoding or die; a request-level ``"formulation"`` is recorded as
+    provenance.
     """
     from repro.core.config import FORMULATIONS
     from repro.milp.solvers.registry import available_backends, solve_many
@@ -317,17 +360,26 @@ JOB_RUNNERS: dict[str, Callable[..., dict[str, Any]]] = {
 def validate_request(kind: str, request: dict[str, Any], *,
                      runners: dict[str, Callable[..., dict[str, Any]]],
                      cache_dir: str | None = None,
-                     formulation: str | None = None) -> None:
+                     formulation: str | None = None,
+                     outline: tuple[float, float] | None = None) -> None:
     """Reject a malformed submission at submit time (HTTP 400), before it
     costs a queue slot — execution re-parses, so this only checks what is
     cheap to check."""
     if kind not in runners:
         raise BadRequest(f"unknown job kind {kind!r}; "
                          f"available: {sorted(runners)}")
-    if kind in ("floorplan", "width_search"):
+    if kind == "floorplan":
         _parse_netlist(request)
         config_from_request(request.get("config"), cache_dir=cache_dir,
-                            formulation=formulation)
+                            formulation=formulation, outline=outline)
+    elif kind == "width_search":
+        _parse_netlist(request)
+        config = config_from_request(request.get("config"),
+                                     cache_dir=cache_dir,
+                                     formulation=formulation)
+        if config.outline_mode:
+            raise BadRequest("width_search is an open-outline job; submit "
+                             "a 'floorplan' job for fixed-outline runs")
     elif kind == "solve":
         docs = request.get("models")
         if not isinstance(docs, list) or not docs:

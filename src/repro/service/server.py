@@ -61,7 +61,8 @@ _CHILD_POLL_SECONDS = 0.05
 
 def _child_main(runner: Callable[..., dict[str, Any]],
                 request: dict[str, Any], cache_dir: str | None,
-                formulation: str | None, conn) -> None:
+                formulation: str | None,
+                outline: tuple[float, float] | None, conn) -> None:
     """Entry point of a forked worker process.
 
     Sends ``("event", type, data)`` tuples while running and exactly one
@@ -77,7 +78,7 @@ def _child_main(runner: Callable[..., dict[str, Any]],
                      conn.send(("event", event_type, data)))
     try:
         result = runner(request, ctx, cache_dir=cache_dir,
-                        formulation=formulation)
+                        formulation=formulation, outline=outline)
         conn.send(("result", result))
     except BadRequest as exc:
         conn.send(("error", {"kind": "bad-request", "message": str(exc)}))
@@ -98,7 +99,8 @@ class FloorplanService:
             name none.
         runners: overrides/extends the default kind registry
             (:data:`~repro.service.runner.JOB_RUNNERS`); every runner is
-            called as ``runner(request, ctx, cache_dir=..., formulation=...)``.
+            called as ``runner(request, ctx, cache_dir=..., formulation=...,
+            outline=...)``.
     """
 
     def __init__(self, config: FloorplanConfig | None = None, *,
@@ -172,7 +174,8 @@ class FloorplanService:
                 raise BadRequest("'deadline_seconds' must be >= 0")
         validate_request(kind, doc, runners=self.runners,
                          cache_dir=self.config.cache_dir,
-                         formulation=self.config.formulation)
+                         formulation=self.config.formulation,
+                         outline=self.config.outline)
         key = request_key(doc)
         with self._lock:
             self._submissions += 1
@@ -256,7 +259,8 @@ class FloorplanService:
         try:
             result = runner(job.request, ctx,
                             cache_dir=self.config.cache_dir,
-                            formulation=self.config.formulation)
+                            formulation=self.config.formulation,
+                            outline=self.config.outline)
         except JobCancelled:
             job.transition(JobStatus.CANCELLED, error={
                 "kind": "cancelled", "message": "cancelled while running"})
@@ -279,7 +283,8 @@ class FloorplanService:
         parent_conn, child_conn = mp.Pipe(duplex=False)
         proc = mp.Process(target=_child_main,
                           args=(runner, job.request, self.config.cache_dir,
-                                self.config.formulation, child_conn),
+                                self.config.formulation, self.config.outline,
+                                child_conn),
                           daemon=True)
         proc.start()
         child_conn.close()

@@ -157,3 +157,97 @@ def test_optimal_without_bound_is_rejected(solved):
     mutant = _mutate(solution, bound=math.nan)
     report = check_certificate(builder.model, mutant)
     assert any(v.kind == "bound" for v in report.violations)
+
+
+# -- fixed-outline mutants ----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def outlined():
+    """One feasible fixed-outline solve shared by the outline mutants."""
+    from repro.core import solve_fixed_outline
+    from repro.netlist.netlist import Netlist
+
+    netlist = Netlist([
+        Module.rigid("a", 4.0, 3.0),
+        Module.rigid("b", 2.0, 5.0),
+        Module.rigid("c", 3.0, 3.0),
+        Module.rigid("d", 5.0, 2.0),
+    ], [], name="outline_mutants")
+    config = FloorplanConfig(outline=(8.0, 10.0), seed_size=2, group_size=2,
+                             use_envelopes=False, solve_cache=False,
+                             subproblem_time_limit=20.0)
+    result = solve_fixed_outline(netlist, config, max_probes=2)
+    assert result.feasible
+    return result
+
+
+def test_outline_baseline_certifies(outlined):
+    """Non-vacuity: the genuine plan, outline, and whitespace claim pass."""
+    from repro.check.geometry import check_outline
+
+    placements = list(outlined.plan.placements.values())
+    report = check_outline(placements, outlined.outline,
+                           claimed_whitespace=outlined.whitespace)
+    assert report.ok, [v.detail for v in report.violations]
+
+
+def test_placement_nudged_outside_die_is_rejected(outlined):
+    """Sliding one module past the die edge must trip the containment
+    audit even though the plan is otherwise untouched."""
+    from repro.check.geometry import check_outline
+
+    width, _height = outlined.outline
+    placements = list(outlined.plan.placements.values())
+    victim = placements[0]
+    nudged = dataclasses.replace(
+        victim, rect=victim.rect.moved_to(width - victim.rect.w + 0.25,
+                                          victim.rect.y))
+    report = check_outline([nudged] + placements[1:], outlined.outline)
+    assert not report.ok
+    assert any("outline" in v.detail.lower() or "die" in v.detail.lower()
+               for v in report.violations)
+
+
+def test_padded_outline_whitespace_claim_is_rejected(outlined):
+    """A whitespace figure computed against a padded die is a lie relative
+    to the actual outline and must fail the accounting audit."""
+    from repro.check.geometry import check_outline
+
+    width, height = outlined.outline
+    padded_area = (width + 2.0) * (height + 2.0)
+    module_area = sum(p.rect.area for p in
+                      outlined.plan.placements.values())
+    padded_claim = (padded_area - module_area) / padded_area
+    placements = list(outlined.plan.placements.values())
+    report = check_outline(placements, outlined.outline,
+                           claimed_whitespace=padded_claim)
+    assert not report.ok
+    assert any("whitespace" in v.detail.lower() for v in report.violations)
+
+
+def test_wrong_whitespace_claim_is_rejected(outlined):
+    """Any materially wrong whitespace claim is caught, in both
+    directions."""
+    from repro.check.geometry import check_outline
+
+    placements = list(outlined.plan.placements.values())
+    for claim in (outlined.whitespace + 0.1,
+                  max(0.0, outlined.whitespace - 0.1)):
+        report = check_outline(placements, outlined.outline,
+                               claimed_whitespace=claim)
+        assert not report.ok, f"claim {claim} wrongly accepted"
+        assert any("whitespace" in v.detail.lower()
+                   for v in report.violations)
+
+
+def test_undersized_outline_packing_bound_is_rejected(outlined):
+    """Auditing the plan against a die smaller than its module area trips
+    the packing bound, not just per-module containment."""
+    from repro.check.geometry import check_outline
+
+    placements = list(outlined.plan.placements.values())
+    report = check_outline(placements, (3.0, 3.0))
+    assert not report.ok
+    assert any("area" in v.detail.lower() or "packing" in v.detail.lower()
+               for v in report.violations)

@@ -146,12 +146,12 @@ class TestDegradedInputs:
         assert plan.chip_height <= 1000.0
 
 
-def _always_dies(request, ctx, cache_dir=None, formulation=None):
+def _always_dies(request, ctx, cache_dir=None, formulation=None, **kwargs):
     """A worker that dies mid-job without reporting anything."""
     os._exit(3)
 
 
-def _dies_once(request, ctx, cache_dir=None, formulation=None):
+def _dies_once(request, ctx, cache_dir=None, formulation=None, **kwargs):
     """Dies on the first attempt, succeeds on the requeued one (the marker
     file carries the attempt count across processes)."""
     marker = request["marker"]

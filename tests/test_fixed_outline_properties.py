@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) for fixed-outline mode.
+
+Invariants under test:
+
+* every plan returned by the feasibility search fits the die exactly
+  (chip dimensions and every module rectangle inside the outline);
+* the reported whitespace accounting is conserved — ``whitespace`` is
+  the die-level fraction and ``used_whitespace`` the realized-envelope
+  fraction, with ``used <= die-level`` always;
+* an outline with less area than the total module area is always
+  certified infeasible with a proven area certificate, never an
+  exception.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FEASIBLE,
+    INFEASIBLE_OUTLINE,
+    FloorplanConfig,
+    solve_fixed_outline,
+)
+from repro.geometry.rect import Rect
+from repro.netlist.module import Module
+from repro.netlist.netlist import Netlist
+
+EPS = 1e-6
+
+
+@st.composite
+def instances(draw):
+    """A small rigid netlist plus a die that is guaranteed to have enough
+    area head-room (geometry may still make it infeasible, which is a
+    valid structured outcome, not a crash)."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    n = draw(st.integers(min_value=2, max_value=5))
+    modules = [
+        Module.rigid(f"m{i}", float(rng.randint(1, 4)),
+                     float(rng.randint(1, 4)),
+                     rotatable=rng.random() < 0.7)
+        for i in range(n)
+    ]
+    netlist = Netlist(modules, [], name=f"prop{seed}")
+    area = sum(m.area for m in modules)
+    widest = max(max(m.width, m.height) for m in modules)
+    slack = draw(st.sampled_from([1.4, 1.8, 2.5]))
+    width = max(widest, round((area * slack) ** 0.5, 2))
+    height = max(widest, round(area * slack / width, 2))
+    return netlist, (width, height)
+
+
+def _config(outline):
+    return FloorplanConfig(outline=outline, seed_size=3, group_size=2,
+                           use_envelopes=False, solve_cache=False,
+                           subproblem_time_limit=15.0)
+
+
+class TestOutlineContainment:
+    @given(instances())
+    @settings(max_examples=10, deadline=None)
+    def test_returned_plans_fit_outline_exactly(self, case):
+        netlist, outline = case
+        result = solve_fixed_outline(netlist, _config(outline), max_probes=3)
+        assert result.status in (FEASIBLE, INFEASIBLE_OUTLINE)
+        if result.status != FEASIBLE:
+            assert result.plan is None
+            return
+        plan = result.plan
+        width, height = outline
+        die = Rect(0.0, 0.0, width, height)
+        assert plan.chip_width <= width + EPS
+        assert plan.chip_height <= height + EPS
+        for placement in plan.placements.values():
+            assert die.contains_rect(placement.rect, eps=EPS), (
+                f"{placement.rect} escapes die {die}")
+        assert plan.is_legal
+
+
+class TestWhitespaceConservation:
+    @given(instances())
+    @settings(max_examples=10, deadline=None)
+    def test_whitespace_accounting_is_conserved(self, case):
+        netlist, outline = case
+        result = solve_fixed_outline(netlist, _config(outline), max_probes=3)
+        if result.status != FEASIBLE:
+            return
+        width, height = outline
+        module_area = sum(m.area for m in netlist.modules)
+        die_area = width * height
+        # Die-level whitespace is a pure function of the instance.
+        assert result.whitespace == pytest.approx(
+            (die_area - module_area) / die_area)
+        # Realized whitespace uses the achieved height; shrinking the
+        # envelope can only reduce wasted area.
+        used_area = width * result.plan.chip_height
+        assert result.used_whitespace == pytest.approx(
+            (used_area - module_area) / used_area)
+        assert -EPS <= result.used_whitespace <= result.whitespace + EPS
+
+
+class TestAreaCertificate:
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.floats(min_value=0.3, max_value=0.95, allow_nan=False))
+    @settings(max_examples=15, deadline=None)
+    def test_undersized_outline_always_certified_infeasible(self, seed,
+                                                            shrink):
+        rng = random.Random(seed)
+        modules = [
+            Module.rigid(f"m{i}", float(rng.randint(1, 4)),
+                         float(rng.randint(1, 4)))
+            for i in range(rng.randint(2, 6))
+        ]
+        netlist = Netlist(modules, [], name=f"under{seed}")
+        area = sum(m.area for m in modules)
+        # A square die with strictly less area than the modules need.
+        side = (area * shrink) ** 0.5
+        result = solve_fixed_outline(netlist, _config((side, side)))
+        assert result.status == INFEASIBLE_OUTLINE
+        assert result.plan is None
+        assert result.n_probes == 0
+        cert = result.certificate
+        assert cert["reason"] == "area"
+        assert cert["proven"] is True
+        assert cert["module_area"] == pytest.approx(area)
+        assert cert["outline_area"] == pytest.approx(side * side)

@@ -88,6 +88,13 @@ FIXTURES = {
     "flexible": lambda: (_flexible_fixture(), _golden_config(
         linearization=Linearization.TANGENT, relinearization_rounds=1)),
     "apte": lambda: (apte_like(), _golden_config(seed_size=4, group_size=3)),
+    # Fixed-outline runs pin the outline-capped augmentation under both
+    # encodings: telemetry carries outline provenance and the realized
+    # plan must fit the 8x10 die.
+    "outline_bigm": lambda: (_rigid_fixture(), _golden_config(
+        outline=(8.0, 10.0))),
+    "outline_unary": lambda: (_rigid_fixture(), _golden_config(
+        outline=(8.0, 10.0), formulation="unary")),
 }
 
 

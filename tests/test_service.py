@@ -33,7 +33,7 @@ def _blocking_runner(gate: threading.Event):
     """A job kind that parks until ``gate`` is set (checking for
     cancellation), so tests control exactly when the worker is busy."""
 
-    def run(request, ctx, cache_dir=None, formulation=None):
+    def run(request, ctx, cache_dir=None, formulation=None, **kwargs):
         while not gate.wait(timeout=0.05):
             ctx.check()
         ctx.check()

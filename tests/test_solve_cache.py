@@ -222,6 +222,46 @@ class TestRegistryIntegration:
         assert canonical_form_key(form, context=base + ("bigm",)) != \
             canonical_form_key(form, context=base + ("unary",))
 
+    def test_outline_does_not_share_entries_with_open_outline(self):
+        """Regression: the fixed outline must be part of the key context.
+        An open-outline solve and a fixed-outline solve of the same
+        structure reach different optima in general, so aliasing them
+        would serve a stale result (and stale outline provenance)."""
+        model = _small_model()
+        cache = SolveCache()
+        open_outline = solve(model, backend="highs", cache=cache)
+        fixed = solve(model, backend="highs", cache=cache,
+                      outline=(10.0, 8.0))
+        assert open_outline.telemetry.cache["hit"] is False
+        assert fixed.telemetry.cache["hit"] is False
+        again = solve(model, backend="highs", cache=cache,
+                      outline=(10.0, 8.0))
+        assert again.telemetry.cache["hit"] is True
+        assert again.telemetry.outline == (10.0, 8.0)
+        assert open_outline.telemetry.outline is None
+
+    def test_different_outlines_do_not_share_entries(self):
+        model = _small_model()
+        cache = SolveCache()
+        solve(model, backend="highs", cache=cache, outline=(10.0, 8.0))
+        other = solve(model, backend="highs", cache=cache,
+                      outline=(10.0, 9.0))
+        assert other.telemetry.cache["hit"] is False
+
+    def test_outline_context_splits_keys(self):
+        from repro.milp.solvers.registry import _outline_context
+
+        form = _form()
+        base = ("highs", True, False, 0, 0, "bigm")
+        open_key = canonical_form_key(
+            form, context=base + (_outline_context(None),))
+        fixed_key = canonical_form_key(
+            form, context=base + (_outline_context((10.0, 8.0)),))
+        assert open_key != fixed_key
+        # Quantization keeps float noise from splitting equal outlines.
+        assert _outline_context((10.0, 8.0)) == \
+            _outline_context((10.0 + 1e-12, 8.0))
+
     def test_values_rebound_to_requesting_model(self):
         """A hit's values must be keyed by the *new* model's Variables."""
         cache = SolveCache()
