@@ -1,0 +1,152 @@
+"""Incremental-ECO benchmark: a delta trajectory on the ami33-like
+instance.
+
+The ECO engine's promise is *solve economy*: a small netlist edit against
+a certified plan should re-solve only a window around the disturbance and
+skip the rest of the augmentation schedule.  This bench plays a trajectory
+of realistic edits — shrink a block, grow a block, delete a block, drop in
+a new one — against an evolving ami33-like plan.  Each step runs both the
+incremental engine and a cold re-solve of the patched netlist and records
+solver invocations, solves avoided, and wall clock for both paths.
+
+Run gates:
+
+* every trajectory step patches and the merged plan is legal;
+* steps accepted on a *windowed* rung beat the cold re-solve by at least
+  ``MIN_WINDOWED_SPEEDUP`` in wall clock;
+* the removal-only step costs zero solver invocations;
+* the trajectory as a whole avoids more solves than it spends.
+
+``REPRO_BENCH_QUICK=1`` (the CI smoke invocation) trims the trajectory to
+the first two edits.
+
+Artifacts: ``results/eco.txt`` (the table) and
+``results/BENCH_eco_<rev>.json`` (the per-revision record CI uploads,
+shaped like the other ``BENCH_*_<rev>.json`` files).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from benchmarks.bench_suite import bench_rev, quick_mode
+from benchmarks.conftest import emit
+from repro.core import (FloorplanConfig, Floorplanner, NetlistDelta,
+                        solve_eco)
+from repro.core.eco import ECO_PATCHED
+from repro.eval.report import format_table
+from repro.netlist.mcnc import ami33_like
+from repro.netlist.module import Module
+
+#: Wall-clock factor a windowed ECO must beat the cold re-solve by.
+MIN_WINDOWED_SPEEDUP = 2.0
+
+
+def _config() -> FloorplanConfig:
+    return FloorplanConfig(seed_size=6, group_size=4, use_envelopes=False,
+                           solve_cache=False, subproblem_time_limit=30.0)
+
+
+def _trajectory(netlist) -> list[tuple[str, NetlistDelta]]:
+    """Four edit species, ordered smallest-disturbance first.  Victims are
+    drawn from the instance itself so the bench tracks the generator."""
+    mods = netlist.modules
+    shrink, grow, drop = mods[-1], mods[len(mods) // 2], mods[-2]
+    steps = [
+        ("shrink", NetlistDelta(resized={
+            shrink.name: (round(shrink.width * 0.95, 6), shrink.height)})),
+        ("grow", NetlistDelta(resized={
+            grow.name: (round(grow.width * 1.1, 6), grow.height)})),
+        ("remove", NetlistDelta(removed=(drop.name,))),
+        ("add", NetlistDelta(added=(
+            Module.rigid("eco_new", 10.0, 8.0),),)),
+    ]
+    return steps[:2] if quick_mode() else steps
+
+
+def _play(config: FloorplanConfig) -> dict:
+    netlist = ami33_like()
+    start = time.perf_counter()
+    plan = Floorplanner(netlist, config).run()
+    baseline_seconds = time.perf_counter() - start
+    baseline_solves = plan.trace.n_steps
+    assert plan.is_legal
+
+    rows = []
+    for name, delta in _trajectory(netlist):
+        eco_start = time.perf_counter()
+        result = solve_eco(plan, delta, config)
+        eco_seconds = time.perf_counter() - eco_start
+        assert result.status == ECO_PATCHED, (name, result.status)
+        assert result.plan.is_legal, name
+
+        patched = delta.apply(plan.netlist)
+        cold_start = time.perf_counter()
+        cold = Floorplanner(patched, config).run()
+        cold_seconds = time.perf_counter() - cold_start
+
+        accepted = result.attempts[-1] if result.attempts else None
+        windowed = accepted is not None and accepted.kind == "window"
+        speedup = cold_seconds / max(eco_seconds, 1e-9)
+        if windowed:
+            assert speedup >= MIN_WINDOWED_SPEEDUP, (
+                f"windowed step {name!r}: ECO {eco_seconds:.3f}s vs cold "
+                f"{cold_seconds:.3f}s ({speedup:.1f}x < "
+                f"{MIN_WINDOWED_SPEEDUP}x)")
+        if name == "remove":
+            assert result.solver_invocations == 0, \
+                "removal-only deltas must not solve"
+
+        rows.append({
+            "step": name,
+            "path": (accepted.kind if accepted else "unchanged"),
+            "window": len(result.window),
+            "frozen": len(result.frozen),
+            "solves": result.solver_invocations,
+            "avoided": result.solves_avoided,
+            "eco_seconds": round(eco_seconds, 3),
+            "cold_seconds": round(cold_seconds, 3),
+            "speedup": round(speedup, 2),
+            "eco_height": round(result.plan.chip_height, 3),
+            "cold_height": round(cold.chip_height, 3),
+        })
+        plan = result.plan  # the trajectory evolves through the ECO plans
+
+    total_avoided = sum(r["avoided"] for r in rows)
+    assert total_avoided > 0, \
+        f"trajectory spent more solves than it avoided ({total_avoided})"
+    return {"baseline_seconds": round(baseline_seconds, 3),
+            "baseline_solves": baseline_solves,
+            "rows": rows}
+
+
+def test_eco_trajectory(benchmark, results_dir):
+    config = _config()
+
+    def run():
+        return _play(config)
+
+    played = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = played["rows"]
+    emit(results_dir, "eco.txt",
+         format_table(rows, title="Incremental ECO vs cold re-solve on the "
+                                  "ami33-like trajectory", floatfmt=".3f"))
+
+    artifact = {
+        "version": 1,
+        "rev": bench_rev(),
+        "quick": quick_mode(),
+        "min_windowed_speedup": MIN_WINDOWED_SPEEDUP,
+        "baseline_seconds": played["baseline_seconds"],
+        "baseline_solves": played["baseline_solves"],
+        "steps": rows,
+        "total_solves": sum(r["solves"] for r in rows),
+        "total_avoided": sum(r["avoided"] for r in rows),
+    }
+    (results_dir / f"BENCH_eco_{bench_rev()}.json").write_text(
+        json.dumps(artifact, indent=1, sort_keys=True) + "\n")
+    benchmark.extra_info.update({
+        "total_solves": artifact["total_solves"],
+        "total_avoided": artifact["total_avoided"],
+    })

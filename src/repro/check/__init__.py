@@ -16,6 +16,7 @@ from repro.check.certify import (
     certify_floorplan,
     certify_subproblem,
 )
+from repro.check.eco import check_eco
 from repro.check.fuzz import (
     Disagreement,
     FuzzCase,
@@ -50,6 +51,7 @@ __all__ = [
     "certify_subproblem",
     "check_certificate",
     "check_cover",
+    "check_eco",
     "check_floorplan",
     "check_outline",
     "check_placements",

@@ -1,0 +1,133 @@
+"""Independent validation of incremental-ECO results.
+
+An :class:`~repro.core.eco.EcoResult` makes claims beyond ordinary
+floorplan legality: that the frozen modules did not move, that every
+placement is accounted for by the declared window/frozen partition, and
+that the reported patched height is the realized one.  A patched plan that
+silently moved a signed-off module is *worse* than a cold re-solve — the
+whole point of ECO is that untouched placements stay untouched — so these
+claims are re-derived here from the realized rectangles alone, sharing no
+arithmetic with the engine in :mod:`repro.core.eco`.
+
+Checks (all reported as :class:`~repro.check.certificate.Violation`
+records, kind ``"eco"`` for the ECO-specific ones; never raises):
+
+* full geometric legality of the merged plan via
+  :func:`~repro.check.geometry.check_floorplan` (overlap, containment,
+  rigid/flexible dimension audits, completeness, fixed-outline);
+* the plan's netlist is exactly the delta applied to the baseline's;
+* **frozen immobility** — every module in ``result.frozen`` sits at its
+  baseline rectangle and envelope, bit-for-bit within tolerance;
+* **partition** — every placement belongs to ``frozen`` or ``window``
+  (a placement outside both escaped the declared provenance);
+* **height claim** — ``result.patched_height`` matches the plan's chip
+  height, which in turn bounds the recomputed maximum envelope top.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.check.certificate import Violation
+from repro.check.geometry import CHECK_EPS, GeometryReport, check_floorplan
+
+if TYPE_CHECKING:
+    from repro.core.eco import EcoResult, NetlistDelta
+    from repro.core.floorplanner import Floorplan
+
+
+def check_eco(baseline: "Floorplan", delta: "NetlistDelta",
+              result: "EcoResult", eps: float = CHECK_EPS) -> GeometryReport:
+    """Re-derive every claim an ECO result makes, independently.
+
+    Args:
+        baseline: the certified plan the delta was applied against.
+        delta: the structured edit.
+        result: the engine's answer; ``result.plan`` is the merged plan
+            under audit.
+        eps: geometric tolerance (scaled by the chip span where sensible).
+
+    Returns:
+        A :class:`~repro.check.geometry.GeometryReport`; ``ok`` iff the
+        merged plan is legal *and* every ECO-specific claim holds.
+    """
+    plan = result.plan
+    if plan is None:
+        report = GeometryReport()
+        report.violations.append(Violation(
+            "eco", "plan", float("inf"),
+            f"result status {result.status!r} carries no plan to audit"))
+        return report
+
+    report = check_floorplan(plan, eps=eps)
+    span = max(1.0, plan.chip_width, plan.chip_height)
+    tol = eps * span
+
+    # The plan must be the patched netlist, not some other circuit.  A
+    # delta that no longer applies (the baseline changed underneath) is
+    # surfaced as a violation rather than an exception.
+    try:
+        patched = delta.apply(baseline.netlist)
+    except ValueError as exc:
+        report.violations.append(Violation(
+            "eco", "delta", float("inf"),
+            f"delta does not apply to the baseline netlist: {exc}"))
+        patched = None
+    if patched is not None:
+        want = set(patched.module_names)
+        have = set(plan.netlist.module_names)
+        for name in sorted(want ^ have):
+            report.violations.append(Violation(
+                "eco", name, float("inf"),
+                f"module {name} {'missing from' if name in want else 'not in'}"
+                f" the patched netlist the plan claims to realize"))
+
+    # Frozen immobility: the signed-off rectangles must be verbatim.
+    for name in result.frozen:
+        prev = baseline.placements.get(name)
+        cur = plan.placements.get(name)
+        if prev is None or cur is None:
+            report.violations.append(Violation(
+                "eco", name, float("inf"),
+                f"frozen module {name} is missing from the "
+                f"{'baseline' if prev is None else 'patched'} plan"))
+            continue
+        drift = max(abs(cur.rect.x - prev.rect.x),
+                    abs(cur.rect.y - prev.rect.y),
+                    abs(cur.rect.w - prev.rect.w),
+                    abs(cur.rect.h - prev.rect.h),
+                    abs(cur.envelope.x - prev.envelope.x),
+                    abs(cur.envelope.y - prev.envelope.y),
+                    abs(cur.envelope.w - prev.envelope.w),
+                    abs(cur.envelope.h - prev.envelope.h))
+        if drift > tol:
+            report.violations.append(Violation(
+                "eco", name, drift,
+                f"frozen module {name} moved {drift:.4g} from its baseline "
+                f"placement"))
+
+    # Partition: nothing may move outside the declared provenance.
+    allowed = set(result.frozen) | set(result.window)
+    for name in sorted(set(plan.placements) - allowed):
+        report.violations.append(Violation(
+            "eco", name, float("inf"),
+            f"placement {name} belongs to neither the frozen set nor the "
+            f"solve window"))
+
+    # Height claim: the reported number must be the realized one.
+    realized = max((p.envelope.y2 for p in plan.placements.values()),
+                   default=0.0)
+    claimed = result.patched_height
+    if claimed is None or abs(claimed - plan.chip_height) > tol:
+        report.violations.append(Violation(
+            "eco", "patched_height",
+            float("inf") if claimed is None
+            else abs(claimed - plan.chip_height),
+            f"claimed patched height {claimed} does not match the plan's "
+            f"chip height {plan.chip_height:.6g}"))
+    if realized > plan.chip_height + tol:
+        report.violations.append(Violation(
+            "eco", "chip_height", realized - plan.chip_height,
+            f"placements reach {realized:.6g} above the claimed chip "
+            f"height {plan.chip_height:.6g}"))
+    return report

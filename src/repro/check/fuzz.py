@@ -75,7 +75,8 @@ def generate_model(rng: random.Random) -> Model:
 
 def generate_case(rng: random.Random, *,
                   formulation_axis: bool = True,
-                  outline_axis: bool = True) -> dict[str, Model]:
+                  outline_axis: bool = True,
+                  eco_axis: bool = True) -> dict[str, Model]:
     """One seeded case as ``{encoding label: model}``.
 
     Random LPs/MILPs have no encoding axis and come back under the single
@@ -86,7 +87,13 @@ def generate_case(rng: random.Random, *,
     floorplan-shaped cases (rolled *before* the shared state is captured,
     so every encoding sees the same die) carry a fixed-outline chip-height
     cap — the cap makes INFEASIBLE a legitimate claim, which every
-    backend and encoding must then agree on.
+    backend and encoding must then agree on.  With ``eco_axis``, half of
+    them are ECO-window shaped: obstacles lifted off the floor — the shape
+    :func:`repro.core.eco.solve_eco` subproblems take when a frozen
+    placement hangs over a hole and ``use_covering_rectangles`` is off
+    (the frozen envelopes pass through verbatim).  Window modules may then
+    legally slide *under* an obstacle, a branching pattern the cold
+    augmentation loop never generates.
     """
     roll = rng.random()
     if roll < 0.4:
@@ -94,8 +101,9 @@ def generate_case(rng: random.Random, *,
     if roll < 0.8:
         return {"": _random_boxed(rng, integers=True)}
     use_outline = outline_axis and rng.random() < 0.5
+    use_eco = eco_axis and rng.random() < 0.5
     if not formulation_axis:
-        return {"": _floorplan_shaped(rng, outline=use_outline)}
+        return {"": _floorplan_shaped(rng, outline=use_outline, eco=use_eco)}
     from repro.core.config import FORMULATIONS
 
     state = rng.getstate()
@@ -103,7 +111,8 @@ def generate_case(rng: random.Random, *,
     for formulation in FORMULATIONS:
         rng.setstate(state)
         case[formulation] = _floorplan_shaped(rng, formulation=formulation,
-                                              outline=use_outline)
+                                              outline=use_outline,
+                                              eco=use_eco)
     return case
 
 
@@ -155,12 +164,16 @@ def _random_boxed(rng: random.Random, *, integers: bool) -> Model:
 
 def _floorplan_shaped(rng: random.Random, *,
                       formulation: str = "bigm",
-                      outline: bool = False) -> Model:
+                      outline: bool = False,
+                      eco: bool = False) -> Model:
     """A small real subproblem from :class:`SubproblemBuilder`: 1-2 window
     modules over 0-2 covering rectangles on a chip wide enough to be
     feasible, non-overlap encoded per ``formulation``.  With ``outline``,
     the subproblem carries a random fixed-outline height cap — tight
-    enough to make some instances genuinely infeasible."""
+    enough to make some instances genuinely infeasible.  With ``eco``,
+    obstacles float at a random height above the floor, mirroring the
+    windowed ECO subforms where a frozen placement (passed verbatim, no
+    covering-rectangle fill) leaves a reachable hole beneath itself."""
     from repro.core.config import FloorplanConfig
     from repro.core.formulation import SubproblemBuilder
     from repro.geometry.rect import Rect
@@ -186,7 +199,8 @@ def _floorplan_shaped(rng: random.Random, *,
         h = float(rng.randint(1, 3))
         if x + w > chip_width:
             break
-        obstacles.append(Rect(x, 0.0, w, h))
+        y = float(rng.randint(1, 3)) if eco else 0.0
+        obstacles.append(Rect(x, y, w, h))
         x += w + 1.0
 
     config = FloorplanConfig(
@@ -591,6 +605,7 @@ def fuzz(n: int = 25, seed: int = 0, *,
          presolve_axis: bool = True,
          formulation_axis: bool = True,
          outline_axis: bool = True,
+         eco_axis: bool = True,
          workers: int | None = 1) -> FuzzReport:
     """Run a differential-fuzzing campaign of ``n`` seeded cases.
 
@@ -610,6 +625,10 @@ def fuzz(n: int = 25, seed: int = 0, *,
     cross-check relies on.  ``outline_axis`` gives half the
     floorplan-shaped cases a fixed-outline height cap (shared across
     encodings), exercising the INFEASIBLE paths of every backend.
+    ``eco_axis`` lifts half of them into ECO-window shape — obstacles
+    floating above the floor (see :func:`generate_case`) — so the solvers
+    are also cross-checked on the subforms incremental re-floorplanning
+    produces.
     """
     report = FuzzReport(seed=seed, n_cases=n,
                         backends=tuple(backends) if backends
@@ -618,7 +637,8 @@ def fuzz(n: int = 25, seed: int = 0, *,
     case_seeds = [seed * 1_000_003 + i for i in range(n)]
     cases = [generate_case(random.Random(s),
                            formulation_axis=formulation_axis,
-                           outline_axis=outline_axis)
+                           outline_axis=outline_axis,
+                           eco_axis=eco_axis)
              for s in case_seeds]
     flat_models: list[Model] = []
     layouts: list[dict[str, int]] = []

@@ -160,7 +160,17 @@ def _cmd_floorplan(args: argparse.Namespace) -> int:
     if args.svg:
         Path(args.svg).write_text(render_svg(plan.placements, plan.chip))
         print(f"wrote {args.svg}")
+    if args.plan_json:
+        _write_plan_json(plan, args.plan_json)
     return 0
+
+
+def _write_plan_json(plan, path: str) -> None:
+    from repro.serialize import floorplan_to_dict
+
+    Path(path).write_text(
+        json.dumps(floorplan_to_dict(plan), indent=1, sort_keys=True) + "\n")
+    print(f"wrote {path}")
 
 
 def _run_fixed_outline(netlist: Netlist, config: FloorplanConfig,
@@ -196,6 +206,8 @@ def _run_fixed_outline(netlist: Netlist, config: FloorplanConfig,
     if args.svg:
         Path(args.svg).write_text(render_svg(plan.placements, plan.chip))
         print(f"wrote {args.svg}")
+    if args.plan_json:
+        _write_plan_json(plan, args.plan_json)
     return 0
 
 
@@ -299,6 +311,66 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_eco(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.core.eco import solve_eco
+    from repro.serialize import delta_from_dict, floorplan_from_dict, \
+        floorplan_to_dict
+
+    baseline = floorplan_from_dict(
+        json.loads(Path(args.plan).read_text()))
+    delta = delta_from_dict(json.loads(Path(args.delta).read_text()))
+    config = baseline.config
+    overrides = {}
+    if args.margin is not None:
+        overrides["eco_margin"] = args.margin
+    if args.quality_bound is not None:
+        overrides["eco_quality_bound"] = args.quality_bound
+    if args.max_levels is not None:
+        overrides["eco_max_levels"] = args.max_levels
+    if args.certify:
+        overrides["certify"] = True
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+
+    result = solve_eco(baseline, delta, config)
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(result.to_dict(include_plan=False), indent=1) + "\n")
+        print(f"wrote {args.report}")
+    if not result.patched:
+        last = result.attempts[-1] if result.attempts else None
+        print(f"{baseline.netlist.name}: INFEASIBLE_ECO "
+              f"({last.status if last else 'no attempt'}; "
+              f"{len(result.attempts)} rungs tried)")
+        print(json.dumps(result.to_dict(include_plan=False), indent=1),
+              file=sys.stderr)
+        return 1
+    plan = result.plan
+    assert plan is not None
+    print(f"{baseline.netlist.name}: {result.status.lower()}  height "
+          f"{result.baseline_height:.1f} -> {plan.chip_height:.1f}  "
+          f"window {len(result.window)}  frozen {len(result.frozen)}  "
+          f"solves {result.solver_invocations} (cold would be "
+          f"~{result.cold_solve_estimate}, avoided {result.solves_avoided})")
+    if result.certification is not None and not result.certification.ok:
+        print("CERTIFICATION VIOLATIONS:",
+              *[v.detail for v in result.certification.violations],
+              sep="\n  ")
+        return 1
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(floorplan_to_dict(plan), indent=1) + "\n")
+        print(f"wrote {args.out}")
+    if args.ascii:
+        print(render_ascii(plan.placements, plan.chip))
+    if args.svg:
+        Path(args.svg).write_text(render_svg(plan.placements, plan.chip))
+        print(f"wrote {args.svg}")
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.check.fuzz import fuzz
 
@@ -306,7 +378,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                   shrink_budget=args.shrink_budget,
                   artifact_dir=args.artifact_dir,
                   formulation_axis=not args.no_formulation_axis,
-                  outline_axis=not args.no_outline_axis)
+                  outline_axis=not args.no_outline_axis,
+                  eco_axis=not args.no_eco_axis)
     text = json.dumps(report.to_dict(), indent=1)
     if args.out:
         Path(args.out).write_text(text + "\n")
@@ -371,6 +444,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fp.add_argument("--ascii", action="store_true",
                       help="print an ASCII floorplan")
     p_fp.add_argument("--svg", help="write an SVG floorplan")
+    p_fp.add_argument("--plan-json",
+                      help="write the full floorplan document here "
+                           "(repro.serialize.floorplan_to_dict format — "
+                           "the baseline input of the eco subcommand)")
     p_fp.set_defaults(fn=_cmd_floorplan)
 
     p_rt = sub.add_parser("route", help="floorplan + global route + adjust")
@@ -408,6 +485,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_ck.add_argument("--out", help="write the JSON here (default: stdout)")
     p_ck.set_defaults(fn=_cmd_check)
 
+    p_ec = sub.add_parser(
+        "eco",
+        help="incrementally re-floorplan a saved plan under a netlist "
+             "delta (windowed re-solve with escalation; exit 1 on "
+             "INFEASIBLE_ECO or a failed re-certification)")
+    p_ec.add_argument("plan",
+                      help="baseline floorplan JSON "
+                           "(repro.serialize.floorplan_to_dict format)")
+    p_ec.add_argument("delta",
+                      help="netlist delta JSON "
+                           "(repro.serialize.delta_to_dict format)")
+    p_ec.add_argument("--margin", type=float, default=None,
+                      help="level-0 window growth margin "
+                           "(default: the baseline config's eco_margin)")
+    p_ec.add_argument("--quality-bound", type=float, default=None,
+                      help="accepted patched-height multiplier over the "
+                           "packing lower bound (default: the baseline "
+                           "config's eco_quality_bound)")
+    p_ec.add_argument("--max-levels", type=int, default=None,
+                      help="windowed escalation rungs before the full "
+                           "re-solve (default: the baseline config's "
+                           "eco_max_levels)")
+    p_ec.add_argument("--certify", action="store_true",
+                      help="independently re-certify the patched plan "
+                           "(frozen immobility, partition, geometry)")
+    p_ec.add_argument("--out", help="write the patched floorplan JSON here")
+    p_ec.add_argument("--report",
+                      help="write the provenance report JSON here "
+                           "(window, escalation rungs, solves avoided)")
+    p_ec.add_argument("--ascii", action="store_true",
+                      help="print an ASCII floorplan")
+    p_ec.add_argument("--svg", help="write an SVG floorplan")
+    p_ec.set_defaults(fn=_cmd_eco)
+
     p_fz = sub.add_parser(
         "fuzz",
         help="differential-fuzz the MILP backends against each other "
@@ -427,6 +538,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fz.add_argument("--no-outline-axis", action="store_true",
                       help="keep every floorplan-shaped case open-outline "
                            "(skip the fixed-outline height-cap axis)")
+    p_fz.add_argument("--no-eco-axis", action="store_true",
+                      help="keep every floorplan-shaped case's obstacles "
+                           "floor-anchored (skip the ECO-window floating-"
+                           "obstacle axis)")
     p_fz.add_argument("--artifact-dir", default=".",
                       help="directory for minimized reproducer JSON files")
     p_fz.add_argument("--out", help="write the report JSON here "

@@ -9,6 +9,8 @@ augmentation.
 * :mod:`repro.core.topology` — the section-2.5 given-topology LP, also used
   for legalization and routing-space adjustment.
 * :mod:`repro.core.floorplanner` — the high-level facade.
+* :mod:`repro.core.eco` — incremental re-floorplanning of a certified plan
+  under a structured netlist delta (windowed re-solve with escalation).
 """
 
 from repro.core.config import FloorplanConfig, Objective, Ordering, Linearization
@@ -24,8 +26,28 @@ from repro.core.outline import (
 )
 from repro.core.width_search import WidthSearchResult, search_chip_width
 from repro.core.shape_refine import RefinementResult, refine_shapes
+from repro.core.eco import (
+    ECO_INFEASIBLE,
+    ECO_PATCHED,
+    ECO_UNCHANGED,
+    EcoAttempt,
+    EcoResult,
+    NetlistDelta,
+    disturbed_modules,
+    eco_window,
+    solve_eco,
+)
 
 __all__ = [
+    "ECO_INFEASIBLE",
+    "ECO_PATCHED",
+    "ECO_UNCHANGED",
+    "EcoAttempt",
+    "EcoResult",
+    "NetlistDelta",
+    "disturbed_modules",
+    "eco_window",
+    "solve_eco",
     "FEASIBLE",
     "INFEASIBLE_OUTLINE",
     "OutlineProbe",

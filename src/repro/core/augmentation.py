@@ -339,7 +339,8 @@ def _solve_step(netlist: Netlist, config: FloorplanConfig, chip_width: float,
 
 
 def _relinearize(build, config: FloorplanConfig,
-                 placements: list[Placement], solution, builder):
+                 placements: list[Placement], solution, builder,
+                 eco: tuple[int, int] | None = None):
     """Iteratively re-expand flexible height models about the realized
     widths and re-solve (tangent refinement of the eq. (6) Taylor series).
 
@@ -376,7 +377,7 @@ def _relinearize(build, config: FloorplanConfig,
             warm = next_builder.encode(placements) if config.warm_start \
                 else None
             next_solution = _solve_with_retry(next_builder, config,
-                                              warm_start=warm)
+                                              warm_start=warm, eco=eco)
         except FloorplanError:
             break  # keep the best feasible result found so far
         next_placements = next_builder.decode(next_solution)
@@ -446,7 +447,8 @@ def _cover_partial_floorplan(placed: list[Placement], chip_width: float,
 
 
 def _solve_with_retry(builder: SubproblemBuilder, config: FloorplanConfig,
-                      warm_start=None) -> Solution:
+                      warm_start=None,
+                      eco: tuple[int, int] | None = None) -> Solution:
     """Solve the subproblem, retrying once with a doubled time limit.
 
     This is where the presolve layer, cross-step warm starts, and the
@@ -465,6 +467,10 @@ def _solve_with_retry(builder: SubproblemBuilder, config: FloorplanConfig,
                    "formulation": config.formulation}
     if builder.outline_height is not None:
         extra["outline"] = (builder.chip_width, builder.outline_height)
+    if eco is not None:
+        # Windowed ECO subforms carry their (window, frozen) shape into the
+        # cache key and telemetry provenance (repro.core.eco).
+        extra["eco"] = eco
     if config.presolve:
         extra["symmetry_groups"] = builder.symmetry_groups()
     if config.solve_cache:

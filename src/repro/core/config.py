@@ -190,6 +190,18 @@ class FloorplanConfig:
             observer), ``"process"`` isolates it in a forked child so a
             dying worker process fails or requeues the job instead of
             taking the server down.
+        eco_margin: adjacency margin of the incremental-ECO window
+            (:func:`repro.core.eco.solve_eco`): a frozen module joins the
+            disturbed window when its envelope lies within this distance of
+            a region the delta touches.  Each escalation level doubles it.
+        eco_quality_bound: accepted-quality multiplier of a windowed ECO
+            solve: the patched chip height must stay within this factor of
+            the packing lower bound (``envelope area / chip width``), else
+            the window escalates.  Because no cold solve can beat the
+            lower bound, an accepted windowed plan is never worse than
+            this factor times the cold height.
+        eco_max_levels: windowed escalation levels tried before the ECO
+            engine falls back to a full cold re-solve.
     """
 
     chip_width: float | None = None
@@ -230,6 +242,9 @@ class FloorplanConfig:
     service_queue_size: int = 256
     service_default_deadline: float | None = None
     service_execution: str = "inline"
+    eco_margin: float = 1.0
+    eco_quality_bound: float = 1.5
+    eco_max_levels: int = 2
 
     def __post_init__(self) -> None:
         if self.seed_size < 1:
@@ -274,6 +289,12 @@ class FloorplanConfig:
         if self.service_execution not in ("inline", "process"):
             raise ValueError(
                 "service_execution must be 'inline' or 'process'")
+        if self.eco_margin < 0:
+            raise ValueError("eco_margin must be >= 0")
+        if self.eco_quality_bound < 1.0:
+            raise ValueError("eco_quality_bound must be >= 1.0")
+        if self.eco_max_levels < 0:
+            raise ValueError("eco_max_levels must be >= 0")
         if self.formulation not in FORMULATIONS:
             raise ValueError(
                 f"formulation must be one of {FORMULATIONS}, "

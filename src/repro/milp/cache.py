@@ -19,7 +19,9 @@ Canonicalization (see :func:`canonical_form_text`):
 * the variable-class vector (kind, lb, ub per column) and the objective
   (unscaled — scaling the objective changes its value) complete the key;
 * a caller-supplied *context* tuple (backend, presolve flag, warm-start
-  presence, tolerances, and the non-overlap ``formulation`` identity) is
+  presence, tolerances, the non-overlap ``formulation`` identity, the
+  fixed-outline die, and the ECO window shape ``(window, frozen)`` of
+  incremental re-floorplanning subforms) is
   folded in, because those choices change which optimal vertex a
   deterministic backend returns even when the model doesn't.  The
   formulation entry also guards the axis structurally: two encodings of

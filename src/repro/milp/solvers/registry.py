@@ -162,6 +162,7 @@ def solve(model: Model, backend: str = "highs", *,
           form: StandardForm | None = None,
           formulation: str | None = None,
           outline: tuple[float, float] | None = None,
+          eco: tuple[int, int] | None = None,
           **options) -> Solution:
     """Solve ``model`` with the named backend.
 
@@ -208,6 +209,12 @@ def solve(model: Model, backend: str = "highs", *,
             solve never shares an entry with an open-outline solve of the
             same netlist — the cap changes which optimum is reachable even
             when the canonical forms happen to collide.
+        eco: ``(window size, frozen count)`` when the model is a windowed
+            incremental-ECO subform (:func:`repro.core.eco.solve_eco`), or
+            None for a non-ECO model.  Recorded as telemetry provenance
+            and folded into the cache key so a windowed subform never
+            shares an entry with a structurally colliding augmentation
+            step solved against a different frozen context.
         **options: backend-specific options such as ``time_limit``,
             ``mip_rel_gap``, ``node_limit``, ``lp_engine``, ``int_tol``.
 
@@ -233,7 +240,7 @@ def solve(model: Model, backend: str = "highs", *,
             backend, bool(presolve), warm_start is not None,
             cache_mod._q(float(options.get("mip_rel_gap", 1e-4))),
             cache_mod._q(float(options.get("int_tol", 1e-6))),
-            formulation, _outline_context(outline)))
+            formulation, _outline_context(outline), _eco_context(eco)))
         key_seconds = time.perf_counter() - started
         cache.stats.key_seconds += key_seconds
         served = cache_mod.serve_cached(
@@ -244,6 +251,7 @@ def solve(model: Model, backend: str = "highs", *,
         if served is not None:
             _stamp_formulation(served, formulation)
             _stamp_outline(served, outline)
+            _stamp_eco(served, eco)
             return served
 
     solution = _solve_uncached(fn, model, backend, form,
@@ -251,6 +259,7 @@ def solve(model: Model, backend: str = "highs", *,
                                symmetry_groups=symmetry_groups, **options)
     _stamp_formulation(solution, formulation)
     _stamp_outline(solution, outline)
+    _stamp_eco(solution, eco)
     if cache is not None and cache_key is not None and form is not None:
         from repro.milp import cache as cache_mod
 
@@ -278,6 +287,26 @@ def _stamp_outline(solution: Solution,
     """
     if outline is not None and solution.telemetry is not None:
         solution.telemetry.outline = (float(outline[0]), float(outline[1]))
+
+
+def _eco_context(eco: tuple[int, int] | None):
+    """The cache-key context entry of a windowed ECO subform: the window
+    size and frozen count that shaped the model (None for non-ECO solves,
+    keeping pre-ECO keys unchanged in meaning)."""
+    if eco is None:
+        return None
+    return (int(eco[0]), int(eco[1]))
+
+
+def _stamp_eco(solution: Solution, eco: tuple[int, int] | None) -> None:
+    """Record incremental-ECO provenance on the solution's telemetry.
+
+    Non-ECO solves keep None — absent in serialized telemetry — so
+    documents recorded before the ECO axis stay byte-identical.
+    """
+    if eco is not None and solution.telemetry is not None:
+        solution.telemetry.eco = {"window": int(eco[0]),
+                                  "frozen": int(eco[1])}
 
 
 def _stamp_formulation(solution: Solution, formulation: str | None) -> None:
@@ -398,6 +427,7 @@ def _batch_worker(payload: dict) -> dict:
                          symmetry_groups=payload["symmetry_groups"],
                          formulation=payload["formulation"],
                          outline=payload["outline"],
+                         eco=payload["eco"],
                          **payload["options"])
     except Exception as exc:  # noqa: BLE001 — surfaced per-item by caller
         if payload["on_error"] != "capture":
@@ -415,6 +445,7 @@ def solve_many(models: Sequence[Model], backend: str = "highs", *,
                on_error: str = "raise",
                formulation: str | None = None,
                outline: tuple[float, float] | None = None,
+               eco: tuple[int, int] | None = None,
                **options) -> list[Solution]:
     """Solve a vector of independent models through one batched entry point.
 
@@ -450,6 +481,7 @@ def solve_many(models: Sequence[Model], backend: str = "highs", *,
             fuzzer's mode — a crash is a finding, not an abort).
         formulation: as :func:`solve`, applied to every instance.
         outline: as :func:`solve`, applied to every instance.
+        eco: as :func:`solve`, applied to every instance.
         **options: backend options forwarded to every instance.
 
     Returns:
@@ -484,7 +516,7 @@ def solve_many(models: Sequence[Model], backend: str = "highs", *,
                                      presolve=presolve, warm_start=warm,
                                      symmetry_groups=sym, cache=cache,
                                      form=form, formulation=formulation,
-                                     outline=outline, **options)
+                                     outline=outline, eco=eco, **options)
             except Exception as exc:  # noqa: BLE001 — per-item capture
                 if on_error != "capture":
                     raise
@@ -500,7 +532,8 @@ def solve_many(models: Sequence[Model], backend: str = "highs", *,
                     backend, bool(presolve), warm_list[i] is not None,
                     cache_mod._q(float(options.get("mip_rel_gap", 1e-4))),
                     cache_mod._q(float(options.get("int_tol", 1e-6))),
-                    formulation, _outline_context(outline)))
+                    formulation, _outline_context(outline),
+                    _eco_context(eco)))
                 key_seconds = time.perf_counter() - started
                 cache.stats.key_seconds += key_seconds
                 solutions[i] = cache_mod.serve_cached(
@@ -511,12 +544,13 @@ def solve_many(models: Sequence[Model], backend: str = "highs", *,
                 if solutions[i] is not None:
                     _stamp_formulation(solutions[i], formulation)
                     _stamp_outline(solutions[i], outline)
+                    _stamp_eco(solutions[i], eco)
         pending = [i for i in range(n) if solutions[i] is None]
         payloads = [{
             "model": model_list[i], "backend": backend, "presolve": presolve,
             "warm_start": warm_list[i], "symmetry_groups": sym_list[i],
             "options": options, "on_error": on_error,
-            "formulation": formulation, "outline": outline,
+            "formulation": formulation, "outline": outline, "eco": eco,
         } for i in pending]
         packed = parallel_map(_batch_worker, payloads, workers=n_workers)
         for i, doc in zip(pending, packed):

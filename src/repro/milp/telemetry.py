@@ -78,6 +78,11 @@ class SolveTelemetry:
             fixed-outline cap, else None (None *means* the open-outline
             mode).  Omitted from serialization when None, so open-outline
             documents predating the axis stay byte-identical.
+        eco: incremental-ECO provenance when the solve was a windowed
+            re-floorplan subproblem (:func:`repro.core.eco.solve_eco`) —
+            ``{"window": int, "frozen": int}`` — else None (None *means*
+            a non-ECO solve).  Omitted from serialization when None, so
+            documents predating the ECO axis stay byte-identical.
     """
 
     backend: str = ""
@@ -96,6 +101,7 @@ class SolveTelemetry:
     batch: dict[str, Any] | None = None
     formulation: str | None = None
     outline: tuple[float, float] | None = None
+    eco: dict[str, Any] | None = None
 
     def record_incumbent(self, seconds: float, objective: float) -> None:
         """Append one incumbent improvement."""
@@ -129,6 +135,8 @@ class SolveTelemetry:
             out["formulation"] = self.formulation
         if self.outline is not None:
             out["outline"] = [self.outline[0], self.outline[1]]
+        if self.eco is not None:
+            out["eco"] = self.eco
         return out
 
     @classmethod
@@ -154,4 +162,5 @@ class SolveTelemetry:
             formulation=data.get("formulation"),
             outline=(tuple(float(v) for v in data["outline"])
                      if data.get("outline") is not None else None),
+            eco=data.get("eco"),
         )

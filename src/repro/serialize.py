@@ -23,7 +23,7 @@ from repro.milp.telemetry import SolveTelemetry
 from repro.netlist.module import Module, PinCounts
 from repro.netlist.net import Net
 from repro.netlist.netlist import Netlist
-from repro.routing.technology import Technology
+from repro.routing.technology import RoutingStyle, Technology
 
 #: Format version stamped into every document.
 FORMAT_VERSION = 1
@@ -281,6 +281,14 @@ def _config_to_dict(config: FloorplanConfig) -> dict[str, Any]:
         out["outline_aspect"] = config.outline_aspect
     if config.whitespace_target is not None:
         out["whitespace_target"] = config.whitespace_target
+    # The ECO knobs too: absent means the defaults every pre-ECO document
+    # (including the committed goldens) was recorded under.
+    if config.eco_margin != 1.0:
+        out["eco_margin"] = config.eco_margin
+    if config.eco_quality_bound != 1.5:
+        out["eco_quality_bound"] = config.eco_quality_bound
+    if config.eco_max_levels != 2:
+        out["eco_max_levels"] = config.eco_max_levels
     return out
 
 
@@ -289,7 +297,7 @@ def _config_from_dict(data: dict[str, Any]) -> FloorplanConfig:
     tech = fields.pop("technology")
     fields["technology"] = Technology(pitch_h=tech["pitch_h"],
                                       pitch_v=tech["pitch_v"],
-                                      style=tech["style"])
+                                      style=RoutingStyle(tech["style"]))
     return FloorplanConfig(**fields)
 
 
@@ -356,6 +364,70 @@ def floorplan_from_dict(data: dict[str, Any]) -> Floorplan:
         elapsed_seconds=data.get("elapsed_seconds", 0.0),
         certification=GeometryReport.from_dict(data["certification"])
         if data.get("certification") else None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# netlist deltas (incremental ECO)
+# ---------------------------------------------------------------------------
+
+def delta_to_dict(delta: "NetlistDelta") -> dict[str, Any]:
+    """A JSON-safe representation of a :class:`~repro.core.eco.NetlistDelta`.
+
+    Reuses the netlist codec's module/net shapes, so a delta document reads
+    like a fragment of a netlist document.
+    """
+    # Added nets may reference pre-existing modules, so they cannot ride
+    # through a temporary Netlist (it enforces referential integrity).
+    added = netlist_to_dict(Netlist(list(delta.added), name="_delta_"))
+    return {
+        "version": FORMAT_VERSION,
+        "added": added["modules"],
+        "removed": list(delta.removed),
+        "resized": {name: [w, h] for name, (w, h)
+                    in sorted(delta.resized.items())},
+        "added_nets": [
+            {"name": n.name, "modules": list(n.modules), "weight": n.weight,
+             "criticality": n.criticality, "max_length": n.max_length}
+            for n in delta.added_nets
+        ],
+        "removed_nets": list(delta.removed_nets),
+    }
+
+
+def delta_from_dict(data: dict[str, Any]) -> "NetlistDelta":
+    """Rebuild a delta from :func:`delta_to_dict` output.
+
+    Unknown keys raise — a mistyped delta document must not silently
+    degrade into a no-op edit.
+    """
+    from repro.core.eco import NetlistDelta
+
+    unknown = set(data) - {"version", "added", "removed", "resized",
+                           "added_nets", "removed_nets"}
+    if unknown:
+        raise ValueError(f"unknown delta fields: {sorted(unknown)}")
+    added = tuple(
+        Module(name=m["name"], width=m["width"], height=m["height"],
+               flexible=m.get("flexible", False),
+               aspect_low=m.get("aspect_low", 1.0),
+               aspect_high=m.get("aspect_high", 1.0),
+               rotatable=m.get("rotatable", True),
+               pins=PinCounts(**m["pins"]) if "pins" in m else PinCounts())
+        for m in data.get("added", []))
+    added_nets = tuple(
+        Net(name=n["name"], modules=tuple(n["modules"]),
+            weight=n.get("weight", 1.0),
+            criticality=n.get("criticality", 0.0),
+            max_length=n.get("max_length"))
+        for n in data.get("added_nets", []))
+    return NetlistDelta(
+        added=added,
+        removed=tuple(data.get("removed", [])),
+        resized={name: (float(w), float(h))
+                 for name, (w, h) in data.get("resized", {}).items()},
+        added_nets=added_nets,
+        removed_nets=tuple(data.get("removed_nets", [])),
     )
 
 

@@ -2,7 +2,7 @@
 
 Each runner is a module-level callable ``runner(request, ctx) -> result``
 (module-level so forked worker processes resolve them without pickling
-closures).  Three kinds ship by default:
+closures).  Four kinds ship by default:
 
 * ``floorplan`` — one instance through the full analytical pipeline
   (:class:`~repro.core.floorplanner.Floorplanner`), streaming one progress
@@ -13,7 +13,10 @@ closures).  Three kinds ship by default:
   (which fans out on :func:`repro.parallel.parallel_map`);
 * ``solve`` — a batch of raw MILP models round-tripped through the
   :func:`repro.serialize.model_to_dict` codec and solved through the
-  batched :func:`repro.milp.solvers.registry.solve_many` entry point.
+  batched :func:`repro.milp.solvers.registry.solve_many` entry point;
+* ``eco`` — incremental re-floorplanning of a certified baseline under a
+  structured netlist delta (:func:`repro.core.eco.solve_eco`), returning
+  the patched plan plus the escalation provenance.
 
 All request/response artifacts go through the :mod:`repro.serialize`
 codecs, so a client can rebuild every result with the same functions the
@@ -348,12 +351,80 @@ def run_solve(request: dict[str, Any], ctx: JobContext,
     return {"kind": "solve", "backend": backend, "solutions": out}
 
 
+def _parse_eco(request: dict[str, Any]):
+    from repro.serialize import delta_from_dict, floorplan_from_dict
+
+    plan_doc = request.get("baseline")
+    if not isinstance(plan_doc, dict):
+        raise BadRequest("request needs a 'baseline' object "
+                         "(repro.serialize.floorplan_to_dict format)")
+    delta_doc = request.get("delta")
+    if not isinstance(delta_doc, dict):
+        raise BadRequest("request needs a 'delta' object "
+                         "(repro.serialize.delta_to_dict format)")
+    try:
+        baseline = floorplan_from_dict(plan_doc)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise BadRequest(f"invalid baseline document: {exc}") from exc
+    try:
+        delta = delta_from_dict(delta_doc)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise BadRequest(f"invalid delta document: {exc}") from exc
+    return baseline, delta
+
+
+def run_eco(request: dict[str, Any], ctx: JobContext,
+            cache_dir: str | None = None,
+            formulation: str | None = None,
+            outline: tuple[float, float] | None = None) -> dict[str, Any]:
+    """The ``eco`` kind: incrementally re-floorplan a certified baseline
+    under a structured netlist delta (:func:`repro.core.eco.solve_eco`).
+
+    The submission carries the baseline floorplan document and the delta
+    document; a ``config`` object overrides the baseline's own embedded
+    configuration (absent, the run uses the baseline's verbatim — the
+    server's shared cache tier and default formulation only apply to an
+    explicit config, mirroring how the baseline itself was produced).
+    Infeasibility comes back as a *completed* job whose result carries the
+    structured ``INFEASIBLE_ECO`` status — an answer, not an error.
+    """
+    from repro.core.eco import solve_eco
+    from repro.serialize import config_to_dict
+
+    baseline, delta = _parse_eco(request)
+    if request.get("config") is not None:
+        config = config_from_request(request.get("config"),
+                                     cache_dir=cache_dir,
+                                     formulation=formulation)
+    else:
+        config = baseline.config
+
+    def on_step(step) -> None:
+        ctx.check()
+        ctx.send("step", **step_event(step))
+
+    ctx.check()
+    result = solve_eco(baseline, delta, config, on_step=on_step)
+    for attempt in result.attempts:
+        ctx.send("attempt", **attempt.to_dict())
+    out: dict[str, Any] = {
+        "kind": "eco",
+        "netlist": baseline.netlist.name,
+        "config": config_to_dict(config),
+        "eco": result.to_dict(include_plan=True),
+    }
+    if result.plan is not None:
+        out["summary"] = _summary(result.plan)
+    return out
+
+
 #: The default kind registry; :class:`~repro.service.server.FloorplanService`
 #: copies it per instance so tests can register extra kinds.
 JOB_RUNNERS: dict[str, Callable[..., dict[str, Any]]] = {
     "floorplan": run_floorplan,
     "width_search": run_width_search,
     "solve": run_solve,
+    "eco": run_eco,
 }
 
 
@@ -384,3 +455,8 @@ def validate_request(kind: str, request: dict[str, Any], *,
         docs = request.get("models")
         if not isinstance(docs, list) or not docs:
             raise BadRequest("request needs a non-empty 'models' list")
+    elif kind == "eco":
+        _parse_eco(request)
+        if request.get("config") is not None:
+            config_from_request(request.get("config"), cache_dir=cache_dir,
+                                formulation=formulation)

@@ -251,3 +251,122 @@ def test_undersized_outline_packing_bound_is_rejected(outlined):
     assert not report.ok
     assert any("area" in v.detail.lower() or "packing" in v.detail.lower()
                for v in report.violations)
+
+
+# -- ECO mutants --------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def eco_patched():
+    """One genuine windowed ECO result shared by the ECO mutants."""
+    from repro.core import Floorplanner, NetlistDelta, solve_eco
+    from repro.core.eco import ECO_PATCHED
+    from repro.netlist.net import Net
+    from repro.netlist.netlist import Netlist
+
+    netlist = Netlist([
+        Module.rigid("a", 4.0, 3.0, rotatable=False),
+        Module.rigid("b", 2.0, 5.0, rotatable=False),
+        Module.rigid("c", 3.0, 3.0, rotatable=False),
+        Module.rigid("d", 5.0, 2.0, rotatable=False),
+        Module.rigid("e", 2.0, 2.0, rotatable=False),
+    ], [Net("n1", ("a", "b")), Net("n2", ("c", "d"))], name="eco_mutants")
+    config = FloorplanConfig(seed_size=3, group_size=2, use_envelopes=False,
+                             solve_cache=False, subproblem_time_limit=20.0)
+    baseline = Floorplanner(netlist, config).run()
+    delta = NetlistDelta(resized={"e": (2.0, 2.5)})
+    result = solve_eco(baseline, delta, config)
+    assert result.status == ECO_PATCHED and result.frozen
+    return baseline, delta, result
+
+
+def _replan(result, placements):
+    """Clone an EcoResult with a tampered plan."""
+    plan = dataclasses.replace(result.plan, placements=placements)
+    return dataclasses.replace(result, plan=plan)
+
+
+def test_eco_baseline_recertifies(eco_patched):
+    """Non-vacuity: the genuine ECO result passes the independent check."""
+    from repro.check import check_eco
+
+    baseline, delta, result = eco_patched
+    report = check_eco(baseline, delta, result)
+    assert report.ok, [v.detail for v in report.violations]
+
+
+def test_eco_moved_frozen_module_is_rejected(eco_patched):
+    """Sliding a frozen module off its baseline position — even while the
+    plan stays geometrically legal — violates frozen immobility."""
+    from repro.check import check_eco
+
+    baseline, delta, result = eco_patched
+    victim = result.frozen[0]
+    placements = dict(result.plan.placements)
+    p = placements[victim]
+    moved = dataclasses.replace(
+        p, rect=p.rect.moved_to(p.rect.x, p.rect.y + 50.0),
+        envelope=p.envelope.moved_to(p.envelope.x, p.envelope.y + 50.0))
+    report = check_eco(baseline, delta, _replan(result, {**placements,
+                                                         victim: moved}))
+    assert not report.ok
+    assert any(v.kind == "eco" and victim in v.name
+               for v in report.violations)
+
+
+def test_eco_overlapping_patch_is_rejected(eco_patched):
+    """Stacking a window module onto another placement fails the base
+    geometry audit inside check_eco."""
+    from repro.check import check_eco
+
+    baseline, delta, result = eco_patched
+    window_name = result.window[0]
+    other = next(n for n in result.plan.placements if n != window_name)
+    placements = dict(result.plan.placements)
+    target = placements[other].rect
+    p = placements[window_name]
+    clash = dataclasses.replace(
+        p, rect=p.rect.moved_to(target.x, target.y),
+        envelope=p.envelope.moved_to(target.x, target.y))
+    report = check_eco(baseline, delta,
+                       _replan(result, {**placements, window_name: clash}))
+    assert not report.ok
+    assert any("overlap" in v.detail.lower() for v in report.violations)
+
+
+def test_eco_stale_objective_claim_is_rejected(eco_patched):
+    """A patched_height claim that understates the realized chip height is
+    a lie about the objective and must be caught."""
+    from repro.check import check_eco
+
+    baseline, delta, result = eco_patched
+    liar = dataclasses.replace(result,
+                               patched_height=result.patched_height * 0.5)
+    report = check_eco(baseline, delta, liar)
+    assert not report.ok
+    assert any(v.kind == "eco" and "height" in v.detail.lower()
+               for v in report.violations)
+
+
+def test_eco_window_escape_placement_is_rejected(eco_patched):
+    """A placement claimed in neither the window nor the frozen set breaks
+    the partition invariant."""
+    from repro.check import check_eco
+
+    baseline, delta, result = eco_patched
+    escaped = dataclasses.replace(result, frozen=result.frozen[1:])
+    report = check_eco(baseline, delta, escaped)
+    assert not report.ok
+    assert any(v.kind == "eco" and result.frozen[0] in v.name
+               for v in report.violations)
+
+
+def test_eco_dropped_module_is_rejected(eco_patched):
+    """A plan silently missing a patched module fails the name audit."""
+    from repro.check import check_eco
+
+    baseline, delta, result = eco_patched
+    placements = dict(result.plan.placements)
+    placements.pop(result.window[0])
+    report = check_eco(baseline, delta, _replan(result, placements))
+    assert not report.ok

@@ -172,3 +172,56 @@ class TestTelemetryCommand:
         assert rc == 0
         doc = json.loads(capsys.readouterr().out)
         assert "instance" in doc
+
+
+class TestEcoCommand:
+    def test_plan_json_to_eco_round_trip(self, tmp_path, capsys):
+        """The full CLI loop: floorplan --plan-json writes the document the
+        eco subcommand consumes; the patched plan and provenance report
+        come back machine-readable."""
+        import json
+
+        plan_path = tmp_path / "plan.json"
+        rc = main(["floorplan", "--random", "5", "--seed", "3",
+                   "--seed-size", "3", "--group-size", "2",
+                   "--time-limit", "10", "--no-solve-cache",
+                   "--plan-json", str(plan_path)])
+        assert rc == 0
+        plan_doc = json.loads(plan_path.read_text())
+        victim = plan_doc["netlist"]["modules"][-1]["name"]
+        width = plan_doc["netlist"]["modules"][-1]["width"]
+        height = plan_doc["netlist"]["modules"][-1]["height"]
+
+        delta_path = tmp_path / "delta.json"
+        delta_path.write_text(json.dumps(
+            {"version": 1,
+             "resized": {victim: [round(width * 0.9, 6), height]}}))
+        out_path = tmp_path / "patched.json"
+        report_path = tmp_path / "report.json"
+        rc = main(["eco", str(plan_path), str(delta_path), "--certify",
+                   "--out", str(out_path), "--report", str(report_path)])
+        assert rc == 0
+        assert "patched" in capsys.readouterr().out
+
+        report = json.loads(report_path.read_text())
+        assert report["status"] == "PATCHED"
+        assert report["attempts"]
+        assert "floorplan" not in report  # --report is provenance-only
+        patched = json.loads(out_path.read_text())
+        assert patched["placements"][victim]["rect"][2] == \
+            round(width * 0.9, 6) or \
+            patched["placements"][victim]["rect"][3] == round(width * 0.9, 6)
+
+    def test_eco_rejects_malformed_delta(self, tmp_path, capsys):
+        import json
+
+        plan_path = tmp_path / "plan.json"
+        rc = main(["floorplan", "--random", "4", "--seed", "2",
+                   "--seed-size", "2", "--group-size", "2",
+                   "--time-limit", "10", "--no-solve-cache",
+                   "--plan-json", str(plan_path)])
+        assert rc == 0
+        delta_path = tmp_path / "delta.json"
+        delta_path.write_text(json.dumps({"remove": ["m0"]}))
+        with pytest.raises(ValueError, match="unknown delta fields"):
+            main(["eco", str(plan_path), str(delta_path)])

@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis) for the incremental ECO engine.
+
+Invariants under test:
+
+* a no-op delta returns the baseline *instance* at zero solver
+  invocations — no drift is possible when nothing changed;
+* frozen modules never move: every placement outside the accepted window
+  is byte-equal to its baseline rectangle and envelope;
+* every patched plan re-certifies through :func:`repro.check.check_eco`
+  (geometry legality + frozen immobility + partition + height claim);
+* the patched height never exceeds ``eco_quality_bound`` times the cold
+  re-solve height — the engine's central quality contract.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import check_eco
+from repro.core import (
+    ECO_PATCHED,
+    ECO_UNCHANGED,
+    FloorplanConfig,
+    Floorplanner,
+    NetlistDelta,
+    solve_eco,
+)
+from repro.netlist.module import Module
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+
+EPS = 1e-6
+
+
+def _config(**overrides) -> FloorplanConfig:
+    params = dict(seed_size=3, group_size=2, use_envelopes=False,
+                  solve_cache=False, subproblem_time_limit=15.0)
+    params.update(overrides)
+    return FloorplanConfig(**params)
+
+
+@st.composite
+def cases(draw):
+    """A small rigid netlist, its solved baseline config, and a structured
+    delta drawn from every edit species the engine supports."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    n = rng.randint(3, 5)
+    modules = [
+        Module.rigid(f"m{i}", float(rng.randint(1, 4)),
+                     float(rng.randint(1, 4)),
+                     rotatable=rng.random() < 0.7)
+        for i in range(n)
+    ]
+    nets = []
+    for j in range(rng.randint(0, 2)):
+        a, b = rng.sample([m.name for m in modules], 2)
+        nets.append(Net(f"n{j}", (a, b)))
+    netlist = Netlist(modules, nets, name=f"eco_prop{seed}")
+
+    kind = draw(st.sampled_from(["resize", "remove", "add", "mixed"]))
+    victim = modules[rng.randrange(n)]
+    if kind == "resize":
+        factor = rng.choice([0.6, 0.9, 1.2])
+        delta = NetlistDelta(resized={
+            victim.name: (round(victim.width * factor, 3), victim.height)})
+    elif kind == "remove":
+        delta = NetlistDelta(removed=(victim.name,))
+    elif kind == "add":
+        delta = NetlistDelta(added=(
+            Module.rigid("new0", float(rng.randint(1, 3)),
+                         float(rng.randint(1, 3))),))
+    else:
+        other = modules[(modules.index(victim) + 1) % n]
+        delta = NetlistDelta(
+            added=(Module.rigid("new0", 2.0, 1.0),),
+            removed=(other.name,),
+            resized={victim.name: (victim.width, victim.height + 1.0)})
+    return netlist, delta
+
+
+class TestNoopIdentity:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_noop_delta_returns_the_baseline_instance(self, seed):
+        rng = random.Random(seed)
+        modules = [Module.rigid(f"m{i}", float(rng.randint(1, 4)),
+                                float(rng.randint(1, 4)))
+                   for i in range(3)]
+        baseline = Floorplanner(Netlist(modules, [], name=f"noop{seed}"),
+                                _config()).run()
+        result = solve_eco(baseline, NetlistDelta())
+        assert result.status == ECO_UNCHANGED
+        assert result.plan is baseline
+        assert result.solver_invocations == 0
+        assert result.attempts == []
+
+
+class TestPatchedInvariants:
+    @given(cases())
+    @settings(max_examples=8, deadline=None)
+    def test_frozen_never_move_and_plan_recertifies(self, case):
+        netlist, delta = case
+        config = _config()
+        baseline = Floorplanner(netlist, config).run()
+        result = solve_eco(baseline, delta, config)
+        assert result.status == ECO_PATCHED, \
+            f"rigid unconstrained delta must patch: {result.status}"
+        plan = result.plan
+        assert plan.is_legal
+        # frozen immobility, byte-for-byte
+        for name in result.frozen:
+            assert plan.placements[name].rect \
+                == baseline.placements[name].rect
+            assert plan.placements[name].envelope \
+                == baseline.placements[name].envelope
+        # the window/frozen split partitions the patched module set
+        patched_names = set(delta.apply(netlist).module_names)
+        assert set(result.window) | set(result.frozen) == patched_names
+        assert not set(result.window) & set(result.frozen)
+        # independent re-certification through the checker
+        report = check_eco(baseline, delta, result)
+        assert report.ok, report.violations
+
+    @given(cases())
+    @settings(max_examples=6, deadline=None)
+    def test_patched_height_respects_the_quality_bound(self, case):
+        netlist, delta = case
+        config = _config()
+        baseline = Floorplanner(netlist, config).run()
+        result = solve_eco(baseline, delta, config)
+        assert result.status == ECO_PATCHED
+        cold = Floorplanner(delta.apply(netlist), config).run()
+        assert result.plan.chip_height \
+            <= config.eco_quality_bound * cold.chip_height + EPS

@@ -220,6 +220,74 @@ class TestServiceWorkerDeath:
         assert stats["requeued"] == 1
 
 
+def _eco_dies_once(request, ctx, cache_dir=None, formulation=None, **kwargs):
+    """An ECO worker that dies mid-job on the first attempt and runs the
+    real runner on the requeued one."""
+    from repro.service.runner import run_eco
+
+    marker = request["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w") as f:
+            f.write("died\n")
+        os._exit(7)
+    return run_eco(request, ctx, cache_dir=cache_dir,
+                   formulation=formulation, **kwargs)
+
+
+class TestServiceEcoRequeueIdempotency:
+    def test_requeued_eco_job_applies_the_delta_exactly_once(self, tmp_path):
+        """A worker dying mid-ECO requeues the job once; the reattempt must
+        start from the *submitted* baseline + delta, never from partially
+        patched state — the served plan equals a direct solve bit-for-bit
+        and the resized module carries its new dimensions exactly once."""
+        from repro.core import Floorplanner, NetlistDelta, solve_eco
+        from repro.core.eco import ECO_PATCHED
+        from repro.serialize import (delta_to_dict, floorplan_from_dict,
+                                     floorplan_to_dict)
+        from service_helpers import running_service
+
+        netlist = Netlist([
+            Module.rigid("a", 4.0, 3.0, rotatable=False),
+            Module.rigid("b", 2.0, 5.0, rotatable=False),
+            Module.rigid("c", 3.0, 3.0, rotatable=False),
+            Module.rigid("d", 5.0, 2.0, rotatable=False),
+        ], [Net("n1", ("a", "b"))], name="eco_requeue")
+        config = FloorplanConfig(seed_size=2, group_size=2,
+                                 use_envelopes=False, solve_cache=False,
+                                 subproblem_time_limit=20.0)
+        baseline = Floorplanner(netlist, config).run()
+        delta = NetlistDelta(resized={"d": (5.0, 2.5)})
+        direct = solve_eco(baseline, delta)
+        assert direct.status == ECO_PATCHED
+
+        service_config = FloorplanConfig(service_workers=1,
+                                         service_execution="process",
+                                         cache_dir=str(tmp_path / "cache"))
+        marker = str(tmp_path / "eco-first-attempt-died")
+        with running_service(
+                service_config,
+                runners={"eco": _eco_dies_once}) as (_service, client):
+            _code, doc = client.submit({
+                "kind": "eco",
+                "baseline": floorplan_to_dict(baseline),
+                "delta": delta_to_dict(delta),
+                "marker": marker,
+            })
+            _code, status = client.status(doc["job_id"], wait=120.0)
+            assert status["status"] == "done"
+            assert status["attempts"] == 2
+            _code, res = client.result(doc["job_id"])
+            stats = client.stats()
+        assert stats["requeued"] == 1
+        served = floorplan_from_dict(res["result"]["eco"]["floorplan"])
+        # The delta landed exactly once: 2.5, not 2.5 applied twice over.
+        assert served.placements["d"].rect.h == 2.5
+        assert served.is_legal
+        assert set(served.placements) == set(direct.plan.placements)
+        for name, placement in direct.plan.placements.items():
+            assert served.placements[name].rect == placement.rect
+
+
 class TestServiceCorruptCache:
     def test_corrupt_disk_blob_degrades_to_cold_solve(self, tmp_path,
                                                       tiny_netlist):

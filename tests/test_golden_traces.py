@@ -24,6 +24,7 @@ from typing import Any
 import pytest
 
 from repro.core.config import FloorplanConfig, Linearization
+from repro.core.eco import ECO_PATCHED, NetlistDelta, solve_eco
 from repro.core.floorplanner import Floorplanner
 from repro.eval.report import canonicalize_telemetry, telemetry_report
 from repro.netlist.mcnc import apte_like
@@ -95,6 +96,17 @@ FIXTURES = {
         outline=(8.0, 10.0))),
     "outline_unary": lambda: (_rigid_fixture(), _golden_config(
         outline=(8.0, 10.0), formulation="unary")),
+    # The ECO golden re-runs the apte fixture, then patches it through the
+    # incremental engine; the delta below disturbs only the top-right
+    # corner, so the level-0 window is a 2-module subset and the golden
+    # pins the windowed re-solve path (plan bytes + escalation provenance).
+    "eco_bigm": lambda: (apte_like(), _golden_config(seed_size=4,
+                                                     group_size=3)),
+}
+
+#: Deltas applied on top of the cold plan for the ECO goldens.
+ECO_DELTAS = {
+    "eco_bigm": lambda: NetlistDelta(resized={"m08": (11.0, 13.0)}),
 }
 
 
@@ -130,6 +142,11 @@ def golden_document(name: str) -> str:
         "telemetry": canonicalize_telemetry(telemetry_report(plan)),
         "floorplan": floorplan_to_dict(plan),
     }
+    if name in ECO_DELTAS:
+        result = solve_eco(plan, ECO_DELTAS[name](), config)
+        assert result.status == ECO_PATCHED, \
+            f"eco golden fixture {name} did not patch: {result.status}"
+        doc["eco"] = result.to_dict(include_plan=True)
     return json.dumps(_canonical(doc), indent=1, sort_keys=True) + "\n"
 
 
